@@ -1,0 +1,18 @@
+"""Ablation A2: dynamic data-space expansion vs fixed-height backbones."""
+
+from repro.bench import ablation_expansion
+
+from conftest import emit
+
+
+def test_ablation_expansion(benchmark, scale):
+    """The adaptive backbone needs the fewest transient entries per query."""
+    result = benchmark.pedantic(ablation_expansion, rounds=1, iterations=1)
+    emit(result)
+    entries = {row["backbone"]: row["avg transient entries"]
+               for row in result.rows}
+    adaptive = next(v for k, v in entries.items() if "adaptive" in k)
+    for backbone, value in entries.items():
+        assert adaptive <= value, (backbone, value)
+    fixed48 = next(v for k, v in entries.items() if "48" in k)
+    assert fixed48 > 2 * adaptive

@@ -1,0 +1,14 @@
+"""Ablation A3: minstep pruning of query walks (Section 3.4 Lemma)."""
+
+from repro.bench import ablation_minstep
+
+from conftest import emit
+
+
+def test_ablation_minstep(benchmark, scale):
+    """Pruned walks produce strictly fewer transient entries."""
+    result = benchmark.pedantic(ablation_minstep, rounds=1, iterations=1)
+    emit(result)
+    entries = {row["minstep pruning"]: row["avg transient entries"]
+               for row in result.rows}
+    assert entries["on"] < entries["off"]

@@ -1,0 +1,21 @@
+"""Ablation A1: Figure 9 two-branch query vs Figure 8 three-branch OR."""
+
+from repro.bench import ablation_query_forms
+
+from conftest import emit
+
+
+def test_ablation_query_forms(benchmark, scale):
+    """The simplified Figure 9 form must not lose to the preliminary form.
+
+    (On sqlite3 the OR-form cannot be driven from the composite indexes and
+    is typically orders of magnitude slower.)
+    """
+    result = benchmark.pedantic(ablation_query_forms, rounds=1, iterations=1)
+    emit(result)
+    times = {row["query form"]: row["time [ms]"] for row in result.rows}
+    counts = {row["query form"]: row["avg results"] for row in result.rows}
+    assert len(set(counts.values())) == 1, counts
+    final = next(t for form, t in times.items() if "Figure 9" in form)
+    preliminary = next(t for form, t in times.items() if "Figure 8" in form)
+    assert final <= preliminary

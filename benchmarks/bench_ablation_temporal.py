@@ -1,0 +1,17 @@
+"""Ablation A4: reserved fork nodes vs the naive MAXINT-high tree."""
+
+from repro.bench import ablation_temporal
+
+from conftest import emit
+
+
+def test_ablation_temporal(benchmark, scale):
+    """The reserved-node scheme keeps the backbone low and walks short."""
+    result = benchmark.pedantic(ablation_temporal, rounds=1, iterations=1)
+    emit(result)
+    rows = {row["strategy"]: row for row in result.rows}
+    reserved = next(v for k, v in rows.items() if "reserved" in k)
+    naive = next(v for k, v in rows.items() if "naive" in k)
+    assert reserved["height"] < naive["height"]
+    assert (reserved["avg transient entries"]
+            <= naive["avg transient entries"])

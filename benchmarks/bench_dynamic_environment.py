@@ -1,0 +1,27 @@
+"""Section 6.3's clustering remark: bulk-loaded vs dynamically built."""
+
+from repro.bench import dynamic_environment
+
+from conftest import emit, is_discriminating
+
+
+def test_dynamic_environment(benchmark, scale):
+    """Dynamic builds must not help anyone, and must hurt the T-index more
+    than the RI-tree (whose plan is index-only)."""
+    result = benchmark.pedantic(dynamic_environment, rounds=1, iterations=1)
+    emit(result)
+    table: dict[tuple[str, str], dict] = {}
+    for row in result.rows:
+        table[(row["method"], row["build"])] = row
+    for method in ("RI-tree", "IST", "T-index"):
+        bulk = table[(method, "bulk")]["physical I/O"]
+        dynamic = table[(method, "dynamic")]["physical I/O"]
+        assert dynamic >= 0.8 * bulk, (method, bulk, dynamic)
+        assert (table[(method, "bulk")]["avg results"]
+                == table[(method, "dynamic")]["avg results"])
+    if is_discriminating(scale):
+        ri_ratio = (table[("RI-tree", "dynamic")]["physical I/O"]
+                    / max(table[("RI-tree", "bulk")]["physical I/O"], 0.5))
+        t_ratio = (table[("T-index", "dynamic")]["physical I/O"]
+                   / max(table[("T-index", "bulk")]["physical I/O"], 0.5))
+        assert t_ratio >= ri_ratio * 0.9

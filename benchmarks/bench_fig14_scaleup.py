@@ -1,0 +1,34 @@
+"""Figure 14: scaleup of disk accesses and response time with database size."""
+
+from repro.bench import fig14_scaleup
+
+from conftest import emit, is_discriminating
+
+
+def test_fig14_scaleup(benchmark, scale):
+    """RI-tree scales sublinearly; competitors scale linearly.
+
+    Paper: the T-index/RI-tree I/O factor grows from 2 to 42 between 1k and
+    1M intervals (response time 2.0 to 4.9).  The assertions check the
+    monotone divergence, not the absolute factors.
+    """
+    result = benchmark.pedantic(fig14_scaleup, rounds=1, iterations=1)
+    emit(result)
+    by_size: dict[int, dict[str, dict]] = {}
+    for row in result.rows:
+        by_size.setdefault(row["db size"], {})[row["method"]] = row
+    sizes = sorted(by_size)
+    if is_discriminating(scale):
+        largest = by_size[sizes[-1]]
+        ri = largest["RI-tree"]["physical I/O"]
+        assert largest["IST"]["physical I/O"] > 5 * ri
+        if "T-index" in largest:
+            assert largest["T-index"]["physical I/O"] > 1.5 * ri
+        # Sublinear vs linear: growing the db by >= 10x must grow the
+        # RI-tree's I/O by a smaller factor than the IST's.
+        smallest = by_size[sizes[0]]
+        ri_growth = (largest["RI-tree"]["physical I/O"]
+                     / max(smallest["RI-tree"]["physical I/O"], 0.5))
+        ist_growth = (largest["IST"]["physical I/O"]
+                      / max(smallest["IST"]["physical I/O"], 0.5))
+        assert ist_growth > ri_growth

@@ -1,0 +1,32 @@
+"""Figure 15: response time vs minimum interval length (minstep effect)."""
+
+from repro.bench import fig15_granularity
+
+from conftest import emit
+
+
+def test_fig15_granularity(benchmark, scale):
+    """Response stays nearly flat in the minimum length; minstep grows.
+
+    Paper: "the response time is almost independent of the minimum length
+    of the stored intervals" and performance is "largely bound to the
+    number of results".
+    """
+    result = benchmark.pedantic(fig15_granularity, rounds=1, iterations=1)
+    emit(result)
+    by_selectivity: dict[float, list[dict]] = {}
+    for row in result.rows:
+        by_selectivity.setdefault(row["selectivity [%]"], []).append(row)
+    for selectivity, rows in by_selectivity.items():
+        rows.sort(key=lambda r: r["min length"])
+        # minstep rises monotonically with the minimum stored length.
+        minsteps = [r["minstep"] for r in rows]
+        assert minsteps == sorted(minsteps), minsteps
+        # Flatness: physical I/O per query varies by at most 3 blocks +50%
+        # across the x-axis (the paper's curves are visually flat).
+        ios = [r["physical I/O"] for r in rows]
+        assert max(ios) <= 1.5 * min(ios) + 3.0, (selectivity, ios)
+    # Height falls as granularity coarsens.
+    rows_by_length = sorted(result.rows, key=lambda r: r["min length"])
+    heights = [r["height"] for r in rows_by_length]
+    assert heights[0] >= heights[-1]

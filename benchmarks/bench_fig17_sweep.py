@@ -1,0 +1,29 @@
+"""Figure 17: sweeping point query -- the IST degeneration."""
+
+from repro.bench import fig17_sweep
+
+from conftest import emit, is_discriminating
+
+
+def test_fig17_sweep(benchmark, scale):
+    """IST cost grows with distance from the domain's upper bound;
+    the RI-tree stays flat and fastest on average (paper Figure 17)."""
+    result = benchmark.pedantic(fig17_sweep, rounds=1, iterations=1)
+    emit(result)
+    series: dict[str, list[tuple[int, float]]] = {}
+    for row in result.rows:
+        series.setdefault(row["method"], []).append(
+            (row["distance to upper bound"], row["physical I/O"]))
+    for rows in series.values():
+        rows.sort()
+    if is_discriminating(scale):
+        ist = series["IST"]
+        # Degeneration: I/O at the far end is much larger than at distance 0.
+        assert ist[-1][1] > 3 * max(ist[0][1], 0.5), ist
+        # The RI-tree stays flat: bounded variation across the sweep.
+        ri = [io for _, io in series["RI-tree"]]
+        assert max(ri) <= 3 * max(min(ri), 0.5) + 2
+        # And the RI-tree is the cheapest on average.
+        mean = lambda xs: sum(x for _, x in xs) / len(xs)
+        assert mean(series["RI-tree"]) <= mean(series["IST"])
+        assert mean(series["RI-tree"]) <= mean(series["T-index"])

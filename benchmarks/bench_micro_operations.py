@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the individual operations (pytest-benchmark stats).
+
+These are the per-operation timings behind the figures: single insertions,
+deletions and intersection queries on a prebuilt database.  They use real
+pytest-benchmark rounds (unlike the figure regenerations, which run once),
+so ``--benchmark-only`` output includes meaningful distributions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.experiments import get_scale, ist_factory, ritree_factory
+from repro.bench.harness import build_method
+from repro.core import RITree
+from repro.methods import TileIndex
+from repro.workloads import distributions, queries as query_gen
+
+
+@pytest.fixture(scope="module")
+def workload():
+    scale = get_scale()
+    n = min(scale["fig13_n"], 20_000)
+    return distributions.d1(n, 2000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def query(workload):
+    return query_gen.range_queries(workload, 0.01, 1, seed=5)[0]
+
+
+def test_ritree_insert(benchmark, workload):
+    """Single dynamic insertion into a loaded RI-tree (O(log_b n))."""
+    tree = build_method(ritree_factory, workload.records)
+    ids = itertools.count(10_000_000)
+
+    def insert_one():
+        tree.insert(5000, 9000, next(ids))
+
+    benchmark(insert_one)
+
+
+def test_ritree_delete_insert_roundtrip(benchmark, workload):
+    """Delete + reinsert of an existing record (two O(log_b n) updates)."""
+    tree = build_method(ritree_factory, workload.records)
+    lower, upper, interval_id = workload.records[0]
+
+    def roundtrip():
+        tree.delete(lower, upper, interval_id)
+        tree.insert(lower, upper, interval_id)
+
+    benchmark(roundtrip)
+
+
+def test_ritree_intersection(benchmark, workload, query):
+    """One warm intersection query at ~1% selectivity."""
+    tree = build_method(ritree_factory, workload.records)
+    benchmark(lambda: tree.intersection(*query))
+
+
+def test_ist_intersection(benchmark, workload, query):
+    """The same query against the IST (D-order tail scan)."""
+    ist = build_method(ist_factory, workload.records)
+    benchmark(lambda: ist.intersection(*query))
+
+
+def test_tindex_intersection(benchmark, workload, query):
+    """The same query against the T-index (fixed level 10)."""
+    tindex = build_method(
+        lambda db: TileIndex(db, fixed_level=10), workload.records)
+    benchmark(lambda: tindex.intersection(*query))
+
+
+def test_fork_node_computation(benchmark, workload):
+    """Pure-arithmetic fork computation (no I/O, paper Figure 4)."""
+    tree = RITree()
+    tree.bulk_load(workload.records[:1000])
+
+    benchmark(lambda: tree.backbone.fork_node(400_000, 450_000))
+
+
+def test_query_node_generation(benchmark, workload, query):
+    """Transient leftNodes/rightNodes generation (no I/O, Section 4.2)."""
+    tree = RITree()
+    tree.bulk_load(workload.records[:1000])
+    benchmark(lambda: tree.query_nodes(*query))

@@ -1,0 +1,17 @@
+"""Table 1: the four interval data distributions."""
+
+from repro.bench import table1_workloads
+from repro.workloads import DOMAIN_MAX
+
+from conftest import emit
+
+
+def test_table1_workloads(benchmark, scale):
+    """Generate each distribution and validate its Table 1 shape."""
+    result = benchmark.pedantic(table1_workloads, rounds=1, iterations=1)
+    emit(result)
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert 0 <= row["min lower"] <= row["max upper"] <= DOMAIN_MAX
+        # d = 2000 in all evaluation workloads; the mean must sit nearby.
+        assert 1500 <= row["mean length"] <= 2500

@@ -1,0 +1,22 @@
+"""Section 6.1: Window-List vs RI-tree I/O comparison."""
+
+from repro.bench import windowlist_comparison
+
+from conftest import emit
+
+
+def test_windowlist_comparison(benchmark, scale):
+    """Both methods answer the same queries; I/O stays the same order.
+
+    The paper measured the Window-List at ~2x the RI-tree's I/O.  Our
+    reconstruction of Ramaswamy's structure is leaner than the original
+    (see EXPERIMENTS.md), so the assertion only pins the order of
+    magnitude, not the factor.
+    """
+    result = benchmark.pedantic(windowlist_comparison, rounds=1, iterations=1)
+    emit(result)
+    by_method = {row["method"]: row for row in result.rows}
+    wl = by_method["Window-List"]
+    ri = by_method["RI-tree"]
+    assert wl["avg results"] == ri["avg results"]
+    assert wl["physical I/O"] <= 10 * max(ri["physical I/O"], 1)

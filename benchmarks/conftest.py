@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module regenerates one table/figure of the paper through
+:mod:`repro.bench.experiments` and prints the measured rows, so a
+``pytest benchmarks/ --benchmark-only`` run leaves the full evaluation in
+the captured output.  Scale is controlled by ``REPRO_BENCH_SCALE``
+(tiny/small/full; default small).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    """The active scale preset."""
+    return get_scale()
+
+
+def emit(result) -> None:
+    """Print an experiment's markdown table into the captured output."""
+    print()
+    print(result.to_markdown())
+
+
+def is_discriminating(scale: dict) -> bool:
+    """Whether the scale is large enough for I/O shape assertions.
+
+    At ``tiny`` scale every database fits in the 200-block buffer cache, so
+    physical I/O cannot separate the methods; assertions about who wins are
+    only checked at ``small``/``full``.
+    """
+    return scale["name"] != "tiny"

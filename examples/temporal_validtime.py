@@ -1,0 +1,66 @@
+"""Valid-time table with ``now`` and ``infinity`` (paper Section 4.6).
+
+Models an employee-assignment table: each row is valid over a time
+interval.  Open assignments end at *now* (they grow with the clock);
+planned indefinite contracts end at *infinity*.  The RI-tree answers
+timeslice and period queries without ever reorganising the index as the
+clock advances -- the point of the reserved fork nodes.
+
+Also demonstrates the fine-grained Allen relations of Section 4.5.
+
+Run:  python examples/temporal_validtime.py
+"""
+
+from repro.core import TemporalRITree, topology
+
+ASSIGNMENTS = {
+    1: "Ada    - compiler team (2010-2015)",
+    2: "Grace  - compiler team (2012, open-ended contract)",
+    3: "Edsger - verification team (2013, active until now)",
+    4: "Barbara- databases team (2014-2016)",
+    5: "Alan   - databases team (2016, active until now)",
+}
+
+
+def main() -> None:
+    clock = 2018
+    table = TemporalRITree(now=clock)
+
+    table.insert(2010, 2015, interval_id=1)
+    table.insert_infinite(2012, interval_id=2)
+    table.insert_until_now(2013, interval_id=3)
+    table.insert(2014, 2016, interval_id=4)
+    table.insert_until_now(2016, interval_id=5)
+
+    def show(label, ids):
+        print(label)
+        for interval_id in sorted(ids):
+            print("   ", ASSIGNMENTS[interval_id])
+
+    show(f"timeslice {clock} (who is active now?):", table.stab(clock))
+    show("period [2014, 2015]:", table.intersection(2014, 2015))
+
+    # Time passes; now-relative rows follow the clock with zero index work.
+    clock = 2025
+    table.advance_to(clock)
+    show(f"timeslice {clock} after advancing the clock:", table.stab(clock))
+
+    # Edsger's assignment ends: close the now-relative interval at 2022.
+    table.close_now_interval(2013, interval_id=3, upper=2022)
+    show(f"timeslice {clock} after closing Edsger's assignment:",
+         table.stab(clock))
+
+    # Fine-grained temporal relationships (Section 4.5).
+    print("\nAllen relations against the period [2014, 2016]:")
+    for relation in ("overlaps", "during", "finishes", "met_by"):
+        ids = topology.query_relation(table, relation, 2014, 2016)
+        names = [ASSIGNMENTS[i].split("-")[0].strip() for i in sorted(ids)]
+        print(f"    {relation:13s} -> {names}")
+
+    assert sorted(table.stab(2025)) == [2, 5]
+    assert sorted(table.intersection(2014, 2015)) == [1, 2, 3, 4]
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Measurement harness for the Section 6 experiments.
+
+Reproduces the paper's experimental protocol on the engine substrate:
+
+* databases are built per method with the paper's server geometry (2 KB
+  blocks, 200-block buffer cache, Section 6.1);
+* competitor indexes (and, for comparability, the RI-tree) are *bulk
+  loaded*, as in the paper ("the good clustering properties of the bulk
+  loaded indexes", Section 6.3);
+* the buffer cache is cleared once before each query batch, then the batch
+  runs warm -- a server answering a query stream;
+* per query batch we record **average physical disk-block accesses** and
+  **average response time** per query, the two y-axes of Figures 13-17,
+  plus the realised selectivity so the calibration is auditable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core.access import AccessMethod, IntervalRecord
+from ..engine.database import Database
+
+QueryInterval = tuple[int, int]
+
+#: The paper's server geometry (Section 6.1).
+PAPER_BLOCK_SIZE = 2048
+PAPER_CACHE_BLOCKS = 200
+
+
+def paper_database() -> Database:
+    """A fresh engine instance with the paper's block/cache geometry."""
+    return Database(block_size=PAPER_BLOCK_SIZE,
+                    cache_blocks=PAPER_CACHE_BLOCKS)
+
+
+def build_method(factory: Callable[[Database], AccessMethod],
+                 records: Sequence[IntervalRecord],
+                 bulk: bool = True) -> AccessMethod:
+    """Create a method on a fresh paper-geometry database and load it."""
+    method = factory(paper_database())
+    if bulk:
+        method.bulk_load(records)
+    else:
+        method.extend(records)
+    method.db.flush()
+    return method
+
+
+@dataclass
+class BatchResult:
+    """Aggregate measurements of one query batch against one method."""
+
+    method: str
+    queries: int
+    physical_io_per_query: float
+    logical_io_per_query: float
+    response_time_per_query: float
+    results_per_query: float
+    selectivity: float
+
+    def as_row(self) -> dict:
+        """Flat dict for table printing."""
+        return {
+            "method": self.method,
+            "queries": self.queries,
+            "physical I/O": round(self.physical_io_per_query, 1),
+            "logical I/O": round(self.logical_io_per_query, 1),
+            "time [ms]": round(self.response_time_per_query * 1000, 3),
+            "avg results": round(self.results_per_query, 1),
+            "selectivity [%]": round(self.selectivity * 100, 3),
+        }
+
+
+def run_query_batch(method: AccessMethod,
+                    queries: Sequence[QueryInterval],
+                    cold_start: bool = True) -> BatchResult:
+    """Run ``queries`` against ``method`` and aggregate the measurements."""
+    if not queries:
+        raise ValueError("empty query batch")
+    if cold_start:
+        method.db.clear_cache()
+    total_results = 0
+    stats = method.db.stats
+    before = stats.snapshot()
+    started = time.perf_counter()
+    for lower, upper in queries:
+        total_results += len(method.intersection(lower, upper))
+    elapsed = time.perf_counter() - started
+    delta = stats.snapshot() - before
+    count = len(queries)
+    n = max(method.interval_count, 1)
+    return BatchResult(
+        method=method.method_name,
+        queries=count,
+        physical_io_per_query=delta.physical_reads / count,
+        logical_io_per_query=delta.logical_reads / count,
+        response_time_per_query=elapsed / count,
+        results_per_query=total_results / count,
+        selectivity=(total_results / count) / n,
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure: labelled rows plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        """Append a result row (keys must match ``columns``)."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form observation."""
+        self.notes.append(text)
+
+    def to_markdown(self) -> str:
+        """Render rows as a GitHub-style markdown table."""
+        lines = [f"### {self.experiment_id}: {self.title}",
+                 f"*Paper reference: {self.paper_reference}*", ""]
+        header = " | ".join(str(c) for c in self.columns)
+        separator = " | ".join("---" for _ in self.columns)
+        lines.append(f"| {header} |")
+        lines.append(f"| {separator} |")
+        for row in self.rows:
+            cells = " | ".join(str(row[c]) for c in self.columns)
+            lines.append(f"| {cells} |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"> {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.to_markdown())
+        print()
+
+    def series(self, x_column: str, y_column: str,
+               label_column: str = "method") -> dict[str, list[tuple]]:
+        """Group rows into figure series: label -> [(x, y), ...]."""
+        out: dict[str, list[tuple]] = {}
+        for row in self.rows:
+            out.setdefault(str(row[label_column]), []).append(
+                (row[x_column], row[y_column]))
+        return out

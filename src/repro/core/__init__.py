@@ -1,0 +1,57 @@
+"""The paper's primary contribution: the Relational Interval Tree.
+
+Public surface:
+
+* :class:`~repro.core.ritree.RITree` -- the access method (Sections 3-4);
+* :class:`~repro.core.temporal.TemporalRITree` -- ``now``/``infinity``
+  support (Section 4.6);
+* :mod:`~repro.core.topology` -- Allen's 13 relation queries (Section 4.5);
+* :class:`~repro.core.backbone.VirtualBackbone` and
+  :func:`~repro.core.transient.collect_query_nodes` -- the virtual primary
+  structure and transient query tables, exposed for inspection and tests;
+* :class:`~repro.core.access.AccessMethod` -- the interface shared with the
+  competitor methods in :mod:`repro.methods`.
+"""
+
+from .access import AccessMethod, IntervalRecord
+from .backbone import (
+    MAX_ABS_BOUND,
+    BackboneParams,
+    FixedHeightBackbone,
+    VirtualBackbone,
+)
+from .costmodel import QueryEstimate, RITreeCostModel
+from .interval import Interval, validate_interval
+from .ritree import RITree
+from .strings import StringIntervalTree, string_code
+from .temporal import (
+    FORK_INF,
+    FORK_NOW,
+    UPPER_INF,
+    UPPER_NOW,
+    TemporalRITree,
+)
+from .transient import QueryNodes, collect_query_nodes
+
+__all__ = [
+    "AccessMethod",
+    "BackboneParams",
+    "FixedHeightBackbone",
+    "FORK_INF",
+    "FORK_NOW",
+    "Interval",
+    "IntervalRecord",
+    "MAX_ABS_BOUND",
+    "QueryEstimate",
+    "QueryNodes",
+    "RITree",
+    "RITreeCostModel",
+    "StringIntervalTree",
+    "TemporalRITree",
+    "string_code",
+    "UPPER_INF",
+    "UPPER_NOW",
+    "VirtualBackbone",
+    "collect_query_nodes",
+    "validate_interval",
+]

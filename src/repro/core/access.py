@@ -1,0 +1,94 @@
+"""The access-method interface shared by the RI-tree and all competitors.
+
+Every interval access method in this reproduction -- the RI-tree itself and
+the competitors of Section 2 (Tile Index, IST, MAP21, Window-List) -- exposes
+the same contract so that the benchmark harness (:mod:`repro.bench`) can
+swap them freely, mirroring how the paper runs identical query workloads
+against each technique.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from ..engine.database import Database
+
+#: An interval record handed to access methods: (lower, upper, id).
+IntervalRecord = tuple[int, int, int]
+
+
+class AccessMethod(ABC):
+    """Abstract interval access method over the storage engine.
+
+    Subclasses own one or more tables/indexes inside ``self.db`` and
+    implement intersection queries over closed integer intervals.
+    """
+
+    #: Short name used in benchmark output rows.
+    method_name: str = "abstract"
+
+    def __init__(self, db: Database | None = None) -> None:
+        self.db = db if db is not None else Database()
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def insert(self, lower: int, upper: int, interval_id: int) -> None:
+        """Register the interval ``[lower, upper]`` under ``interval_id``."""
+
+    @abstractmethod
+    def delete(self, lower: int, upper: int, interval_id: int) -> None:
+        """Remove a previously inserted interval.
+
+        Raises :class:`KeyError` when the exact record is absent.
+        """
+
+    def bulk_load(self, intervals: Sequence[IntervalRecord]) -> None:
+        """Load many intervals at once.
+
+        The default implementation is an insert loop; methods with a
+        bottom-up build (everything engine-backed here) override it.
+        """
+        for lower, upper, interval_id in intervals:
+            self.insert(lower, upper, interval_id)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def intersection(self, lower: int, upper: int) -> list[int]:
+        """Ids of all stored intervals intersecting ``[lower, upper]``."""
+
+    def stab(self, point: int) -> list[int]:
+        """Stabbing query: intervals containing ``point``."""
+        return self.intersection(point, point)
+
+    # ------------------------------------------------------------------
+    # accounting (Figure 12's storage metric and general bookkeeping)
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def interval_count(self) -> int:
+        """Number of stored intervals."""
+
+    @property
+    @abstractmethod
+    def index_entry_count(self) -> int:
+        """Total index entries -- the y-axis of the paper's Figure 12."""
+
+    @property
+    def redundancy(self) -> float:
+        """Index entries per stored interval (T-index's problem metric)."""
+        if self.interval_count == 0:
+            return 0.0
+        return self.index_entry_count / self.interval_count
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def extend(self, intervals: Iterable[IntervalRecord]) -> None:
+        """Insert many intervals one by one (dynamic workload)."""
+        for lower, upper, interval_id in intervals:
+            self.insert(lower, upper, interval_id)

@@ -1,0 +1,270 @@
+"""The virtual backbone of the Relational Interval Tree.
+
+This module is the heart of the paper's Section 3: a binary search tree over
+the integer domain that is *never materialised*.  All navigation happens with
+integer arithmetic ("consuming no I/O operations", Section 3.3), and the only
+persistent state is the O(1) parameter set of Section 3.4:
+
+``offset``
+    Shift fixed at the first insertion so the data space starts near 0.
+``left_root`` / ``right_root``
+    Roots of the negative and positive subtrees under the global root 0,
+    each growing by doubling as the data space expands at either end.
+``minstep``
+    The smallest descent step at which any interval was registered; query
+    walks never descend below it (the Lemma of Section 3.4).  ``None`` means
+    "infinity" (nothing registered below the roots yet); ``0`` encodes the
+    paper's conceptual value 0.5 (an interval was registered at leaf level).
+
+The structure of the virtual tree: node values at *level i* are the odd
+multiples of ``2**i``; the root of a subtree spanning ``(0, 2*R)`` is ``R``.
+An interval ``(l, u)`` is registered at its *fork node*, the topmost node
+``w`` with ``l <= w <= u`` (Figure 3), found by bisection (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .interval import validate_interval
+
+#: Guard on interval bounds so that reserved fork values for ``now`` and
+#: ``infinity`` (Section 4.6) can never collide with a real backbone node.
+MAX_ABS_BOUND = 2 ** 48
+
+
+@dataclass
+class BackboneParams:
+    """A snapshot of the O(1) persistent parameter set (for tests/benches)."""
+
+    offset: Optional[int]
+    left_root: int
+    right_root: int
+    minstep: Optional[int]
+
+
+class VirtualBackbone:
+    """Virtual primary structure with dynamic data-space expansion.
+
+    All coordinates handed to :meth:`register` and :meth:`fork_node` are raw
+    (unshifted) interval bounds; the backbone applies ``offset`` internally
+    and reports *shifted* node values -- the values stored in the ``node``
+    column of the relational schema (Figure 6 stores the shifted node but the
+    unshifted bounds).
+    """
+
+    #: Whether the data space adapts (offset + doubling roots, Section 3.4).
+    #: The fixed-height "basic version" of Section 3.3 turns this off.
+    adaptive = True
+
+    def __init__(self, use_minstep: bool = True) -> None:
+        self.offset: Optional[int] = None
+        self.left_root = 0
+        self.right_root = 0
+        self.minstep: Optional[int] = None
+        #: Query-walk pruning by registration granularity (Section 3.4
+        #: Lemma).  Disable only for the A3 ablation benchmark.
+        self.use_minstep = use_minstep
+
+    # ------------------------------------------------------------------
+    # registration (Figure 6)
+    # ------------------------------------------------------------------
+    def register(self, lower: int, upper: int) -> int:
+        """Compute the fork node for an insertion, updating all parameters.
+
+        Returns the shifted node value to store in the ``node`` column.
+        This is a faithful transcription of the paper's Figure 6.
+        """
+        validate_interval(lower, upper)
+        self._check_domain(lower, upper)
+        if self.offset is None:
+            if not self.adaptive:
+                raise ValueError(
+                    "non-adaptive backbone must be initialised with a "
+                    "fixed offset and roots")
+            self.offset = lower
+        l = lower - self.offset
+        u = upper - self.offset
+        if self.adaptive:
+            # Expand the data space at either end (doubling keeps it O(1)).
+            if u < 0 and l <= 2 * self.left_root:
+                self.left_root = -(2 ** _floor_log2(-l))
+            if 0 < l and u >= 2 * self.right_root:
+                self.right_root = 2 ** _floor_log2(u)
+        elif not (2 * self.left_root < l and u < 2 * self.right_root):
+            raise ValueError(
+                f"interval ({lower}, {upper}) outside the fixed data space "
+                f"({2 * self.left_root}, {2 * self.right_root}) "
+                "of a non-adaptive backbone")
+        node, step = self._descend(l, u)
+        if node != 0 and (self.minstep is None or step < self.minstep):
+            self.minstep = step
+        return node
+
+    def fork_node(self, lower: int, upper: int) -> int:
+        """Compute the fork node without mutating any parameter.
+
+        Used for deletions and for query-side reasoning; requires that the
+        interval lies inside the currently covered data space (which holds
+        for any interval previously registered, because roots only grow).
+        """
+        validate_interval(lower, upper)
+        if self.offset is None:
+            raise ValueError("fork_node on an empty backbone (no offset yet)")
+        l = lower - self.offset
+        u = upper - self.offset
+        node, _step = self._descend(l, u)
+        return node
+
+    def _descend(self, l: int, u: int) -> tuple[int, int]:
+        """Bisection descent of Figure 4/6; returns (fork, final step)."""
+        if u < 0:
+            node = self.left_root
+        elif 0 < l:
+            node = self.right_root
+        else:
+            return 0, 0
+        step = abs(node) // 2
+        while step >= 1:
+            if u < node:
+                node -= step
+            elif node < l:
+                node += step
+            else:
+                break
+            step //= 2
+        else:
+            # Loop exhausted: registered at leaf level; the paper's
+            # conceptual step 0.5 is stored as the integer 0.
+            step = 0
+        return node, step
+
+    # ------------------------------------------------------------------
+    # query-side walks (Sections 4.1-4.3)
+    # ------------------------------------------------------------------
+    def walk_toward(self, key_shifted: int) -> list[int]:
+        """Nodes on the path from the global root toward ``key_shifted``.
+
+        The walk starts at the global root 0, steps into the left or right
+        subtree, and bisects toward the key, stopping at ``minstep``
+        granularity -- "a query algorithm does not need to descend deeper
+        than to level i_min" (Section 3.4).  Purely arithmetical: no I/O.
+        """
+        path = [0]
+        key = key_shifted
+        if key == 0:
+            return path
+        if key < 0:
+            root = self.left_root
+        else:
+            root = self.right_root
+        if root == 0:
+            return path
+        prune = self.minstep if self.use_minstep else 0
+        node = root
+        step = abs(node) // 2
+        while True:
+            path.append(node)
+            if node == key:
+                break
+            if prune is None or step <= prune or step < 1:
+                break
+            if key < node:
+                node -= step
+            else:
+                node += step
+            step //= 2
+        return path
+
+    def shift(self, value: int) -> int:
+        """Raw coordinate -> shifted backbone coordinate."""
+        if self.offset is None:
+            raise ValueError("shift on an empty backbone")
+        return value - self.offset
+
+    # ------------------------------------------------------------------
+    # analysis (Section 3.5)
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True until the first registration fixes ``offset``."""
+        return self.offset is None
+
+    def params(self) -> BackboneParams:
+        """Snapshot of the persistent parameters."""
+        return BackboneParams(self.offset, self.left_root, self.right_root,
+                              self.minstep)
+
+    def height(self) -> int:
+        """Tree height ``log2(m) + 1`` per Section 3.5.
+
+        ``m = max(-left_root, right_root) / minstep`` where the stored
+        ``minstep`` value 0 stands for the conceptual 0.5 and ``None``
+        (infinity) clamps ``m`` to 1.  The height depends only on the
+        expansion and granularity of the data space -- never on the number
+        of stored intervals.
+        """
+        extent = max(-self.left_root, self.right_root)
+        if extent == 0:
+            return 1
+        if self.minstep is None:
+            m = 1.0
+        elif self.minstep == 0:
+            m = extent / 0.5
+        else:
+            m = extent / self.minstep
+        m = max(m, 1.0)
+        return int(_floor_log2(int(m))) + 1
+
+    @staticmethod
+    def node_level(node_shifted: int) -> int:
+        """Level of a (non-root) backbone node: odd multiples of 2^i sit at i."""
+        if node_shifted == 0:
+            raise ValueError("the global root 0 has no finite level")
+        value = abs(node_shifted)
+        level = 0
+        while value % 2 == 0:
+            value //= 2
+            level += 1
+        return level
+
+    def _check_domain(self, lower: int, upper: int) -> None:
+        anchor = self.offset if self.offset is not None else lower
+        if abs(lower - anchor) > MAX_ABS_BOUND or abs(upper - anchor) > MAX_ABS_BOUND:
+            raise ValueError(
+                f"interval ({lower}, {upper}) exceeds the supported data "
+                f"space of +/-2^48 around offset {anchor}")
+
+
+class FixedHeightBackbone(VirtualBackbone):
+    """The "basic version" of Section 3.3: a static tree of height ``h``.
+
+    "In the basic version, the root node is set to 2^(h-1)" and the data
+    space is fixed to ``[1, 2^h - 1]``.  No offset shifting, no root
+    doubling -- the structure the dynamic expansion of Section 3.4
+    improves on.  Used by the A2 ablation benchmark.
+    """
+
+    adaptive = False
+
+    def __init__(self, height: int, use_minstep: bool = True) -> None:
+        if height < 1:
+            raise ValueError(f"height must be positive, got {height}")
+        super().__init__(use_minstep=use_minstep)
+        self.offset = 0
+        self.fixed_height = height
+        self.right_root = 2 ** (height - 1)
+        self.left_root = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """A fixed backbone always has a defined data space."""
+        return False
+
+
+def _floor_log2(value: int) -> int:
+    """``floor(log2(value))`` for positive integers, exactly."""
+    if value < 1:
+        raise ValueError(f"log2 of non-positive value {value}")
+    return value.bit_length() - 1

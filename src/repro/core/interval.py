@@ -1,0 +1,53 @@
+"""The interval value type used across the library.
+
+Intervals are closed ranges ``[lower, upper]`` over the integers, exactly as
+in the paper: bounding points come from a discrete domain (the evaluation
+uses ``[0, 2^20 - 1]``), and points are represented by degenerate intervals
+``(p, p)`` (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Interval(NamedTuple):
+    """A closed integer interval ``[lower, upper]``."""
+
+    lower: int
+    upper: int
+
+    @property
+    def length(self) -> int:
+        """``upper - lower`` (0 for points), the paper's duration measure."""
+        return self.upper - self.lower
+
+    @property
+    def is_point(self) -> bool:
+        """Whether this is a degenerate interval ``(p, p)``."""
+        return self.lower == self.upper
+
+    def intersects(self, other: "Interval") -> bool:
+        """Closed-interval intersection predicate (the paper's core query)."""
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    def contains_point(self, point: int) -> bool:
+        """Whether ``point`` lies inside the interval (stabbing predicate)."""
+        return self.lower <= point <= self.upper
+
+    def contains(self, other: "Interval") -> bool:
+        """Whether ``other`` lies fully inside this interval (non-strict)."""
+        return self.lower <= other.lower and other.upper <= self.upper
+
+    def __str__(self) -> str:
+        return f"[{self.lower}, {self.upper}]"
+
+
+def validate_interval(lower: int, upper: int) -> None:
+    """Reject malformed bounds early with a clear message."""
+    if not isinstance(lower, int) or not isinstance(upper, int):
+        raise TypeError(
+            f"interval bounds must be integers, got ({lower!r}, {upper!r})")
+    if lower > upper:
+        raise ValueError(
+            f"interval lower bound {lower} exceeds upper bound {upper}")

@@ -1,0 +1,260 @@
+"""The Relational Interval Tree over the storage engine.
+
+This is the paper's primary contribution assembled from its parts: the
+relational schema of Figure 2, the insertion procedure of Figure 6, and the
+two-branch intersection query of Figure 9 executed with the access plan of
+Figure 10 (nested loop over the transient node collections, one index range
+scan per node entry, no duplicate elimination).
+
+Storage layout (Figure 2, with ``id`` included in the indexes as in
+Section 4.3's execution plan)::
+
+    CREATE TABLE Intervals (node int, lower int, upper int, id int);
+    CREATE INDEX lowerIndex ON Intervals (node, lower, id);
+    CREATE INDEX upperIndex ON Intervals (node, upper, id);
+
+Complexities (Sections 3.3 and 4.4): O(n/b) space, O(log_b n) insert and
+delete, O(h * log_b n + r/b) intersection query where ``h`` is the virtual
+backbone height -- independent of ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..engine.database import Database
+from .access import AccessMethod, IntervalRecord
+from .backbone import VirtualBackbone
+from .interval import validate_interval
+from .transient import QueryNodes, collect_query_nodes
+
+
+class RITree(AccessMethod):
+    """Relational Interval Tree: dynamic interval index on two B+-trees.
+
+    Parameters
+    ----------
+    db:
+        Storage engine instance to create the relation in; a private one
+        (2 KB blocks, 200-block cache -- the paper's setup) when omitted.
+    name:
+        Relation name, so several trees can share one database.
+
+    Example
+    -------
+    >>> tree = RITree()
+    >>> tree.insert(3, 9, interval_id=1)
+    >>> tree.insert(5, 15, interval_id=2)
+    >>> sorted(tree.intersection(8, 12))
+    [1, 2]
+    """
+
+    method_name = "RI-tree"
+
+    def __init__(self, db: Optional[Database] = None,
+                 name: str = "Intervals",
+                 backbone: Optional[VirtualBackbone] = None) -> None:
+        super().__init__(db)
+        self.backbone = backbone if backbone is not None else VirtualBackbone()
+        self.table = self.db.create_table(name, ["node", "lower", "upper", "id"])
+        self.table.create_index("lowerIndex", ["node", "lower", "id"])
+        self.table.create_index("upperIndex", ["node", "upper", "id"])
+        # Extension hook (Section 4.6): extra fork nodes whose entries are
+        # injected into the rightNodes scan list at query time.
+        self._extra_right_nodes: list[Callable[[int, int], Optional[int]]] = []
+        # Conservative data-space envelope (never shrunk by deletions);
+        # used by the before/after topological queries.
+        self._min_lower: Optional[int] = None
+        self._max_upper: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # updates (Section 3.3 / Figure 6)
+    # ------------------------------------------------------------------
+    def insert(self, lower: int, upper: int, interval_id: int) -> None:
+        """Insert ``[lower, upper]`` with ``interval_id`` (O(log_b n) I/Os).
+
+        The fork node is computed arithmetically (no I/O); the relational
+        insert maintains both composite indexes.
+        """
+        node = self.backbone.register(lower, upper)
+        self.table.insert((node, lower, upper, interval_id))
+        self._note_bounds(lower, upper)
+
+    def delete(self, lower: int, upper: int, interval_id: int) -> None:
+        """Delete the exact record ``(lower, upper, interval_id)``.
+
+        The fork node is recomputed -- it is a structural property of the
+        interval, stable under the monotonic root expansion -- and the row
+        is located by an exact scan of the lowerIndex.
+        """
+        validate_interval(lower, upper)
+        if self.backbone.is_empty:
+            raise KeyError((lower, upper, interval_id))
+        node = self.backbone.fork_node(lower, upper)
+        key = (node, lower, interval_id)
+        for entry in self.table.index_scan("lowerIndex", key, key):
+            rowid = entry[3]
+            # The lowerIndex key omits the upper bound; confirm it on the
+            # base row so deleting (l, u, id) cannot remove (l, u', id).
+            if self.table.fetch(rowid)[2] == upper:
+                self.table.delete(rowid)
+                return
+        raise KeyError((lower, upper, interval_id))
+
+    def bulk_load(self, intervals: Sequence[IntervalRecord]) -> None:
+        """Bottom-up load: register all fork nodes, then build the indexes."""
+        rows = []
+        for lower, upper, interval_id in intervals:
+            node = self.backbone.register(lower, upper)
+            rows.append((node, lower, upper, interval_id))
+            self._note_bounds(lower, upper)
+        self.table.bulk_load(rows)
+
+    # ------------------------------------------------------------------
+    # queries (Section 4 / Figures 9 and 10)
+    # ------------------------------------------------------------------
+    def intersection(self, lower: int, upper: int) -> list[int]:
+        """Ids of all intervals intersecting ``[lower, upper]``.
+
+        Executes the final two-branch query of Figure 9:
+
+        * for each ``(min, max)`` in the transient ``leftNodes``: an index
+          range scan of the upperIndex restricted to ``upper >= lower``;
+        * for each node in ``rightNodes``: an index range scan of the
+          lowerIndex restricted to ``lower <= upper``.
+
+        The result is duplicate-free by construction (Section 4.2).
+        """
+        validate_interval(lower, upper)
+        return list(self._run_query(lower, upper))
+
+    def query_nodes(self, lower: int, upper: int) -> QueryNodes:
+        """The transient node collections for a query (exposed for tests)."""
+        validate_interval(lower, upper)
+        return collect_query_nodes(self.backbone, lower, upper)
+
+    def _run_query(self, lower: int, upper: int) -> Iterator[int]:
+        if self.backbone.is_empty:
+            if not self._extra_right_nodes:
+                return
+            query_nodes = QueryNodes()
+        else:
+            query_nodes = collect_query_nodes(self.backbone, lower, upper)
+        for node in self._collect_extra_right_nodes(lower, upper):
+            query_nodes.right.append(node)
+        # Branch 1: leftNodes JOIN upperIndex (node range, upper >= :lower).
+        for node_min, node_max in query_nodes.left:
+            if node_min == node_max:
+                scan = self.table.index_scan(
+                    "upperIndex", (node_min, lower), (node_max,))
+            else:
+                # Covered node range: the Section 4.3 lemma makes the
+                # residual predicate implicit, so the scan is pure.
+                scan = self.table.index_scan(
+                    "upperIndex", (node_min,), (node_max,))
+            for entry in scan:
+                yield entry[2]
+        # Branch 2: rightNodes JOIN lowerIndex (node equality, lower <= :upper).
+        for node in query_nodes.right:
+            for entry in self.table.index_scan(
+                    "lowerIndex", (node,), (node, upper)):
+                yield entry[2]
+
+    def intersection_records(self, lower: int,
+                             upper: int) -> Iterator[tuple[int, int, int]]:
+        """Like :meth:`intersection`, but yields ``(lower, upper, id)``.
+
+        Each index entry carries only one interval bound, so the other one
+        is fetched from the base table by rowid -- the classical "table
+        access by index rowid" step.  Used by the topological queries of
+        Section 4.5, which refine on both bounds.
+        """
+        validate_interval(lower, upper)
+        if self.backbone.is_empty:
+            return
+        query_nodes = collect_query_nodes(self.backbone, lower, upper)
+        for node in self._collect_extra_right_nodes(lower, upper):
+            query_nodes.right.append(node)
+        for node_min, node_max in query_nodes.left:
+            if node_min == node_max:
+                scan = self.table.index_scan(
+                    "upperIndex", (node_min, lower), (node_max,))
+            else:
+                scan = self.table.index_scan(
+                    "upperIndex", (node_min,), (node_max,))
+            for entry in scan:
+                row = self.table.fetch(entry[3])
+                yield row[1], row[2], row[3]
+        for node in query_nodes.right:
+            for entry in self.table.index_scan(
+                    "lowerIndex", (node,), (node, upper)):
+                row = self.table.fetch(entry[3])
+                yield row[1], row[2], row[3]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def min_lower(self) -> Optional[int]:
+        """Smallest lower bound ever inserted (conservative under deletes)."""
+        return self._min_lower
+
+    @property
+    def max_upper(self) -> Optional[int]:
+        """Largest upper bound ever inserted (conservative under deletes)."""
+        return self._max_upper
+
+    def _note_bounds(self, lower: int, upper: int) -> None:
+        if self._min_lower is None or lower < self._min_lower:
+            self._min_lower = lower
+        if self._max_upper is None or upper > self._max_upper:
+            self._max_upper = upper
+
+    @property
+    def interval_count(self) -> int:
+        """Number of stored intervals."""
+        return self.table.row_count
+
+    @property
+    def index_entry_count(self) -> int:
+        """Two index entries per interval (Figure 12: ``2n``)."""
+        return sum(len(index.tree) for index in self.table.indexes.values())
+
+    @property
+    def height(self) -> int:
+        """Current virtual backbone height (Section 3.5)."""
+        return self.backbone.height()
+
+    # ------------------------------------------------------------------
+    # extension hook (used by repro.core.temporal)
+    # ------------------------------------------------------------------
+    def add_right_node_hook(
+            self, hook: Callable[[int, int], Optional[int]]) -> None:
+        """Register a query-time hook returning an extra rightNodes entry.
+
+        The hook receives the raw query bounds and returns a *shifted* node
+        value to scan, or ``None``.  Section 4.6 uses this for the reserved
+        ``infinity`` and ``now`` fork nodes.
+        """
+        self._extra_right_nodes.append(hook)
+
+    def _collect_extra_right_nodes(self, lower: int,
+                                   upper: int) -> Iterator[int]:
+        for hook in self._extra_right_nodes:
+            node = hook(lower, upper)
+            if node is not None:
+                yield node
+
+    def _store_at_node(self, node: int, lower: int, upper: int,
+                       interval_id: int) -> None:
+        """Store a row at an explicit (reserved) fork node -- Section 4.6."""
+        self.table.insert((node, lower, upper, interval_id))
+
+    def _delete_at_node(self, node: int, lower: int,
+                        interval_id: int) -> None:
+        """Delete a row stored at an explicit fork node."""
+        key = (node, lower, interval_id)
+        for entry in self.table.index_scan("lowerIndex", key, key):
+            self.table.delete(entry[3])
+            return
+        raise KeyError((node, lower, interval_id))

@@ -1,0 +1,143 @@
+"""String intervals on the RI-tree (paper Section 7).
+
+The paper's conclusion names the management of *string intervals* as a
+promising extension: ranges over an ordered string domain, e.g. name ranges
+``["Anderson", "Curie"]`` in a directory, or key ranges in a distributed
+catalogue.  The backbone needs integer coordinates, so strings must be
+mapped order-preservingly onto integers.
+
+This module uses a *prefix quantisation*: a string maps to the integer
+value of its first ``prefix_bytes`` bytes (big-endian, zero-padded).  The
+mapping is monotone -- ``a <= b`` implies ``code(a) <= code(b)`` -- so a
+string interval maps to an integer interval that *covers* it, and an
+integer-level intersection query returns a candidate superset.  Candidates
+are refined against the exact stored strings, which the tree keeps in a
+side dictionary; only intervals whose bounds share a full prefix with the
+query bounds can appear as false positives, so the refinement overhead is
+bounded by the prefix collision rate (measurable via
+:attr:`StringIntervalTree.code_collision_rate`).
+
+This is the role the paper's Skeleton-Index remark assigns to a partial
+materialisation of the primary structure: fixing a data-distribution-aware
+discretisation of an unbounded, non-numeric domain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.database import Database
+from .ritree import RITree
+
+#: Bytes of the string participating in the integer code.  Five bytes keep
+#: codes within the backbone's +/-2^48 data-space guard.
+DEFAULT_PREFIX_BYTES = 5
+
+
+def string_code(text: str, prefix_bytes: int = DEFAULT_PREFIX_BYTES) -> int:
+    """Order-preserving integer code of a string's byte prefix."""
+    raw = text.encode("utf-8")[:prefix_bytes]
+    return int.from_bytes(raw.ljust(prefix_bytes, b"\x00"), "big")
+
+
+class StringIntervalTree:
+    """Intervals over an ordered string domain, indexed by an RI-tree.
+
+    Example
+    -------
+    >>> tree = StringIntervalTree()
+    >>> tree.insert("baker", "dodgson", interval_id=1)
+    >>> tree.insert("adams", "curie", interval_id=2)
+    >>> sorted(tree.intersection("cantor", "euler"))
+    [1, 2]
+    """
+
+    def __init__(self, db: Optional[Database] = None,
+                 prefix_bytes: int = DEFAULT_PREFIX_BYTES,
+                 name: str = "StringIntervals") -> None:
+        if not 1 <= prefix_bytes <= 5:
+            raise ValueError(
+                f"prefix_bytes {prefix_bytes} outside [1, 5] (backbone "
+                "coordinates are capped at 2^48)")
+        self.prefix_bytes = prefix_bytes
+        self._tree = RITree(db, name=name)
+        self._bounds: dict[int, tuple[str, str]] = {}
+        self._collisions = 0
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, lower: str, upper: str, interval_id: int) -> None:
+        """Insert the closed string interval ``[lower, upper]``."""
+        self._check_order(lower, upper)
+        if interval_id in self._bounds:
+            raise KeyError(f"duplicate id {interval_id}")
+        code_lower = string_code(lower, self.prefix_bytes)
+        code_upper = string_code(upper, self.prefix_bytes)
+        if code_lower == code_upper and lower != upper:
+            self._collisions += 1
+        self._tree.insert(code_lower, code_upper, interval_id)
+        self._bounds[interval_id] = (lower, upper)
+
+    def delete(self, lower: str, upper: str, interval_id: int) -> None:
+        """Delete a previously inserted string interval."""
+        stored = self._bounds.get(interval_id)
+        if stored != (lower, upper):
+            raise KeyError((lower, upper, interval_id))
+        self._tree.delete(string_code(lower, self.prefix_bytes),
+                          string_code(upper, self.prefix_bytes), interval_id)
+        del self._bounds[interval_id]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def intersection(self, lower: str, upper: str) -> list[int]:
+        """Ids of stored string intervals intersecting ``[lower, upper]``.
+
+        Quantised candidates are refined against the exact bounds, so the
+        result is exact whatever the prefix collision rate.
+        """
+        self._check_order(lower, upper)
+        code_lower = string_code(lower, self.prefix_bytes)
+        code_upper = string_code(upper, self.prefix_bytes)
+        results = []
+        for interval_id in self._tree.intersection(code_lower, code_upper):
+            stored_lower, stored_upper = self._bounds[interval_id]
+            if stored_lower <= upper and stored_upper >= lower:
+                results.append(interval_id)
+        return results
+
+    def stab(self, point: str) -> list[int]:
+        """Ids of stored string intervals containing ``point``."""
+        return self.intersection(point, point)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def interval_count(self) -> int:
+        """Number of stored string intervals."""
+        return self._tree.interval_count
+
+    @property
+    def code_collision_rate(self) -> float:
+        """Fraction of intervals whose bounds collapsed to one code.
+
+        A high rate signals that ``prefix_bytes`` is too coarse for the
+        data (e.g. keys sharing long prefixes) and refinement work grows.
+        """
+        if not self._bounds:
+            return 0.0
+        return self._collisions / len(self._bounds)
+
+    @property
+    def backbone_height(self) -> int:
+        """Height of the underlying integer backbone."""
+        return self._tree.height
+
+    def _check_order(self, lower: str, upper: str) -> None:
+        if not isinstance(lower, str) or not isinstance(upper, str):
+            raise TypeError("string intervals need str bounds")
+        if lower > upper:
+            raise ValueError(
+                f"interval lower bound {lower!r} exceeds {upper!r}")

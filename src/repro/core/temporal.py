@@ -1,0 +1,184 @@
+"""Temporal extension: the special values ``now`` and ``infinity``.
+
+Paper Section 4.6: valid-time intervals may end at *infinity* (open-ended)
+or at *now* (growing with the clock).  Managing them in separate structures
+would cost extra (sub)queries per search; the RI-tree instead reserves two
+artificial fork-node values:
+
+* ``FORK_INF`` for intervals ending at infinity.  It is always injected
+  into the transient ``rightNodes`` list, so the lower bounds of infinite
+  intervals are tested against the query's upper bound -- exactly the
+  intersection condition for ``[s, oo)``.
+* ``FORK_NOW`` for now-relative intervals.  It is injected exactly when the
+  query begins in the past (``lower <= now``), because ``[s, now]``
+  intersects ``[l, u]`` iff ``s <= u`` (checked by the scan) and ``l <= now``
+  (checked by the injection condition).
+
+The paper chooses ``MAXINT`` / ``MAXINT - 1``; this implementation reserves
+two values far above any reachable backbone node (bounds are capped at
+±2^48, so shifted nodes stay below 2^49 < ``FORK_NOW``).  Crucially, *no
+modification of the query statement is needed* -- the reserved nodes ride
+along the ordinary rightNodes scan, which is the point of Section 4.6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.database import Database
+from .interval import validate_interval
+from .ritree import RITree
+
+#: Reserved fork node for intervals ending at infinity ("MAXINT").
+FORK_INF = 2 ** 50
+#: Reserved fork node for now-relative intervals ("MAXINT - 1").
+FORK_NOW = 2 ** 50 - 1
+#: Raw ``upper`` column value stored for infinite intervals.
+UPPER_INF = 2 ** 60
+#: Raw ``upper`` column value stored for now-relative intervals.  The true
+#: upper bound is the query-time clock; this sentinel never participates in
+#: comparisons because the reserved-node scans only constrain ``lower``.
+UPPER_NOW = 2 ** 60 - 1
+
+
+class TemporalRITree(RITree):
+    """RI-tree managing finite, infinite and now-relative intervals.
+
+    Parameters
+    ----------
+    db, name:
+        As for :class:`~repro.core.ritree.RITree`.
+    now:
+        Initial clock value.  The clock only moves forward
+        (:meth:`advance_to`), matching transaction/valid-time semantics.
+
+    Example
+    -------
+    >>> tree = TemporalRITree(now=100)
+    >>> tree.insert(10, 20, interval_id=1)        # closed history record
+    >>> tree.insert_until_now(50, interval_id=2)  # [50, now]
+    >>> tree.insert_infinite(80, interval_id=3)   # [80, oo)
+    >>> sorted(tree.intersection(90, 95))
+    [2, 3]
+    >>> tree.advance_to(200)
+    >>> sorted(tree.intersection(150, 160))
+    [2, 3]
+    """
+
+    method_name = "RI-tree(temporal)"
+
+    def __init__(self, db: Optional[Database] = None,
+                 name: str = "Intervals", now: int = 0) -> None:
+        super().__init__(db, name)
+        self._now = now
+        self._infinite_count = 0
+        self._now_count = 0
+        self.add_right_node_hook(self._infinity_node)
+        self.add_right_node_hook(self._now_node)
+
+    # ------------------------------------------------------------------
+    # the clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current clock value used for now-relative semantics."""
+        return self._now
+
+    def advance_to(self, timestamp: int) -> None:
+        """Move the clock forward; time never runs backwards."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"clock moves forward only: {timestamp} < now={self._now}")
+        self._now = timestamp
+
+    # ------------------------------------------------------------------
+    # updates for special intervals
+    # ------------------------------------------------------------------
+    def insert_infinite(self, lower: int, interval_id: int) -> None:
+        """Insert the open-ended interval ``[lower, infinity)``."""
+        self._ensure_offset(lower)
+        self._store_at_node(FORK_INF, lower, UPPER_INF, interval_id)
+        self._note_bounds(lower, UPPER_INF)
+        self._infinite_count += 1
+
+    def insert_until_now(self, lower: int, interval_id: int) -> None:
+        """Insert the now-relative interval ``[lower, now]``.
+
+        The interval's position in the tree never needs maintenance as the
+        clock ticks -- that is the point of the reserved fork node.
+        """
+        if lower > self._now:
+            raise ValueError(
+                f"now-relative interval starts at {lower}, after now="
+                f"{self._now}")
+        self._ensure_offset(lower)
+        self._store_at_node(FORK_NOW, lower, UPPER_NOW, interval_id)
+        self._note_bounds(lower, lower)
+        self._now_count += 1
+
+    def delete_infinite(self, lower: int, interval_id: int) -> None:
+        """Delete an infinite interval by its lower bound and id."""
+        self._delete_at_node(FORK_INF, lower, interval_id)
+        self._infinite_count -= 1
+
+    def delete_until_now(self, lower: int, interval_id: int) -> None:
+        """Delete a now-relative interval by its lower bound and id."""
+        self._delete_at_node(FORK_NOW, lower, interval_id)
+        self._now_count -= 1
+
+    def close_now_interval(self, lower: int, interval_id: int,
+                           upper: int) -> None:
+        """Terminate ``[lower, now]`` at a fixed ``upper`` (e.g. logical
+        deletion in a valid-time table): the record is re-registered as an
+        ordinary finite interval."""
+        validate_interval(lower, upper)
+        self.delete_until_now(lower, interval_id)
+        self.insert(lower, upper, interval_id)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def infinite_count(self) -> int:
+        """Number of stored ``[s, oo)`` intervals."""
+        return self._infinite_count
+
+    @property
+    def now_relative_count(self) -> int:
+        """Number of stored ``[s, now]`` intervals."""
+        return self._now_count
+
+    # ------------------------------------------------------------------
+    # record materialisation
+    # ------------------------------------------------------------------
+    def intersection_records(self, lower, upper):
+        """As in :class:`RITree`, with sentinel uppers materialised.
+
+        Now-relative records report their *effective* upper bound (the
+        current clock); infinite records keep the ``UPPER_INF`` sentinel,
+        which behaves as +infinity under every topological predicate.
+        """
+        for s, e, interval_id in super().intersection_records(lower, upper):
+            if e == UPPER_NOW:
+                yield s, self._now, interval_id
+            else:
+                yield s, e, interval_id
+
+    # ------------------------------------------------------------------
+    # query-time hooks (Section 4.6)
+    # ------------------------------------------------------------------
+    def _infinity_node(self, lower: int, upper: int) -> Optional[int]:
+        if self._infinite_count == 0:
+            return None
+        return FORK_INF
+
+    def _now_node(self, lower: int, upper: int) -> Optional[int]:
+        if self._now_count == 0 or lower > self._now:
+            return None
+        return FORK_NOW
+
+    def _ensure_offset(self, lower: int) -> None:
+        # Special intervals bypass Figure 6's registration, but queries
+        # still need the offset fixed; anchor it like a first insertion.
+        if self.backbone.offset is None:
+            self.backbone.offset = lower

@@ -1,0 +1,77 @@
+"""Transient query tables: ``leftNodes`` and ``rightNodes``.
+
+Section 4.2 of the paper: while descending the virtual backbone, the nodes
+whose secondary lists must be scanned "are collected in transient lists
+leftNodes and rightNodes ... causing no I/O effort".  Section 4.3 then folds
+the ``BETWEEN`` branch of the preliminary query (Figure 8) into ``leftNodes``
+by widening its schema from ``(node)`` to ``(min, max)`` -- justified by the
+two-part lemma proved there.  This module reproduces exactly that
+construction.
+
+``left`` entries are ``(min, max)`` node ranges scanned against the
+*upperIndex* with the residual predicate ``upper >= :lower``; ``right``
+entries are single nodes scanned against the *lowerIndex* with
+``lower <= :upper``.  The three original branches address disjoint node sets,
+so the result needs no duplicate elimination (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .backbone import VirtualBackbone
+from .interval import validate_interval
+
+
+@dataclass
+class QueryNodes:
+    """The two transient collections for one intersection query.
+
+    Node values are in *shifted* backbone coordinates, matching the ``node``
+    column of the relational schema.
+    """
+
+    left: list[tuple[int, int]] = field(default_factory=list)
+    right: list[int] = field(default_factory=list)
+
+    @property
+    def total_entries(self) -> int:
+        """Number of index range scans the query will perform (O(h))."""
+        return len(self.left) + len(self.right)
+
+
+def collect_query_nodes(backbone: VirtualBackbone, lower: int,
+                        upper: int) -> QueryNodes:
+    """Descend the virtual backbone for query ``[lower, upper]``.
+
+    Two bisection walks -- one toward each query bound -- cover the three
+    descents of the original algorithm (Section 4.1): the shared prefix down
+    to the query's fork node is visited by both walks, and each node is
+    classified at most once because no node is simultaneously left of
+    ``lower`` and right of ``upper``.
+
+    * nodes ``w < lower`` become singleton ``(w, w)`` ranges in ``left``
+      (their U(w) lists are scanned for ``upper >= lower``),
+    * nodes ``w > upper`` go to ``right`` (L(w) scanned for
+      ``lower <= upper``),
+    * nodes covered by the query are handled wholesale by the final
+      ``(lower, upper)`` range appended to ``left`` -- the Section 4.3
+      transformation, whose lemma guarantees the residual predicate
+      ``upper >= :lower`` filters nothing there.
+
+    Purely arithmetical; performs no I/O.
+    """
+    validate_interval(lower, upper)
+    query_nodes = QueryNodes()
+    if backbone.is_empty:
+        return query_nodes
+    l = backbone.shift(lower)
+    u = backbone.shift(upper)
+    for node in backbone.walk_toward(l):
+        if node < l:
+            query_nodes.left.append((node, node))
+    for node in backbone.walk_toward(u):
+        if node > u:
+            query_nodes.right.append(node)
+    query_nodes.left.append((l, u))
+    return query_nodes

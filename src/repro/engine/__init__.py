@@ -1,0 +1,58 @@
+"""Block-level relational storage substrate.
+
+This package simulates the parts of an Oracle8i-class RDBMS that the paper's
+experiments depend on: a block device with physical-I/O accounting, an LRU
+buffer cache, composite-key B+-tree indexes and heap tables.  See DESIGN.md
+section 3.1 for the substitution rationale.
+
+Typical use::
+
+    from repro.engine import Database
+
+    db = Database(block_size=2048, cache_blocks=200)
+    t = db.create_table("Intervals", ["node", "lower", "upper", "id"])
+    t.create_index("lowerIndex", ["node", "lower"])
+    t.create_index("upperIndex", ["node", "upper"])
+"""
+
+from .bptree import BPlusTree, DuplicateEntryError
+from .buffer import DEFAULT_CACHE_BLOCKS, BufferPool
+from .database import Database
+from .errors import (
+    BlockError,
+    BufferError_,
+    EngineError,
+    KeyNotFoundError,
+    SchemaError,
+    SerializationError,
+)
+from .heap import HeapFile
+from .serial import INT_MAX, INT_MIN, IntTupleCodec
+from .stats import IoSnapshot, IoStats, measure
+from .storage import DEFAULT_BLOCK_SIZE, DiskManager
+from .table import IndexDef, Table
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "BlockError",
+    "BufferError_",
+    "Database",
+    "DiskManager",
+    "DuplicateEntryError",
+    "EngineError",
+    "HeapFile",
+    "IndexDef",
+    "IntTupleCodec",
+    "IoSnapshot",
+    "IoStats",
+    "KeyNotFoundError",
+    "SchemaError",
+    "SerializationError",
+    "Table",
+    "measure",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CACHE_BLOCKS",
+    "INT_MAX",
+    "INT_MIN",
+]

@@ -1,0 +1,84 @@
+"""The database facade: catalog, buffer cache and I/O accounting.
+
+One :class:`Database` owns a simulated disk, a buffer pool sized like the
+paper's experimental setup (200 blocks of 2 KB, Section 6.1) and a catalog of
+tables.  Every structure created through it shares the same I/O counters, so
+``db.measure()`` observes exactly the physical block traffic a query causes
+-- the metric reported in the paper's Figures 13 and 14.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from .buffer import DEFAULT_CACHE_BLOCKS, BufferPool
+from .errors import SchemaError
+from .stats import IoSnapshot, IoStats
+from .stats import measure as _measure
+from .storage import DEFAULT_BLOCK_SIZE, DiskManager
+from .table import Table
+
+
+class Database:
+    """An in-process relational storage engine instance.
+
+    Parameters
+    ----------
+    block_size:
+        Disk block size in bytes (paper default: 2048).
+    cache_blocks:
+        Buffer cache capacity in blocks (paper default: 200).
+    """
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE,
+                 cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> None:
+        self.stats = IoStats()
+        self.disk = DiskManager(block_size=block_size, stats=self.stats)
+        self.pool = BufferPool(self.disk, capacity=cache_blocks,
+                               stats=self.stats)
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, columns: Sequence[str]) -> Table:
+        """Create a table of 64-bit integer columns."""
+        if name in self._tables:
+            raise SchemaError(f"table {name} already exists")
+        table = Table(self.pool, name, columns)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no such table: {name}") from None
+
+    def tables(self) -> Iterator[Table]:
+        """Iterate over all tables."""
+        return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def measure(self) -> Iterator[IoSnapshot]:
+        """Context manager yielding the I/O delta of the ``with`` body."""
+        with _measure(self.stats) as delta:
+            yield delta
+
+    def clear_cache(self) -> None:
+        """Flush and empty the buffer cache (for cold-cache measurements)."""
+        self.pool.clear()
+
+    def flush(self) -> None:
+        """Write back all dirty pages."""
+        self.pool.flush_all()
+
+    @property
+    def blocks_in_use(self) -> int:
+        """Allocated disk blocks -- the paper's storage metric."""
+        return self.disk.blocks_in_use

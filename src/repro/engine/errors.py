@@ -1,0 +1,36 @@
+"""Exception hierarchy for the storage engine.
+
+Every error raised by :mod:`repro.engine` derives from :class:`EngineError`
+so that callers can catch storage-layer failures without masking unrelated
+bugs.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class BlockError(EngineError):
+    """Raised for invalid block identifiers or corrupted block contents."""
+
+
+class BufferError_(EngineError):
+    """Raised when the buffer pool cannot satisfy a request.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`BufferError`.
+    """
+
+
+class SerializationError(EngineError):
+    """Raised when a record or page cannot be encoded or decoded."""
+
+
+class SchemaError(EngineError):
+    """Raised for catalog misuse: duplicate names, unknown tables, bad arity."""
+
+
+class KeyNotFoundError(EngineError):
+    """Raised when deleting an entry that is not present in an index."""

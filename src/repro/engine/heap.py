@@ -1,0 +1,232 @@
+"""Heap files: unordered base-table storage with stable row ids.
+
+A heap page stores fixed-width integer rows in slots; a slot is either live
+or dead (deleted).  Row ids encode ``(page, slot)`` as a single integer so
+they can be appended to index entries, which is how the engine's secondary
+indexes stay unambiguous even for duplicate key values.
+
+The free-slot directory is kept in memory and is rebuilt trivially because
+the simulated disk does not outlive the process; this matches how the engine
+is used by the benchmarks (build, query, discard).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .buffer import BufferPool
+from .errors import BlockError, SchemaError, SerializationError
+from .serial import PAGE_HEADER_SIZE, IntTupleCodec, pack_header, unpack_header
+
+#: Page type tag for heap pages.
+PAGE_HEAP = 3
+
+
+class HeapPage:
+    """Slots of fixed-width rows; ``None`` marks a dead slot."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: Optional[list[Optional[tuple[int, ...]]]] = None
+                 ) -> None:
+        self.slots: list[Optional[tuple[int, ...]]] = (
+            slots if slots is not None else [])
+
+    def to_bytes_with(self, codec: IntTupleCodec) -> bytes:
+        # Each slot is serialised as (live_flag, columns...).
+        flat: list[tuple[int, ...]] = []
+        dead = (0,) * codec.arity
+        for slot in self.slots:
+            if slot is None:
+                flat.append(dead)
+            else:
+                flat.append((1,) + slot)
+        header = pack_header(PAGE_HEAP, len(self.slots), 0)
+        return header + codec.pack_many(flat)
+
+    @classmethod
+    def from_bytes_with(cls, codec: IntTupleCodec, data: bytes) -> "HeapPage":
+        page_type, count, _aux = unpack_header(data)
+        if page_type != PAGE_HEAP:
+            raise SerializationError(f"expected heap page, found type {page_type}")
+        raw = codec.unpack_many(data[PAGE_HEADER_SIZE:], count)
+        slots: list[Optional[tuple[int, ...]]] = []
+        for record in raw:
+            if record[0] == 1:
+                slots.append(record[1:])
+            else:
+                slots.append(None)
+        return cls(slots)
+
+
+class _BoundHeap:
+    """Pairs a heap page with its codec for buffer-pool serialisation."""
+
+    __slots__ = ("page", "codec")
+
+    def __init__(self, page: HeapPage, codec: IntTupleCodec) -> None:
+        self.page = page
+        self.codec = codec
+
+    def to_bytes(self) -> bytes:
+        return self.page.to_bytes_with(self.codec)
+
+
+class HeapFile:
+    """An append-friendly collection of rows with delete-in-place.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool the file lives on.
+    arity:
+        Number of integer columns per row.
+    name:
+        Diagnostic name.
+    """
+
+    def __init__(self, pool: BufferPool, arity: int, name: str = "heap") -> None:
+        if arity < 1:
+            raise SchemaError("heap rows need at least one column")
+        self.pool = pool
+        self.name = name
+        self.arity = arity
+        # One extra column per slot holds the live flag.
+        self.codec = IntTupleCodec(arity + 1)
+        block_size = pool.disk.block_size
+        self.slots_per_page = (block_size - PAGE_HEADER_SIZE) // self.codec.entry_size
+        if self.slots_per_page < 1:
+            raise SchemaError(
+                f"block size {block_size} too small for heap arity {arity}")
+        self._page_ids: list[int] = []
+        self._pages_with_space: set[int] = set()
+        self.row_count = 0
+
+    # ------------------------------------------------------------------
+    # row id arithmetic
+    # ------------------------------------------------------------------
+    def _make_rowid(self, page_index: int, slot: int) -> int:
+        return page_index * self.slots_per_page + slot
+
+    def _split_rowid(self, rowid: int) -> tuple[int, int]:
+        page_index, slot = divmod(rowid, self.slots_per_page)
+        if not 0 <= page_index < len(self._page_ids):
+            raise BlockError(f"{self.name}: invalid rowid {rowid}")
+        return page_index, slot
+
+    # ------------------------------------------------------------------
+    # page access
+    # ------------------------------------------------------------------
+    def _load(self, data: bytes) -> _BoundHeap:
+        return _BoundHeap(HeapPage.from_bytes_with(self.codec, data), self.codec)
+
+    def _get_page(self, page_index: int) -> HeapPage:
+        return self.pool.get(self._page_ids[page_index], self._load).page
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def insert(self, row: tuple[int, ...]) -> int:
+        """Store a row; return its row id."""
+        self._check_arity(row)
+        if self._pages_with_space:
+            page_index = min(self._pages_with_space)
+            page = self._get_page(page_index)
+            block_id = self._page_ids[page_index]
+            for slot, existing in enumerate(page.slots):
+                if existing is None:
+                    page.slots[slot] = tuple(row)
+                    self.pool.mark_dirty(block_id)
+                    self._note_fill(page_index, page)
+                    self.row_count += 1
+                    return self._make_rowid(page_index, slot)
+            if len(page.slots) < self.slots_per_page:
+                page.slots.append(tuple(row))
+                self.pool.mark_dirty(block_id)
+                self._note_fill(page_index, page)
+                self.row_count += 1
+                return self._make_rowid(page_index, len(page.slots) - 1)
+            # Directory was stale; fall through to allocate a fresh page.
+            self._pages_with_space.discard(page_index)
+        block_id = self.pool.disk.allocate()
+        page = HeapPage([tuple(row)])
+        self.pool.put_new(block_id, _BoundHeap(page, self.codec))
+        self._page_ids.append(block_id)
+        page_index = len(self._page_ids) - 1
+        self._note_fill(page_index, page)
+        self.row_count += 1
+        return self._make_rowid(page_index, 0)
+
+    def fetch(self, rowid: int) -> tuple[int, ...]:
+        """Return the live row stored under ``rowid``."""
+        page_index, slot = self._split_rowid(rowid)
+        page = self._get_page(page_index)
+        if slot >= len(page.slots) or page.slots[slot] is None:
+            raise BlockError(f"{self.name}: rowid {rowid} is not live")
+        return page.slots[slot]
+
+    def delete(self, rowid: int) -> tuple[int, ...]:
+        """Kill the slot under ``rowid``; return the old row."""
+        page_index, slot = self._split_rowid(rowid)
+        page = self._get_page(page_index)
+        if slot >= len(page.slots) or page.slots[slot] is None:
+            raise BlockError(f"{self.name}: rowid {rowid} is not live")
+        row = page.slots[slot]
+        page.slots[slot] = None
+        self.pool.mark_dirty(self._page_ids[page_index])
+        self._pages_with_space.add(page_index)
+        self.row_count -= 1
+        return row
+
+    def scan(self) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """Yield ``(rowid, row)`` for every live row in storage order."""
+        for page_index in range(len(self._page_ids)):
+            page = self._get_page(page_index)
+            # Snapshot so consumer pauses survive eviction.
+            slots = list(page.slots)
+            for slot, row in enumerate(slots):
+                if row is not None:
+                    yield self._make_rowid(page_index, slot), row
+
+    def bulk_append(self, rows: list[tuple[int, ...]]) -> list[int]:
+        """Append many rows with direct page writes; return their row ids."""
+        rowids: list[int] = []
+        disk = self.pool.disk
+        position = 0
+        while position < len(rows):
+            chunk = rows[position:position + self.slots_per_page]
+            for row in chunk:
+                self._check_arity(row)
+            block_id = disk.allocate()
+            page = HeapPage([tuple(row) for row in chunk])
+            disk.write(block_id, page.to_bytes_with(self.codec))
+            self._page_ids.append(block_id)
+            page_index = len(self._page_ids) - 1
+            rowids.extend(self._make_rowid(page_index, slot)
+                          for slot in range(len(chunk)))
+            if len(chunk) < self.slots_per_page:
+                self._pages_with_space.add(page_index)
+            position += len(chunk)
+        self.row_count += len(rows)
+        return rowids
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages the heap occupies."""
+        return len(self._page_ids)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _note_fill(self, page_index: int, page: HeapPage) -> None:
+        full = (len(page.slots) >= self.slots_per_page
+                and all(slot is not None for slot in page.slots))
+        if full:
+            self._pages_with_space.discard(page_index)
+        else:
+            self._pages_with_space.add(page_index)
+
+    def _check_arity(self, row: tuple[int, ...]) -> None:
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"{self.name}: row arity {len(row)} != {self.arity}")

@@ -1,0 +1,114 @@
+"""Fixed-width record and page serialisation.
+
+All engine schemas in this reproduction are tuples of signed 64-bit integers
+(interval bounds, backbone node values, tile numbers, identifiers, row ids).
+Restricting the engine to one primitive type keeps page geometry exact and
+cheap: an entry of arity *k* occupies exactly ``8 * k`` bytes, so the number
+of entries per 2 KB block -- the quantity that drives every I/O figure in the
+paper -- is a simple function of the schema.
+
+:class:`IntTupleCodec` encodes a homogeneous sequence of such tuples with one
+:func:`struct.pack` call, which keeps (de)serialisation off the critical path
+of benchmark response times.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+from .errors import SerializationError
+
+#: Smallest/largest values storable in an engine column.  Also used as
+#: open-bound sentinels when padding range-scan prefixes.
+INT_MIN = -(2 ** 63)
+INT_MAX = 2 ** 63 - 1
+
+
+class IntTupleCodec:
+    """Codec for lists of fixed-arity signed 64-bit integer tuples."""
+
+    __slots__ = ("arity", "entry_size", "_single")
+
+    def __init__(self, arity: int) -> None:
+        if arity < 1:
+            raise SerializationError(f"arity must be positive, got {arity}")
+        self.arity = arity
+        self.entry_size = 8 * arity
+        self._single = struct.Struct(f"<{arity}q")
+
+    def pack_many(self, entries: Sequence[tuple[int, ...]]) -> bytes:
+        """Encode ``entries`` back to back."""
+        count = len(entries)
+        if count == 0:
+            return b""
+        flat: list[int] = []
+        for entry in entries:
+            flat.extend(entry)
+        try:
+            return struct.pack(f"<{count * self.arity}q", *flat)
+        except struct.error as exc:
+            raise SerializationError(str(exc)) from exc
+
+    def unpack_many(self, data: bytes, count: int) -> list[tuple[int, ...]]:
+        """Decode ``count`` consecutive entries from ``data``."""
+        if count == 0:
+            return []
+        needed = count * self.entry_size
+        if len(data) < needed:
+            raise SerializationError(
+                f"need {needed} bytes for {count} entries, have {len(data)}"
+            )
+        flat = struct.unpack(f"<{count * self.arity}q", data[:needed])
+        arity = self.arity
+        return [tuple(flat[i:i + arity]) for i in range(0, len(flat), arity)]
+
+    def pack_one(self, entry: tuple[int, ...]) -> bytes:
+        """Encode a single entry."""
+        try:
+            return self._single.pack(*entry)
+        except struct.error as exc:
+            raise SerializationError(str(exc)) from exc
+
+    def unpack_one(self, data: bytes, offset: int = 0) -> tuple[int, ...]:
+        """Decode a single entry starting at ``offset``."""
+        try:
+            return self._single.unpack_from(data, offset)
+        except struct.error as exc:
+            raise SerializationError(str(exc)) from exc
+
+
+#: Page header: page type tag (1 byte), entry count (4 bytes),
+#: auxiliary block pointer (8 bytes, e.g. the next-leaf link), padding.
+PAGE_HEADER = struct.Struct("<bxxxiq")
+PAGE_HEADER_SIZE = PAGE_HEADER.size
+
+
+def pack_header(page_type: int, count: int, aux: int) -> bytes:
+    """Encode the common page header."""
+    return PAGE_HEADER.pack(page_type, count, aux)
+
+
+def unpack_header(data: bytes) -> tuple[int, int, int]:
+    """Decode the common page header into ``(page_type, count, aux)``."""
+    if len(data) < PAGE_HEADER_SIZE:
+        raise SerializationError("page shorter than its header")
+    return PAGE_HEADER.unpack_from(data, 0)
+
+
+def pad_low(prefix: Sequence[int], arity: int) -> tuple[int, ...]:
+    """Extend ``prefix`` to ``arity`` with minimal values (range-scan lower bound)."""
+    return tuple(prefix) + (INT_MIN,) * (arity - len(prefix))
+
+
+def pad_high(prefix: Sequence[int], arity: int) -> tuple[int, ...]:
+    """Extend ``prefix`` to ``arity`` with maximal values (range-scan upper bound)."""
+    return tuple(prefix) + (INT_MAX,) * (arity - len(prefix))
+
+
+def flatten(entries: Iterable[tuple[int, ...]]) -> list[int]:
+    """Concatenate tuples into one flat integer list (test helper)."""
+    out: list[int] = []
+    for entry in entries:
+        out.extend(entry)
+    return out

@@ -1,0 +1,111 @@
+"""I/O statistics for the storage engine.
+
+The paper's experimental evaluation (Section 6) reports *physical disk block
+accesses* and *response time* measured on an Oracle8i server with a 200-block
+buffer cache of 2 KB blocks.  This module provides the counters that make the
+same quantities observable on our substrate:
+
+* **physical reads** -- blocks fetched from the (simulated) disk because they
+  were not resident in the buffer pool;
+* **physical writes** -- dirty blocks flushed to disk on eviction or flush;
+* **logical reads** -- every page request served, hit or miss.
+
+:class:`IoStats` is a plain mutable counter object shared by the disk manager
+and buffer pool of one :class:`~repro.engine.database.Database`.
+:func:`measure` snapshots the counters around a block of code and yields the
+delta, which is how every benchmark in :mod:`repro.bench` observes its I/O.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class IoSnapshot:
+    """An immutable point-in-time copy of the I/O counters."""
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+    logical_reads: int = 0
+    blocks_allocated: int = 0
+
+    @property
+    def physical_total(self) -> int:
+        """Total physical block accesses (reads + writes)."""
+        return self.physical_reads + self.physical_writes
+
+    def __sub__(self, other: "IoSnapshot") -> "IoSnapshot":
+        return IoSnapshot(
+            physical_reads=self.physical_reads - other.physical_reads,
+            physical_writes=self.physical_writes - other.physical_writes,
+            logical_reads=self.logical_reads - other.logical_reads,
+            blocks_allocated=self.blocks_allocated - other.blocks_allocated,
+        )
+
+
+class IoStats:
+    """Mutable I/O counters incremented by the storage layers.
+
+    One instance is shared between a :class:`~repro.engine.storage.DiskManager`
+    and its :class:`~repro.engine.buffer.BufferPool` so that a single object
+    describes all traffic of a database.
+    """
+
+    __slots__ = ("physical_reads", "physical_writes", "logical_reads",
+                 "blocks_allocated")
+
+    def __init__(self) -> None:
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.logical_reads = 0
+        self.blocks_allocated = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.logical_reads = 0
+        self.blocks_allocated = 0
+
+    def snapshot(self) -> IoSnapshot:
+        """Return an immutable copy of the current counter values."""
+        return IoSnapshot(
+            physical_reads=self.physical_reads,
+            physical_writes=self.physical_writes,
+            logical_reads=self.logical_reads,
+            blocks_allocated=self.blocks_allocated,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IoStats(physical_reads={self.physical_reads}, "
+            f"physical_writes={self.physical_writes}, "
+            f"logical_reads={self.logical_reads}, "
+            f"blocks_allocated={self.blocks_allocated})"
+        )
+
+
+@contextmanager
+def measure(stats: IoStats) -> Iterator[IoSnapshot]:
+    """Yield a delta snapshot of ``stats`` covering the ``with`` body.
+
+    The yielded object is filled in *after* the body completes::
+
+        with measure(db.stats) as delta:
+            run_query()
+        print(delta.physical_reads)
+    """
+    before = stats.snapshot()
+    delta = IoSnapshot()
+    try:
+        yield delta
+    finally:
+        after = stats.snapshot()
+        diff = after - before
+        delta.physical_reads = diff.physical_reads
+        delta.physical_writes = diff.physical_writes
+        delta.logical_reads = diff.logical_reads
+        delta.blocks_allocated = diff.blocks_allocated

@@ -1,0 +1,269 @@
+"""The Interval Skip List of Hanson and Johnson [HJ 96] (paper Section 2.1).
+
+"More recent developments include the Interval Skip List and the IBS-Tree
+of Hanson et al."  A probabilistic main-memory structure for stabbing
+queries over a dynamic interval set:
+
+* a skip list over the interval endpoint values;
+* each interval ``I = [l, u]`` leaves *markers* on a set of skip-list edges
+  whose spans exactly tile ``(l, u)``, always using the highest (longest)
+  edges that fit inside ``I`` -- O(log n) markers in expectation;
+* nodes whose key lies inside a marker-adjacent interval carry the interval
+  in their *eqMarkers* set, so stabbing exactly an endpoint works too.
+
+A stabbing query walks the ordinary skip-list search path for ``q``: at
+each level, the edge that would overshoot ``q`` spans ``q``, so all its
+markers contain ``q``; the landing node contributes its eqMarkers if its
+key equals ``q``.  Expected cost O(log n + r).
+
+Invariants maintained across updates (checked by ``check_invariants``):
+
+* **containment** -- a marker for ``I`` on edge ``(x, y)`` implies
+  ``[x.key, y.key]`` is contained in ``I``;
+* **coverage** -- the marked edges of ``I`` tile ``[l, u]`` exactly, so
+  every stab inside ``I`` meets one of them (or an eq-marked node).
+
+Inserting an endpoint node splits edges; markers on a split edge are pushed
+down onto the two halves (preserving both invariants).  The original
+structure additionally re-hoists markers onto the new node's higher edges
+to keep the per-interval marker count logarithmic under heavy mixed
+workloads; this implementation keeps the simpler split-only maintenance
+(correctness is unaffected, markers may sit lower than optimal).  A
+per-interval registry of marker locations makes deletion O(markers)
+instead of a span walk.
+
+Intersection queries use the classical reduction: ``stab(l)`` plus every
+interval whose lower bound falls in ``(l, u]``, tracked in a sorted list.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right, insort
+from typing import Iterable, Optional
+
+from ..core.interval import validate_interval
+
+#: Maximum node height; 2^32 endpoints is far beyond any realistic use.
+MAX_LEVEL = 32
+
+
+class _ISNode:
+    """A skip-list node: key, forward pointers and per-edge marker sets."""
+
+    __slots__ = ("key", "forward", "markers", "eq_markers")
+
+    def __init__(self, key: int, level: int) -> None:
+        self.key = key
+        self.forward: list[Optional["_ISNode"]] = [None] * level
+        # markers[i] marks the edge (self -> forward[i]).
+        self.markers: list[set[int]] = [set() for _ in range(level)]
+        self.eq_markers: set[int] = set()
+
+    @property
+    def level(self) -> int:
+        return len(self.forward)
+
+
+class IntervalSkipList:
+    """Dynamic stabbing/intersection queries via a marked skip list."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._head = _ISNode(-(2 ** 62), MAX_LEVEL)
+        self._intervals: dict[int, tuple[int, int]] = {}
+        # id -> edge marker locations [(node, level)] and eq locations.
+        self._edge_registry: dict[int, list[tuple[_ISNode, int]]] = {}
+        self._eq_registry: dict[int, list[_ISNode]] = {}
+        self._by_lower: list[tuple[int, int]] = []  # (lower, id)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, lower: int, upper: int, interval_id: int) -> None:
+        """Register ``[lower, upper]`` (expected O(log^2 n) marker work)."""
+        validate_interval(lower, upper)
+        if interval_id in self._intervals:
+            raise KeyError(f"duplicate id {interval_id}")
+        self._ensure_node(lower)
+        self._ensure_node(upper)
+        self._intervals[interval_id] = (lower, upper)
+        self._edge_registry[interval_id] = []
+        self._eq_registry[interval_id] = []
+        self._place_markers(lower, upper, interval_id)
+        insort(self._by_lower, (lower, interval_id))
+
+    def delete(self, lower: int, upper: int, interval_id: int) -> None:
+        """Remove a registered interval by clearing its markers."""
+        stored = self._intervals.get(interval_id)
+        if stored != (lower, upper):
+            raise KeyError((lower, upper, interval_id))
+        for node, level in self._edge_registry.pop(interval_id):
+            node.markers[level].discard(interval_id)
+        for node in self._eq_registry.pop(interval_id):
+            node.eq_markers.discard(interval_id)
+        del self._intervals[interval_id]
+        self._by_lower.remove((lower, interval_id))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def stab(self, point: int) -> list[int]:
+        """Ids of intervals containing ``point`` (expected O(log n + r))."""
+        results: set[int] = set()
+        node = self._head
+        for level in range(MAX_LEVEL - 1, -1, -1):
+            while (node.forward[level] is not None
+                   and node.forward[level].key <= point):
+                node = node.forward[level]
+            # The edge (node -> forward[level]) overshoots `point`, so all
+            # its markers span it.
+            if node.forward[level] is not None and node.key < point:
+                results.update(node.markers[level])
+            elif node.key == point:
+                results.update(node.eq_markers)
+                break
+        if node.key == point:
+            results.update(node.eq_markers)
+        return sorted(results)
+
+    def intersection(self, lower: int, upper: int) -> list[int]:
+        """stab(lower) plus every interval starting in ``(lower, upper]``."""
+        validate_interval(lower, upper)
+        results = self.stab(lower)
+        start = bisect_right(self._by_lower, (lower, 2 ** 62))
+        end = bisect_right(self._by_lower, (upper, 2 ** 62))
+        results.extend(interval_id
+                       for _, interval_id in self._by_lower[start:end])
+        return results
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    # ------------------------------------------------------------------
+    # marker machinery
+    # ------------------------------------------------------------------
+    def _search_path(self, key: int) -> list[_ISNode]:
+        """Rightmost node with key < ``key`` at every level, top to 0."""
+        path = [self._head] * MAX_LEVEL
+        node = self._head
+        for level in range(MAX_LEVEL - 1, -1, -1):
+            while (node.forward[level] is not None
+                   and node.forward[level].key < key):
+                node = node.forward[level]
+            path[level] = node
+        return path
+
+    def _find_node(self, key: int) -> Optional[_ISNode]:
+        candidate = self._search_path(key)[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate
+        return None
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < MAX_LEVEL and self._rng.random() < 0.5:
+            level += 1
+        return level
+
+    def _ensure_node(self, key: int) -> _ISNode:
+        """Find or insert the node for ``key``, splitting edge markers."""
+        path = self._search_path(key)
+        existing = path[0].forward[0]
+        if existing is not None and existing.key == key:
+            return existing
+        node = _ISNode(key, self._random_level())
+        for level in range(node.level):
+            predecessor = path[level]
+            successor = predecessor.forward[level]
+            node.forward[level] = successor
+            predecessor.forward[level] = node
+            if predecessor is self._head and successor is None:
+                continue
+            # Split the old edge's markers onto the two halves.  Both
+            # halves are still inside every marked interval (containment
+            # held for the longer edge), so coverage is preserved.
+            moved = predecessor.markers[level]
+            if not moved:
+                continue
+            predecessor.markers[level] = set()
+            for interval_id in moved:
+                self._edge_registry[interval_id].remove((predecessor, level))
+                self._mark_edge(predecessor, level, interval_id)
+                if successor is not None:
+                    self._mark_edge(node, level, interval_id)
+                # The new node lies strictly inside the interval.
+                self._mark_eq(node, interval_id)
+        return node
+
+    def _mark_edge(self, node: _ISNode, level: int, interval_id: int) -> None:
+        if interval_id not in node.markers[level]:
+            node.markers[level].add(interval_id)
+            self._edge_registry[interval_id].append((node, level))
+
+    def _mark_eq(self, node: _ISNode, interval_id: int) -> None:
+        if interval_id not in node.eq_markers:
+            node.eq_markers.add(interval_id)
+            self._eq_registry[interval_id].append(node)
+
+    def _place_markers(self, lower: int, upper: int,
+                       interval_id: int) -> None:
+        """Tile ``[lower, upper]`` with the highest edges that fit."""
+        node = self._find_node(lower)
+        assert node is not None
+        self._mark_eq(node, interval_id)
+        while node.key < upper:
+            level = 0
+            # Ascend while a higher edge still lands inside the interval.
+            while (level + 1 < node.level
+                   and node.forward[level + 1] is not None
+                   and node.forward[level + 1].key <= upper):
+                level += 1
+            # Descend while the current edge overshoots.
+            while (level >= 0
+                   and (node.forward[level] is None
+                        or node.forward[level].key > upper)):
+                level -= 1
+            if level < 0:
+                break
+            self._mark_edge(node, level, interval_id)
+            node = node.forward[level]
+            self._mark_eq(node, interval_id)
+
+    # ------------------------------------------------------------------
+    # verification (tests only)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Containment + coverage of every registered interval."""
+        for interval_id, (lower, upper) in self._intervals.items():
+            covered: list[tuple[int, int]] = []
+            for node, level in self._edge_registry[interval_id]:
+                successor = node.forward[level]
+                assert successor is not None, "marker on a dangling edge"
+                assert interval_id in node.markers[level]
+                assert lower <= node.key and successor.key <= upper, (
+                    f"containment violated for {interval_id}")
+                covered.append((node.key, successor.key))
+            covered.sort()
+            # Coverage: the marked spans tile [lower, upper] seamlessly.
+            if lower == upper:
+                assert not covered
+            else:
+                assert covered, f"no markers for {interval_id}"
+                assert covered[0][0] == lower
+                assert covered[-1][1] == upper
+                for (_, previous_end), (next_start, _) in zip(
+                        covered, covered[1:]):
+                    assert previous_end == next_start, (
+                        f"coverage gap for {interval_id}")
+            for node in self._eq_registry[interval_id]:
+                assert lower <= node.key <= upper
+
+
+def build_interval_skip_list(records: Iterable[tuple[int, int, int]],
+                             seed: int = 0) -> IntervalSkipList:
+    """Convenience constructor from (lower, upper, id) records."""
+    skip_list = IntervalSkipList(seed=seed)
+    for lower, upper, interval_id in records:
+        skip_list.insert(lower, upper, interval_id)
+    return skip_list

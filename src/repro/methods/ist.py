@@ -1,0 +1,154 @@
+"""Interval-Spatial Transformation (IST) of Goh et al. [GLOT 96].
+
+Paper Section 2.3: the IST encodes intervals by space-filling orderings of
+their boundary points.  "Aside from quantization aspects, the D-ordering is
+equivalent to a composite index on the interval bounds (upper, lower), and
+the V-ordering corresponds to an index on (lower, upper). ... The H-ordering
+simulates an index on (upper - lower, lower)."
+
+The experimental comparison (Section 6.1) uses the D-order: "For integer
+interval bounds, the D-order index is equivalent to a composite index on the
+attributes (upper, lower) and therefore has identical performance
+characteristics", with the Figure 11 single-statement range query.
+
+The decisive weakness the paper demonstrates (Figure 17): an intersection
+query must scan the full index tail on the *primary* attribute -- for the
+D-order, every entry with ``upper >= lower_q`` -- so I/O degenerates to
+O(n/b) when the query sits far from the favourable end of the data space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..core.access import AccessMethod, IntervalRecord
+from ..core.interval import validate_interval
+from ..engine.database import Database
+
+#: The three orderings of [GLOT 96] and their composite-index equivalents.
+ORDERINGS = ("D", "V", "H")
+
+
+class ISTree(AccessMethod):
+    """IST as a single composite B+-tree index (one per ordering).
+
+    Parameters
+    ----------
+    ordering:
+        ``"D"`` -> index (upper, lower); ``"V"`` -> index (lower, upper);
+        ``"H"`` -> index (upper - lower, lower).  The evaluation uses ``"D"``.
+    """
+
+    def __init__(self, db: Optional[Database] = None,
+                 ordering: str = "D", name: str = "ISTIntervals") -> None:
+        super().__init__(db)
+        if ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; expected one of {ORDERINGS}")
+        self.ordering = ordering
+        self.method_name = f"IST({ordering}-order)"
+        if ordering == "H":
+            # H-order keys on the derived length column; store it explicitly.
+            columns = ["length", "lower", "upper", "id"]
+            key = ["length", "lower", "id"]
+        else:
+            columns = ["lower", "upper", "id"]
+            key = (["upper", "lower", "id"] if ordering == "D"
+                   else ["lower", "upper", "id"])
+        self.table = self.db.create_table(name, columns)
+        self.table.create_index("istIndex", key)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, lower: int, upper: int, interval_id: int) -> None:
+        """One index entry per interval -- the IST produces no redundancy."""
+        validate_interval(lower, upper)
+        self.table.insert(self._row(lower, upper, interval_id))
+
+    def delete(self, lower: int, upper: int, interval_id: int) -> None:
+        """Locate the entry through the composite index and remove the row."""
+        validate_interval(lower, upper)
+        key = self._index_key(lower, upper, interval_id)
+        for entry in self.table.index_scan("istIndex", key, key):
+            self.table.delete(entry[len(key)])
+            return
+        raise KeyError((lower, upper, interval_id))
+
+    def bulk_load(self, intervals: Sequence[IntervalRecord]) -> None:
+        """Bulk load in ordering-clustered sequence (as in the paper)."""
+        rows = [self._row(lower, upper, interval_id)
+                for lower, upper, interval_id in intervals]
+        self.table.bulk_load(rows)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def intersection(self, lower: int, upper: int) -> list[int]:
+        """The Figure 11 query: ``upper >= :lower AND lower <= :upper``.
+
+        * D-order: index range scan on ``upper >= :lower``; the residual
+          ``lower <= :upper`` filters inside the scan.  Cost grows with the
+          number of intervals ending at or after the query -- the
+          degeneration of Figure 17.
+        * V-order: symmetric scan on ``lower <= :upper``.
+        * H-order: no bound is a prefix of the key; the scan visits every
+          length class (worst-case O(n/b), as the paper notes for
+          length-agnostic predicates).
+        """
+        validate_interval(lower, upper)
+        return list(self._intersection_scan(lower, upper))
+
+    def _intersection_scan(self, lower: int, upper: int) -> Iterator[int]:
+        if self.ordering == "D":
+            # entries: (upper, lower, id, rowid)
+            for entry in self.table.index_scan("istIndex", (lower,), ()):
+                if entry[1] <= upper:
+                    yield entry[2]
+        elif self.ordering == "V":
+            # entries: (lower, upper, id, rowid)
+            for entry in self.table.index_scan("istIndex", (), (upper,)):
+                if entry[1] >= lower:
+                    yield entry[2]
+        else:
+            # entries: (length, lower, id, rowid); refine on both bounds.
+            for entry in self.table.index_scan("istIndex", (), ()):
+                length, start = entry[0], entry[1]
+                if start <= upper and start + length >= lower:
+                    yield entry[2]
+
+    def length_query(self, min_length: int, max_length: int) -> list[int]:
+        """H-order's signature capability: report by interval length."""
+        if self.ordering != "H":
+            raise ValueError("length_query requires the H-ordering")
+        return [entry[2] for entry in
+                self.table.index_scan("istIndex", (min_length,), (max_length,))]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def interval_count(self) -> int:
+        """Number of stored intervals."""
+        return self.table.row_count
+
+    @property
+    def index_entry_count(self) -> int:
+        """Exactly ``n`` -- "the IST technique produces no redundancy"."""
+        return len(self.table.index("istIndex").tree)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _row(self, lower: int, upper: int, interval_id: int) -> tuple[int, ...]:
+        if self.ordering == "H":
+            return (upper - lower, lower, upper, interval_id)
+        return (lower, upper, interval_id)
+
+    def _index_key(self, lower: int, upper: int,
+                   interval_id: int) -> tuple[int, ...]:
+        if self.ordering == "D":
+            return (upper, lower, interval_id)
+        if self.ordering == "V":
+            return (lower, upper, interval_id)
+        return (upper - lower, lower, interval_id)

@@ -1,0 +1,146 @@
+"""MAP21 of Nascimento and Dunham [ND 99].
+
+Paper Section 2.3: "The MAP21 approach ... behaves very similar to the IST
+while the composite index (lower, upper) is implemented by a single-column
+index.  A static partitioning by the interval lengths is introduced, but
+intersection query processing still requires O(n/b) I/Os if the database
+contains many long intervals."
+
+Model
+-----
+An interval maps to the single value ``z = lower * 2**shift_bits + upper``
+(MAP21's decimal-shift encoding in binary).  Intervals are statically
+partitioned by length class ``p = ceil(log2(length + 1))``; partition ``p``
+holds intervals no longer than ``2**p - 1``.  An intersection query scans,
+in every non-empty partition, the z-range corresponding to
+``lower in [query_lower - (2**p - 1), query_upper]`` and refines exactly --
+long-interval partitions therefore degrade toward full scans, which is the
+weakness the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.access import AccessMethod, IntervalRecord
+from ..core.interval import validate_interval
+from ..engine.database import Database
+
+#: Bits reserved for the upper bound inside the z-encoding; covers the
+#: paper's [0, 2^20-1] evaluation domain with headroom.
+DEFAULT_SHIFT_BITS = 24
+
+
+class Map21(AccessMethod):
+    """MAP21: single-column z-encoding with static length partitions."""
+
+    method_name = "MAP21"
+
+    def __init__(self, db: Optional[Database] = None,
+                 shift_bits: int = DEFAULT_SHIFT_BITS,
+                 name: str = "Map21Intervals") -> None:
+        super().__init__(db)
+        self.shift_bits = shift_bits
+        self._limit = 2 ** shift_bits
+        self.table = self.db.create_table(name, ["pclass", "z", "id"])
+        self.table.create_index("zIndex", ["pclass", "z", "id"])
+        # Non-empty partition classes and their populations (O(log domain)
+        # bookkeeping; MAP21 fixes the partition set statically).
+        self._class_counts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode(self, lower: int, upper: int) -> int:
+        """``z = lower * 2**shift_bits + upper`` -- order-preserving on
+        (lower, upper) within the domain."""
+        if not 0 <= lower < self._limit or not 0 <= upper < self._limit:
+            raise ValueError(
+                f"bounds ({lower}, {upper}) outside MAP21 domain "
+                f"[0, 2^{self.shift_bits})")
+        return lower * self._limit + upper
+
+    def decode(self, z: int) -> tuple[int, int]:
+        """Inverse of :meth:`encode`."""
+        return divmod(z, self._limit)
+
+    @staticmethod
+    def length_class(lower: int, upper: int) -> int:
+        """Partition class: smallest p with ``upper - lower < 2**p``."""
+        return (upper - lower).bit_length()
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, lower: int, upper: int, interval_id: int) -> None:
+        """One z-entry in the interval's length partition."""
+        validate_interval(lower, upper)
+        pclass = self.length_class(lower, upper)
+        self.table.insert((pclass, self.encode(lower, upper), interval_id))
+        self._class_counts[pclass] = self._class_counts.get(pclass, 0) + 1
+
+    def delete(self, lower: int, upper: int, interval_id: int) -> None:
+        """Remove the z-entry."""
+        validate_interval(lower, upper)
+        pclass = self.length_class(lower, upper)
+        key = (pclass, self.encode(lower, upper), interval_id)
+        for entry in self.table.index_scan("zIndex", key, key):
+            self.table.delete(entry[3])
+            remaining = self._class_counts[pclass] - 1
+            if remaining:
+                self._class_counts[pclass] = remaining
+            else:
+                del self._class_counts[pclass]
+            return
+        raise KeyError((lower, upper, interval_id))
+
+    def bulk_load(self, intervals: Sequence[IntervalRecord]) -> None:
+        """Encode everything, then bulk load the z-table."""
+        rows = []
+        for lower, upper, interval_id in intervals:
+            validate_interval(lower, upper)
+            pclass = self.length_class(lower, upper)
+            rows.append((pclass, self.encode(lower, upper), interval_id))
+            self._class_counts[pclass] = self._class_counts.get(pclass, 0) + 1
+        self.table.bulk_load(rows)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def intersection(self, lower: int, upper: int) -> list[int]:
+        """Per-partition z-range scans with exact refinement.
+
+        In partition ``p`` (max length ``2**p - 1``) an intersecting
+        interval must start in ``[lower - (2**p - 1), upper]``; entries in
+        that z-range are refined on their decoded upper bound.
+        """
+        validate_interval(lower, upper)
+        results: list[int] = []
+        for pclass in sorted(self._class_counts):
+            max_len = 2 ** pclass - 1
+            scan_from = (lower - max_len) * self._limit
+            scan_to = upper * self._limit + (self._limit - 1)
+            for entry in self.table.index_scan(
+                    "zIndex", (pclass, scan_from), (pclass, scan_to)):
+                entry_lower, entry_upper = self.decode(entry[1])
+                if entry_lower <= upper and entry_upper >= lower:
+                    results.append(entry[2])
+        return results
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def interval_count(self) -> int:
+        """Number of stored intervals."""
+        return self.table.row_count
+
+    @property
+    def index_entry_count(self) -> int:
+        """Exactly ``n``: MAP21 produces no redundancy."""
+        return len(self.table.index("zIndex").tree)
+
+    @property
+    def partition_classes(self) -> list[int]:
+        """Currently non-empty length classes."""
+        return sorted(self._class_counts)

@@ -1,0 +1,13 @@
+"""Object-relational wrapping on a real SQL engine (paper Section 5).
+
+The RI-tree "can easily be implemented on top of any relational DBMS"; this
+package demonstrates it on stdlib :mod:`sqlite3` with the paper's literal
+DDL and query statements, and provides SQL versions of two competitors for
+cross-validation.
+"""
+
+from .ist_sql import SQLISTree
+from .ritree_sql import SQLRITree
+from .tindex_sql import SQLTileIndex
+
+__all__ = ["SQLISTree", "SQLRITree", "SQLTileIndex"]

@@ -1,0 +1,43 @@
+"""Workload generators: the Table 1 interval databases and query batches."""
+
+from .distributions import (
+    DISTRIBUTIONS,
+    DOMAIN_BITS,
+    DOMAIN_MAX,
+    Workload,
+    d1,
+    d2,
+    d3,
+    d3_restricted,
+    d4,
+    make,
+    table1_catalogue,
+)
+from .queries import (
+    brute_force_results,
+    measured_selectivity,
+    point_queries,
+    range_queries,
+    sweeping_point_queries,
+    window_length_for_selectivity,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "DOMAIN_BITS",
+    "DOMAIN_MAX",
+    "Workload",
+    "brute_force_results",
+    "d1",
+    "d2",
+    "d3",
+    "d3_restricted",
+    "d4",
+    "make",
+    "measured_selectivity",
+    "point_queries",
+    "range_queries",
+    "sweeping_point_queries",
+    "table1_catalogue",
+    "window_length_for_selectivity",
+]

@@ -1,0 +1,186 @@
+"""The interval databases of the paper's Table 1.
+
+    Name     | starting points                  | durations
+    ---------+----------------------------------+-----------------------------
+    D1(n,d)  | uniform in [0, 2^20 - 1]         | uniform in [0, 2d]
+    D2(n,d)  | uniform in [0, 2^20 - 1]         | exponential, mean d
+    D3(n,d)  | Poisson process in [0, 2^20 - 1] | uniform in [0, 2d]
+    D4(n,d)  | Poisson process in [0, 2^20 - 1] | exponential, mean d
+
+"The bounding points of all intervals lie in the domain of [0, 2^20 - 1].
+For the distributions D3 and D4, we assume transaction time or valid time
+intervals where the arrival of temporal tuples follows a Poisson process.
+Thus the inter-arrival time is distributed exponentially." (Section 6.1.)
+
+The evaluation writes ``D4(*, 2k)`` for a sweep over the cardinality with
+mean duration 2,000, and ``D1(100k, 2k)`` for a fixed database of 100,000
+intervals.  Figure 15 additionally restricts the D3 duration range, which
+:func:`d3_restricted` provides.
+
+All generators are deterministic under ``seed`` and clamp upper bounds to
+the domain, as the paper's domain statement requires.  Poisson-process
+distributions yield intervals in arrival (start) order -- the operationally
+meaningful difference from D1/D2 for an append-style temporal workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: The paper's data space: [0, 2^20 - 1].
+DOMAIN_BITS = 20
+DOMAIN_MAX = 2 ** DOMAIN_BITS - 1
+
+IntervalRecord = tuple[int, int, int]
+
+
+@dataclass
+class Workload:
+    """A generated interval database plus its parameters."""
+
+    name: str
+    n: int
+    duration_param: int
+    seed: int
+    records: list[IntervalRecord] = field(repr=False)
+
+    @property
+    def mean_length(self) -> float:
+        """Average ``upper - lower`` over the database."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([upper - lower
+                              for lower, upper, _ in self.records]))
+
+    def bounds(self) -> tuple[int, int]:
+        """(min lower, max upper) over the database."""
+        lowers = [lower for lower, _, __ in self.records]
+        uppers = [upper for _, upper, __ in self.records]
+        return min(lowers), max(uppers)
+
+
+def _clamp_uppers(starts: np.ndarray, durations: np.ndarray) -> np.ndarray:
+    return np.minimum(starts + durations, DOMAIN_MAX)
+
+
+def _uniform_starts(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.integers(0, DOMAIN_MAX + 1, size=n, dtype=np.int64)
+
+
+def _poisson_starts(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Arrival times of a Poisson process filling [0, DOMAIN_MAX].
+
+    Inter-arrival times are exponential with mean ``DOMAIN_MAX / n`` so the
+    process spans the domain in expectation; arrivals beyond the domain end
+    (a tail of a few per database) are clamped.  Output is in arrival order.
+    """
+    gaps = rng.exponential(scale=DOMAIN_MAX / n, size=n)
+    starts = np.minimum(np.cumsum(gaps), DOMAIN_MAX).astype(np.int64)
+    return starts
+
+
+def _uniform_durations(rng: np.random.Generator, n: int,
+                       d: int) -> np.ndarray:
+    return rng.integers(0, 2 * d + 1, size=n, dtype=np.int64)
+
+
+def _exponential_durations(rng: np.random.Generator, n: int,
+                           d: int) -> np.ndarray:
+    if d == 0:
+        return np.zeros(n, dtype=np.int64)
+    return rng.exponential(scale=d, size=n).astype(np.int64)
+
+
+def _build(name: str, n: int, d: int, seed: int,
+           starts_fn: Callable[[np.random.Generator, int], np.ndarray],
+           durations_fn: Callable[[np.random.Generator, int, int], np.ndarray]
+           ) -> Workload:
+    if n < 0:
+        raise ValueError(f"negative cardinality {n}")
+    if d < 0:
+        raise ValueError(f"negative duration parameter {d}")
+    rng = np.random.default_rng(seed)
+    starts = starts_fn(rng, n)
+    durations = durations_fn(rng, n, d)
+    uppers = _clamp_uppers(starts, durations)
+    records = [(int(lower), int(upper), i)
+               for i, (lower, upper) in enumerate(zip(starts, uppers))]
+    return Workload(name=name, n=n, duration_param=d, seed=seed,
+                    records=records)
+
+
+def d1(n: int, d: int, seed: int = 0) -> Workload:
+    """D1(n, d): uniform starts, uniform durations in [0, 2d]."""
+    return _build(f"D1({n},{d})", n, d, seed,
+                  _uniform_starts, _uniform_durations)
+
+
+def d2(n: int, d: int, seed: int = 0) -> Workload:
+    """D2(n, d): uniform starts, exponential durations with mean d."""
+    return _build(f"D2({n},{d})", n, d, seed,
+                  _uniform_starts, _exponential_durations)
+
+
+def d3(n: int, d: int, seed: int = 0) -> Workload:
+    """D3(n, d): Poisson-process starts, uniform durations in [0, 2d]."""
+    return _build(f"D3({n},{d})", n, d, seed,
+                  _poisson_starts, _uniform_durations)
+
+
+def d4(n: int, d: int, seed: int = 0) -> Workload:
+    """D4(n, d): Poisson-process starts, exponential durations with mean d."""
+    return _build(f"D4({n},{d})", n, d, seed,
+                  _poisson_starts, _exponential_durations)
+
+
+def d3_restricted(n: int, min_length: int, max_length: int,
+                  seed: int = 0) -> Workload:
+    """The Figure 15 variant: D3 with durations uniform in a restricted range.
+
+    The paper restricts the length domain "from [0, 4k] to [500, 3.5k],
+    [1k, 3k], and [1.5k, 2.5k]" to study the minstep/granularity effect.
+    """
+    if not 0 <= min_length <= max_length:
+        raise ValueError(
+            f"invalid length range [{min_length}, {max_length}]")
+    if max_length > DOMAIN_MAX:
+        raise ValueError(f"max_length {max_length} exceeds the domain")
+    rng = np.random.default_rng(seed)
+    # Cap starts so that no upper bound needs clamping: every stored
+    # interval keeps a length inside the restricted range, which is the
+    # point of the Figure 15 experiment (minstep tracks the *minimum*
+    # stored length, so a single clamped short interval would defeat it).
+    starts = np.minimum(_poisson_starts(rng, n), DOMAIN_MAX - max_length)
+    durations = rng.integers(min_length, max_length + 1, size=n,
+                             dtype=np.int64)
+    records = [(int(lower), int(lower + length), i)
+               for i, (lower, length) in enumerate(zip(starts, durations))]
+    return Workload(name=f"D3({n},[{min_length},{max_length}])", n=n,
+                    duration_param=(min_length + max_length) // 2,
+                    seed=seed, records=records)
+
+
+#: Dispatch table for the four Table 1 distributions.
+DISTRIBUTIONS: dict[str, Callable[..., Workload]] = {
+    "D1": d1, "D2": d2, "D3": d3, "D4": d4,
+}
+
+
+def make(name: str, n: int, d: int, seed: int = 0) -> Workload:
+    """Build a Table 1 workload by name ("D1" .. "D4")."""
+    try:
+        factory = DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown distribution {name!r}; expected one of "
+                         f"{sorted(DISTRIBUTIONS)}") from None
+    return factory(n, d, seed)
+
+
+def table1_catalogue(n: int = 1000, d: int = 2000,
+                     seed: int = 0) -> Sequence[Workload]:
+    """One instance of each Table 1 distribution (for tests and Table 1's
+    reproduction bench)."""
+    return [make(name, n, d, seed) for name in sorted(DISTRIBUTIONS)]

@@ -1,0 +1,84 @@
+"""Tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    build_method,
+    paper_database,
+    run_query_batch,
+)
+from repro.core import RITree
+
+from ..conftest import make_intervals
+
+
+def test_paper_database_geometry():
+    db = paper_database()
+    assert db.disk.block_size == 2048
+    assert db.pool.capacity == 200
+
+
+def test_build_method_bulk_and_dynamic(rng):
+    records = make_intervals(rng, 200)
+    bulk = build_method(lambda db: RITree(db), records, bulk=True)
+    dynamic = build_method(lambda db: RITree(db), records, bulk=False)
+    assert bulk.interval_count == dynamic.interval_count == 200
+    assert sorted(bulk.intersection(0, 200_000)) == \
+        sorted(dynamic.intersection(0, 200_000))
+
+
+def test_run_query_batch_aggregates(rng):
+    records = make_intervals(rng, 500)
+    method = build_method(lambda db: RITree(db), records)
+    queries = [(0, 50_000), (10_000, 60_000)]
+    batch = run_query_batch(method, queries)
+    assert batch.queries == 2
+    assert batch.results_per_query > 0
+    assert batch.physical_io_per_query >= 0
+    assert batch.response_time_per_query > 0
+    assert 0 < batch.selectivity <= 1
+    row = batch.as_row()
+    assert row["method"] == "RI-tree"
+
+
+def test_run_query_batch_rejects_empty(rng):
+    method = build_method(lambda db: RITree(db), make_intervals(rng, 10))
+    with pytest.raises(ValueError):
+        run_query_batch(method, [])
+
+
+def test_cold_start_clears_cache(rng):
+    records = make_intervals(rng, 3000)
+    method = build_method(lambda db: RITree(db), records)
+    warmup = [(0, 100_000)]
+    run_query_batch(method, warmup, cold_start=False)
+    warm = run_query_batch(method, warmup, cold_start=False)
+    cold = run_query_batch(method, warmup, cold_start=True)
+    assert cold.physical_io_per_query >= warm.physical_io_per_query
+
+
+def test_experiment_result_table():
+    result = ExperimentResult(
+        experiment_id="figX", title="demo", paper_reference="none",
+        columns=["a", "b"])
+    result.add_row(a=1, b=2)
+    result.add_row(a=3, b=4)
+    result.note("a note")
+    text = result.to_markdown()
+    assert "| a | b |" in text
+    assert "| 1 | 2 |" in text
+    assert "> a note" in text
+    with pytest.raises(ValueError):
+        result.add_row(a=1)
+
+
+def test_experiment_result_series():
+    result = ExperimentResult(
+        experiment_id="figX", title="demo", paper_reference="none",
+        columns=["x", "y", "method"])
+    result.add_row(x=1, y=10, method="A")
+    result.add_row(x=2, y=20, method="A")
+    result.add_row(x=1, y=5, method="B")
+    series = result.series("x", "y")
+    assert series == {"A": [(1, 10), (2, 20)], "B": [(1, 5)]}

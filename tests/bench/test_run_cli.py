@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro.bench.run`` command line."""
+
+import pytest
+
+from repro.bench.run import main
+
+
+def test_list_option(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig13" in out
+    assert "ablation-a3" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["not-an-experiment"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_runs_single_experiment_tiny(capsys):
+    assert main(["--scale", "tiny", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "| distribution |" in out
+    assert "completed in" in out
+
+
+def test_runs_ablation_tiny(capsys):
+    assert main(["--scale", "tiny", "ablation-a3"]) == 0
+    out = capsys.readouterr().out
+    assert "minstep" in out
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["--scale", "enormous", "table1"])

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import Database
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def db() -> Database:
+    """A small-cache database so eviction paths actually run in tests."""
+    return Database(block_size=512, cache_blocks=16)
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    """A database with the paper's geometry (2 KB blocks, 200-block cache)."""
+    return Database()
+
+
+def make_intervals(rng: random.Random, count: int, domain: int = 100_000,
+                   mean_length: int = 500) -> list[tuple[int, int, int]]:
+    """Random (lower, upper, id) records with exponential-ish lengths."""
+    records = []
+    for i in range(count):
+        lower = rng.randrange(0, domain)
+        length = min(int(rng.expovariate(1 / mean_length)), domain)
+        records.append((lower, lower + length, i))
+    return records

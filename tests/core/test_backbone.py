@@ -1,0 +1,233 @@
+"""Unit and property tests for the virtual backbone (paper Section 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FixedHeightBackbone, VirtualBackbone
+
+bound = st.integers(-(2 ** 30), 2 ** 30)
+
+
+def interval_strategy():
+    return st.tuples(bound, st.integers(0, 2 ** 20)).map(
+        lambda t: (t[0], t[0] + t[1]))
+
+
+def test_first_insert_fixes_offset_and_forks_at_zero():
+    backbone = VirtualBackbone()
+    node = backbone.register(1000, 2000)
+    assert backbone.offset == 1000
+    assert node == 0  # shifted first interval always embraces the origin
+
+
+def test_offset_never_changes_after_first_insert():
+    backbone = VirtualBackbone()
+    backbone.register(1000, 2000)
+    backbone.register(-50_000, -40_000)
+    backbone.register(900_000, 900_100)
+    assert backbone.offset == 1000
+
+
+def test_roots_grow_by_doubling():
+    backbone = VirtualBackbone()
+    backbone.register(0, 0)
+    backbone.register(5, 7)          # shifted (5, 7): right root 4
+    assert backbone.right_root == 4
+    backbone.register(100, 200)      # shifted (100, 200): right root 128
+    assert backbone.right_root == 128
+    backbone.register(-3, -2)        # left root -2
+    assert backbone.left_root == -2
+    backbone.register(-1000, -900)
+    assert backbone.left_root == -512
+
+
+def test_fork_node_figure3_example():
+    """Check the bisection against hand-computed forks in a height-4 tree."""
+    backbone = VirtualBackbone()
+    backbone.register(0, 0)          # offset 0
+    backbone.register(1, 15)         # right root 8
+    assert backbone.right_root == 8
+    assert backbone.fork_node(1, 15) == 8
+    assert backbone.fork_node(1, 3) == 2
+    assert backbone.fork_node(5, 7) == 6
+    assert backbone.fork_node(9, 11) == 10
+    assert backbone.fork_node(13, 13) == 13
+    assert backbone.fork_node(3, 9) == 8
+    assert backbone.fork_node(1, 7) == 4
+
+
+def test_fork_is_topmost_node_between_bounds():
+    """The defining property: l <= fork <= u, and no shallower node is."""
+    backbone = VirtualBackbone()
+    backbone.register(0, 1023)
+    for lower, upper in [(1, 1), (17, 93), (512, 600), (1000, 1023),
+                         (3, 1020), (511, 513)]:
+        backbone.register(lower, upper)
+        fork = backbone.fork_node(lower, upper)
+        shifted_l = backbone.shift(lower)
+        shifted_u = backbone.shift(upper)
+        assert shifted_l <= fork <= shifted_u
+        if fork != 0:
+            # Every ancestor level holds no node inside [l, u]: nodes at
+            # level j are the odd multiples of 2^j.
+            level = VirtualBackbone.node_level(fork)
+            for higher in range(level + 1, 22):
+                step = 2 ** higher
+                first = (shifted_l + step - 1) // step * step
+                inside = [w for w in range(first, shifted_u + 1, step)
+                          if (w // step) % 2 == 1]
+                assert not inside, (lower, upper, fork, higher)
+
+
+def test_minstep_lemma():
+    """An interval (l, u) is never registered below level log2(u - l)."""
+    backbone = VirtualBackbone()
+    backbone.register(0, 2 ** 16)
+    for lower, upper in [(100, 200), (1000, 1064), (7, 8), (0, 2 ** 15)]:
+        backbone.register(lower, upper)
+        fork = backbone.fork_node(lower, upper)
+        if fork != 0:
+            level = VirtualBackbone.node_level(fork)
+            min_level = (upper - lower).bit_length() - 1
+            assert level >= min_level
+
+
+def test_minstep_tracks_minimum():
+    backbone = VirtualBackbone()
+    backbone.register(0, 2 ** 10)
+    assert backbone.minstep is None  # fork at 0 does not update minstep
+    backbone.register(256, 768)      # forks at 512, a high node
+    first = backbone.minstep
+    backbone.register(3, 3)          # a point: forks at a leaf
+    assert backbone.minstep == 0
+    backbone.register(256, 768)
+    assert backbone.minstep == 0     # monotone: never grows back
+    assert first is None or first >= 0
+
+
+def test_height_independent_of_cardinality():
+    backbone = VirtualBackbone()
+    for i in range(1000):
+        backbone.register(i % 64, i % 64 + 3)
+    height_small_n = backbone.height()
+    for i in range(5000):
+        backbone.register(i % 64, i % 64 + 3)
+    assert backbone.height() == height_small_n
+
+
+def test_height_tracks_extent_and_granularity():
+    coarse = VirtualBackbone()
+    coarse.register(0, 0)
+    coarse.register(1, 2 ** 16)        # extent 2^16, long intervals only
+    coarse.register(2 ** 10, 2 ** 14)
+    fine = VirtualBackbone()
+    fine.register(0, 0)
+    fine.register(1, 2 ** 16)
+    fine.register(5, 5)                # a point: granularity 1
+    assert fine.height() > coarse.height()
+
+
+def test_walk_toward_visits_ancestors_only():
+    backbone = VirtualBackbone()
+    backbone.register(0, 0)      # fixes offset 0
+    backbone.register(1, 1023)   # grows the right root to 512
+    backbone.register(3, 3)      # forces minstep to 0 (full-depth walks)
+    path = backbone.walk_toward(357)
+    assert path[0] == 0
+    assert path[-1] == 357
+    # Walk levels strictly decrease.
+    levels = [VirtualBackbone.node_level(node) for node in path[1:]]
+    assert levels == sorted(levels, reverse=True)
+
+
+def test_walk_prunes_at_minstep():
+    backbone = VirtualBackbone()
+    backbone.register(0, 0)
+    backbone.register(1, 1023)
+    backbone.register(512 - 64, 512 + 64)  # registers at 512
+    pruned = backbone.walk_toward(357)
+    backbone.use_minstep = False
+    full = backbone.walk_toward(357)
+    backbone.use_minstep = True
+    assert len(pruned) < len(full)
+    assert pruned == full[:len(pruned)]
+
+
+def test_shift_requires_offset():
+    backbone = VirtualBackbone()
+    with pytest.raises(ValueError):
+        backbone.shift(5)
+    with pytest.raises(ValueError):
+        backbone.fork_node(1, 2)
+
+
+def test_domain_guard():
+    backbone = VirtualBackbone()
+    backbone.register(0, 10)
+    with pytest.raises(ValueError):
+        backbone.register(0, 2 ** 49)
+
+
+def test_node_level():
+    assert VirtualBackbone.node_level(1) == 0
+    assert VirtualBackbone.node_level(6) == 1
+    assert VirtualBackbone.node_level(8) == 3
+    assert VirtualBackbone.node_level(-8) == 3
+    with pytest.raises(ValueError):
+        VirtualBackbone.node_level(0)
+
+
+def test_fixed_height_backbone_static_space():
+    backbone = FixedHeightBackbone(10)
+    assert backbone.right_root == 512
+    assert not backbone.is_empty
+    node = backbone.register(5, 9)
+    assert node == backbone.fork_node(5, 9)
+    with pytest.raises(ValueError):
+        backbone.register(0, 5)       # lower bound 0 outside [1, 2^10 - 1]
+    with pytest.raises(ValueError):
+        backbone.register(5, 1024)    # beyond the fixed space
+
+
+def test_fixed_height_rejects_bad_height():
+    with pytest.raises(ValueError):
+        FixedHeightBackbone(0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(interval_strategy())
+def test_fork_bracketing_property(interval):
+    lower, upper = interval
+    backbone = VirtualBackbone()
+    backbone.register(lower, upper)
+    follow_up = backbone.register(lower, upper + 1) if upper < 2 ** 40 else 0
+    fork = backbone.fork_node(lower, upper)
+    assert backbone.shift(lower) <= fork <= backbone.shift(upper)
+    assert follow_up <= backbone.shift(upper + 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(interval_strategy(), min_size=1, max_size=50))
+def test_register_then_fork_node_is_stable(intervals):
+    """fork_node recomputation agrees with the original registration,
+    even after the roots have grown (delete-path correctness)."""
+    backbone = VirtualBackbone()
+    registered = [(interval, backbone.register(*interval))
+                  for interval in intervals]
+    for (lower, upper), node in registered:
+        assert backbone.fork_node(lower, upper) == node
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(interval_strategy(), min_size=1, max_size=40), bound)
+def test_walk_covers_all_relevant_forks(intervals, probe):
+    """Every registered fork with an interval reaching `probe` lies on the
+    walk toward `probe` -- the completeness argument behind query descent."""
+    backbone = VirtualBackbone()
+    nodes = [backbone.register(lower, upper) for lower, upper in intervals]
+    shifted_probe = backbone.shift(probe)
+    path = set(backbone.walk_toward(shifted_probe))
+    for (lower, upper), node in zip(intervals, nodes):
+        if lower <= probe <= upper:
+            assert node in path, (probe, (lower, upper), node)

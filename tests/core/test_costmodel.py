@@ -1,0 +1,100 @@
+"""Tests for the optimizer cost model (paper Section 5)."""
+
+import pytest
+
+from repro.core import RITree, RITreeCostModel
+from repro.workloads import d1, range_queries
+
+
+@pytest.fixture(scope="module")
+def modelled_tree():
+    workload = d1(10_000, 2000, seed=3)
+    tree = RITree()
+    tree.bulk_load(workload.records)
+    model = RITreeCostModel(tree)
+    return workload, tree, model
+
+
+def test_validation():
+    tree = RITree()
+    with pytest.raises(ValueError):
+        RITreeCostModel(tree, buckets=1)
+    with pytest.raises(ValueError):
+        RITreeCostModel(tree, cache_residency=1.5)
+
+
+def test_empty_tree_estimates_zero():
+    model = RITreeCostModel(RITree())
+    assert model.estimate_result_count(0, 100) == 0.0
+    estimate = model.estimate(0, 100)
+    assert estimate.result_count == 0.0
+    assert estimate.transient_entries == 0
+
+
+def test_result_estimates_track_reality(modelled_tree):
+    """Histogram estimates land within 30% + 20 of the true counts."""
+    workload, tree, model = modelled_tree
+    for selectivity in (0.005, 0.01, 0.03):
+        for lower, upper in range_queries(workload, selectivity, 15, seed=7):
+            true_count = len(tree.intersection(lower, upper))
+            estimated = model.estimate_result_count(lower, upper)
+            assert abs(estimated - true_count) <= 0.3 * true_count + 20, (
+                selectivity, lower, upper, estimated, true_count)
+
+
+def test_estimates_are_monotone_in_query_width(modelled_tree):
+    _, __, model = modelled_tree
+    narrow = model.estimate_result_count(500_000, 510_000)
+    wide = model.estimate_result_count(480_000, 540_000)
+    assert wide >= narrow
+
+
+def test_io_prediction_within_factor_of_measured(modelled_tree):
+    """Predicted physical I/O stays within 4x of the measured average."""
+    workload, tree, model = modelled_tree
+    queries = range_queries(workload, 0.01, 20, seed=9)
+    tree.db.clear_cache()
+    with tree.db.measure() as delta:
+        for lower, upper in queries:
+            tree.intersection(lower, upper)
+    measured = delta.physical_reads / len(queries)
+    predicted = sum(model.estimate(lower, upper).physical_reads
+                    for lower, upper in queries) / len(queries)
+    assert predicted <= 4 * max(measured, 1)
+    assert measured <= 4 * max(predicted, 1)
+
+
+def test_plan_choice_against_full_scan(modelled_tree):
+    """Selective queries pick the index; the everything-query may not."""
+    workload, tree, model = modelled_tree
+    selective = model.estimate(100, 200)
+    assert selective.cheaper_than_full_scan(model.table_blocks)
+    everything = model.estimate(0, 2 ** 20 - 1)
+    assert everything.result_count > 0.9 * workload.n
+
+
+def test_refresh_after_updates():
+    tree = RITree()
+    for i in range(200):
+        tree.insert(i * 10, i * 10 + 5, i)
+    model = RITreeCostModel(tree, buckets=16)
+    before = model.estimate_result_count(0, 2000)
+    for i in range(200, 400):
+        tree.insert(i * 10, i * 10 + 5, i)
+    model.refresh()
+    after_refresh = model.estimate_result_count(0, 4000)
+    assert after_refresh > before
+
+
+def test_transient_entries_exact(modelled_tree):
+    workload, tree, model = modelled_tree
+    estimate = model.estimate(1000, 50_000)
+    assert estimate.transient_entries == \
+        tree.query_nodes(1000, 50_000).total_entries
+    assert estimate.index_probes == estimate.transient_entries
+
+
+def test_selectivity_field(modelled_tree):
+    workload, _, model = modelled_tree
+    estimate = model.estimate(0, 2 ** 20 - 1)
+    assert 0.9 <= estimate.selectivity <= 1.0

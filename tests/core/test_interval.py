@@ -1,0 +1,67 @@
+"""Unit tests for the interval value type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Interval, validate_interval
+
+bounds = st.integers(-10_000, 10_000)
+
+
+def test_basic_properties():
+    interval = Interval(3, 10)
+    assert interval.length == 7
+    assert not interval.is_point
+    assert str(interval) == "[3, 10]"
+
+
+def test_point_interval():
+    point = Interval(5, 5)
+    assert point.is_point
+    assert point.length == 0
+    assert point.contains_point(5)
+    assert not point.contains_point(4)
+
+
+def test_intersects_cases():
+    a = Interval(0, 10)
+    assert a.intersects(Interval(10, 20))      # touching endpoints
+    assert a.intersects(Interval(-5, 0))
+    assert a.intersects(Interval(3, 4))        # contained
+    assert a.intersects(Interval(-10, 30))     # containing
+    assert not a.intersects(Interval(11, 12))
+    assert not a.intersects(Interval(-3, -1))
+
+
+def test_contains():
+    outer = Interval(0, 10)
+    assert outer.contains(Interval(0, 10))
+    assert outer.contains(Interval(2, 8))
+    assert not outer.contains(Interval(-1, 5))
+    assert not outer.contains(Interval(5, 11))
+
+
+def test_validate_rejects_inverted():
+    with pytest.raises(ValueError):
+        validate_interval(5, 4)
+
+
+def test_validate_rejects_non_integers():
+    with pytest.raises(TypeError):
+        validate_interval(1.5, 2)
+    with pytest.raises(TypeError):
+        validate_interval(1, "2")
+
+
+@given(bounds, bounds, bounds, bounds)
+def test_intersects_is_symmetric(a, b, c, d):
+    i1 = Interval(min(a, b), max(a, b))
+    i2 = Interval(min(c, d), max(c, d))
+    assert i1.intersects(i2) == i2.intersects(i1)
+
+
+@given(bounds, bounds, bounds)
+def test_stab_equals_point_intersection(a, b, p):
+    interval = Interval(min(a, b), max(a, b))
+    assert interval.contains_point(p) == interval.intersects(Interval(p, p))

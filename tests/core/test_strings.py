@@ -1,0 +1,121 @@
+"""Tests for string intervals (the Section 7 extension)."""
+
+import random
+import string as string_module
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StringIntervalTree, string_code
+
+words = st.text(alphabet=string_module.ascii_lowercase, min_size=0,
+                max_size=12)
+
+
+def test_string_code_is_order_preserving_on_prefixes():
+    assert string_code("a") < string_code("b")
+    assert string_code("apple") < string_code("banana")
+    assert string_code("") < string_code("a")
+    assert string_code("abc") <= string_code("abcd")
+
+
+@settings(max_examples=200, deadline=None)
+@given(words, words)
+def test_string_code_monotone(a, b):
+    if a <= b:
+        assert string_code(a) <= string_code(b)
+    else:
+        assert string_code(a) >= string_code(b)
+
+
+def test_docstring_example():
+    tree = StringIntervalTree()
+    tree.insert("baker", "dodgson", interval_id=1)
+    tree.insert("adams", "curie", interval_id=2)
+    assert sorted(tree.intersection("cantor", "euler")) == [1, 2]
+
+
+def test_exact_results_despite_prefix_collisions():
+    """Bounds sharing a long prefix collapse to one code; refinement must
+    keep results exact anyway."""
+    tree = StringIntervalTree(prefix_bytes=3)
+    tree.insert("abcdef", "abcxyz", interval_id=1)   # same 3-byte code
+    tree.insert("abcaaa", "abcbbb", interval_id=2)
+    assert tree.code_collision_rate == 1.0
+    assert sorted(tree.intersection("abcmmm", "abczzz")) == [1]
+    assert sorted(tree.intersection("abcaab", "abcaac")) == [2]
+    assert sorted(tree.intersection("abc", "abd")) == [1, 2]
+
+
+def test_stab_and_disjoint_queries():
+    tree = StringIntervalTree()
+    tree.insert("dog", "fox", interval_id=7)
+    assert tree.stab("emu") == [7]
+    assert tree.stab("cat") == []
+    assert tree.intersection("goat", "zebra") == []
+
+
+def test_delete():
+    tree = StringIntervalTree()
+    tree.insert("a", "m", interval_id=1)
+    tree.insert("k", "z", interval_id=2)
+    tree.delete("a", "m", 1)
+    assert tree.intersection("b", "c") == []
+    assert tree.intersection("l", "l") == [2]
+    with pytest.raises(KeyError):
+        tree.delete("a", "m", 1)
+    with pytest.raises(KeyError):
+        tree.delete("k", "y", 2)  # wrong bounds
+
+
+def test_duplicate_id_rejected():
+    tree = StringIntervalTree()
+    tree.insert("a", "b", interval_id=1)
+    with pytest.raises(KeyError):
+        tree.insert("c", "d", interval_id=1)
+
+
+def test_validation():
+    tree = StringIntervalTree()
+    with pytest.raises(ValueError):
+        tree.insert("z", "a", interval_id=1)
+    with pytest.raises(TypeError):
+        tree.insert(1, "a", interval_id=2)
+    with pytest.raises(ValueError):
+        StringIntervalTree(prefix_bytes=9)
+
+
+def test_matches_brute_force_on_random_words(rng):
+    tree = StringIntervalTree()
+    data = {}
+    alphabet = string_module.ascii_lowercase
+    for i in range(400):
+        a = "".join(rng.choice(alphabet) for _ in range(rng.randrange(1, 8)))
+        b = "".join(rng.choice(alphabet) for _ in range(rng.randrange(1, 8)))
+        lower, upper = min(a, b), max(a, b)
+        tree.insert(lower, upper, i)
+        data[i] = (lower, upper)
+    for _ in range(120):
+        a = "".join(rng.choice(alphabet) for _ in range(rng.randrange(1, 8)))
+        b = "".join(rng.choice(alphabet) for _ in range(rng.randrange(1, 8)))
+        lower, upper = min(a, b), max(a, b)
+        expected = sorted(i for i, (s, e) in data.items()
+                          if s <= upper and e >= lower)
+        assert sorted(tree.intersection(lower, upper)) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(words, words), max_size=40),
+       st.tuples(words, words))
+def test_property_equivalence(pairs, query):
+    tree = StringIntervalTree()
+    data = {}
+    for i, (a, b) in enumerate(pairs):
+        lower, upper = min(a, b), max(a, b)
+        tree.insert(lower, upper, i)
+        data[i] = (lower, upper)
+    q_lower, q_upper = min(query), max(query)
+    expected = sorted(i for i, (s, e) in data.items()
+                      if s <= q_upper and e >= q_lower)
+    assert sorted(tree.intersection(q_lower, q_upper)) == expected

@@ -1,0 +1,129 @@
+"""Tests for now/infinity handling (paper Section 4.6)."""
+
+import pytest
+
+from repro.core import FORK_INF, FORK_NOW, TemporalRITree
+from repro.methods import BruteForceIntervals
+
+
+def test_docstring_example():
+    tree = TemporalRITree(now=100)
+    tree.insert(10, 20, interval_id=1)
+    tree.insert_until_now(50, interval_id=2)
+    tree.insert_infinite(80, interval_id=3)
+    assert sorted(tree.intersection(90, 95)) == [2, 3]
+    tree.advance_to(200)
+    assert sorted(tree.intersection(150, 160)) == [2, 3]
+
+
+def test_infinite_interval_always_reachable_from_any_future_query():
+    tree = TemporalRITree()
+    tree.insert_infinite(5, 1)
+    assert tree.intersection(1_000_000, 2_000_000) == [1]
+    assert tree.intersection(0, 4) == []
+    assert tree.stab(5) == [1]
+
+
+def test_now_interval_grows_with_clock():
+    tree = TemporalRITree(now=100)
+    tree.insert_until_now(50, 1)
+    assert tree.intersection(90, 95) == [1]
+    assert tree.intersection(101, 200) == []  # query beyond now
+    tree.advance_to(150)
+    assert tree.intersection(101, 200) == [1]  # now moved past the query
+
+
+def test_now_injection_condition():
+    """FORK_NOW is scanned only when the query begins in the past."""
+    tree = TemporalRITree(now=100)
+    tree.insert_until_now(10, 1)
+    # Query entirely in the future: hook must not fire.
+    assert tree.intersection(101, 500) == []
+    # Query starting exactly at now: fires.
+    assert tree.intersection(100, 500) == [1]
+
+
+def test_clock_monotonicity():
+    tree = TemporalRITree(now=100)
+    with pytest.raises(ValueError):
+        tree.advance_to(99)
+    tree.advance_to(100)  # no-op is fine
+
+
+def test_now_insert_in_future_rejected():
+    tree = TemporalRITree(now=100)
+    with pytest.raises(ValueError):
+        tree.insert_until_now(101, 1)
+
+
+def test_reserved_fork_nodes_are_disjoint_from_data_nodes():
+    tree = TemporalRITree(now=0)
+    tree.insert(0, 2 ** 40, 1)  # pushes the backbone as far as permitted
+    assert tree.backbone.right_root < FORK_NOW < FORK_INF
+
+
+def test_close_now_interval():
+    tree = TemporalRITree(now=1000)
+    tree.insert_until_now(100, 1)
+    tree.close_now_interval(100, 1, upper=500)
+    assert tree.now_relative_count == 0
+    assert tree.intersection(400, 600) == [1]
+    assert tree.intersection(501, 2000) == []
+
+
+def test_delete_special_intervals():
+    tree = TemporalRITree(now=10)
+    tree.insert_infinite(1, 1)
+    tree.insert_until_now(2, 2)
+    tree.delete_infinite(1, 1)
+    tree.delete_until_now(2, 2)
+    assert tree.intersection(0, 100) == []
+    with pytest.raises(KeyError):
+        tree.delete_infinite(1, 1)
+    with pytest.raises(KeyError):
+        tree.delete_until_now(2, 2)
+
+
+def test_mixed_database_against_brute_force(rng):
+    tree = TemporalRITree(now=50_000)
+    brute = BruteForceIntervals()
+    next_id = 0
+    for _ in range(400):
+        lower = rng.randrange(0, 40_000)
+        kind = rng.randrange(3)
+        if kind == 0:
+            upper = lower + rng.randrange(0, 2000)
+            tree.insert(lower, upper, next_id)
+            brute.insert(lower, upper, next_id)
+        elif kind == 1:
+            tree.insert_infinite(lower, next_id)
+            brute.insert(lower, 10 ** 9, next_id)  # effectively infinite
+        else:
+            tree.insert_until_now(lower, next_id)
+            brute.insert(lower, 50_000, next_id)  # upper = now
+        next_id += 1
+    for _ in range(100):
+        lower = rng.randrange(0, 60_000)
+        upper = lower + rng.randrange(0, 5000)
+        assert sorted(tree.intersection(lower, upper)) == \
+            sorted(brute.intersection(lower, upper)), (lower, upper)
+
+
+def test_advancing_clock_updates_effective_uppers(rng):
+    tree = TemporalRITree(now=1000)
+    tree.insert_until_now(500, 1)
+    records = list(tree.intersection_records(900, 950))
+    assert records == [(500, 1000, 1)]
+    tree.advance_to(2000)
+    records = list(tree.intersection_records(900, 950))
+    assert records == [(500, 2000, 1)]
+
+
+def test_counts():
+    tree = TemporalRITree(now=10)
+    tree.insert(1, 2, 1)
+    tree.insert_infinite(3, 2)
+    tree.insert_until_now(4, 3)
+    assert tree.interval_count == 3
+    assert tree.infinite_count == 1
+    assert tree.now_relative_count == 1

@@ -1,0 +1,130 @@
+"""Tests for Allen's 13 interval relations (paper Section 4.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RITree
+from repro.core import topology
+
+proper_interval = st.tuples(st.integers(0, 2000),
+                            st.integers(1, 400)).map(
+    lambda t: (t[0], t[0] + t[1]))
+
+
+def test_relate_canonical_examples():
+    # Stored [s, e] vs query [l, u] = [10, 20].
+    cases = {
+        (0, 5): "before",
+        (0, 10): "meets",
+        (5, 15): "overlaps",
+        (5, 20): "finished_by",
+        (5, 25): "contains",
+        (10, 15): "starts",
+        (10, 20): "equals",
+        (10, 25): "started_by",
+        (12, 18): "during",
+        (15, 20): "finishes",
+        (15, 25): "overlapped_by",
+        (20, 30): "met_by",
+        (25, 30): "after",
+    }
+    for (s, e), expected in cases.items():
+        assert topology.relate(s, e, 10, 20) == expected
+
+
+@settings(max_examples=300, deadline=None)
+@given(proper_interval, proper_interval)
+def test_relate_is_a_partition(stored, query):
+    """Exactly one of the 13 relations holds for proper intervals."""
+    s, e = stored
+    l, u = query
+    relation = topology.relate(s, e, l, u)
+    assert relation in topology.ALLEN_RELATIONS
+
+
+@settings(max_examples=100, deadline=None)
+@given(proper_interval, proper_interval)
+def test_relate_converse_symmetry(stored, query):
+    """Swapping the roles maps each relation to its converse."""
+    converse = {
+        "before": "after", "after": "before",
+        "meets": "met_by", "met_by": "meets",
+        "overlaps": "overlapped_by", "overlapped_by": "overlaps",
+        "starts": "started_by", "started_by": "starts",
+        "finishes": "finished_by", "finished_by": "finishes",
+        "during": "contains", "contains": "during",
+        "equals": "equals",
+    }
+    s, e = stored
+    l, u = query
+    forward = topology.relate(s, e, l, u)
+    backward = topology.relate(l, u, s, e)
+    assert converse[forward] == backward
+
+
+def test_intersection_is_not_before_or_after():
+    for s, e, l, u in [(0, 5, 3, 8), (0, 10, 10, 20), (5, 6, 0, 100)]:
+        relation = topology.relate(s, e, l, u)
+        assert relation not in ("before", "after")
+
+
+@pytest.fixture(scope="module")
+def loaded_tree():
+    import random
+    rng = random.Random(31337)
+    tree = RITree()
+    data = {}
+    for i in range(1200):
+        lower = rng.randrange(0, 5000)
+        upper = lower + rng.randrange(1, 300)
+        tree.insert(lower, upper, i)
+        data[i] = (lower, upper)
+    return tree, data
+
+
+@pytest.mark.parametrize("relation", topology.ALLEN_RELATIONS)
+def test_each_relation_query_equals_brute_force(loaded_tree, relation):
+    import random
+    rng = random.Random(hash(relation) & 0xFFFF)
+    tree, data = loaded_tree
+    for _ in range(25):
+        l = rng.randrange(0, 5200)
+        u = l + rng.randrange(1, 400)
+        got = sorted(topology.query_relation(tree, relation, l, u))
+        expected = sorted(i for i, (s, e) in data.items()
+                          if topology.relate(s, e, l, u) == relation)
+        assert got == expected, (relation, l, u)
+
+
+def test_relations_partition_the_database(loaded_tree):
+    tree, data = loaded_tree
+    l, u = 2000, 2500
+    union: list[int] = []
+    for relation in topology.ALLEN_RELATIONS:
+        union.extend(topology.query_relation(tree, relation, l, u))
+    assert sorted(union) == sorted(data)  # every interval in exactly one
+
+
+def test_exact_bound_relations_use_path_scans(loaded_tree):
+    """meets/starts/etc. answer with O(h) probes -- far fewer logical reads
+    than an intersection query returning the same region."""
+    tree, data = loaded_tree
+    tree.db.clear_cache()
+    with tree.db.measure() as eq:
+        topology.equals(tree, 2000, 2300)
+    with tree.db.measure() as inter:
+        tree.intersection(0, 5300)
+    assert eq.logical_reads < inter.logical_reads
+
+
+def test_unknown_relation_rejected(loaded_tree):
+    tree, _ = loaded_tree
+    with pytest.raises(ValueError):
+        topology.query_relation(tree, "sideways", 1, 2)
+
+
+def test_relations_on_empty_tree():
+    tree = RITree()
+    for relation in topology.ALLEN_RELATIONS:
+        assert topology.query_relation(tree, relation, 5, 10) == []

@@ -1,0 +1,86 @@
+"""Tests for the transient query-node collections (paper Sections 4.2-4.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import VirtualBackbone, collect_query_nodes
+
+interval = st.tuples(st.integers(0, 2 ** 16), st.integers(0, 2 ** 12)).map(
+    lambda t: (t[0], t[0] + t[1]))
+
+
+def loaded_backbone(intervals):
+    backbone = VirtualBackbone()
+    for lower, upper in intervals:
+        backbone.register(lower, upper)
+    return backbone
+
+
+def test_empty_backbone_yields_nothing():
+    nodes = collect_query_nodes(VirtualBackbone(), 1, 10)
+    assert nodes.left == [] and nodes.right == []
+    assert nodes.total_entries == 0
+
+
+def test_between_range_always_last_left_entry():
+    backbone = loaded_backbone([(0, 100), (50, 200), (10, 20)])
+    nodes = collect_query_nodes(backbone, 30, 90)
+    assert nodes.left[-1] == (backbone.shift(30), backbone.shift(90))
+
+
+def test_singletons_left_of_query_and_right_of_query():
+    backbone = loaded_backbone([(0, 0), (1, 1023), (3, 3)])
+    nodes = collect_query_nodes(backbone, 300, 400)
+    shifted = (backbone.shift(300), backbone.shift(400))
+    for node_min, node_max in nodes.left[:-1]:
+        assert node_min == node_max
+        assert node_min < shifted[0]
+    for node in nodes.right:
+        assert node > shifted[1]
+
+
+def test_transient_size_bounded_by_height():
+    """O(h) entries: both lists together stay within 2*height + 3."""
+    backbone = loaded_backbone(
+        [(i, i) for i in range(0, 2 ** 16, 97)])  # points: minstep 0
+    height = backbone.height()
+    for lower, upper in [(5, 5), (100, 50_000), (2 ** 15, 2 ** 16)]:
+        nodes = collect_query_nodes(backbone, lower, upper)
+        assert nodes.total_entries <= 2 * height + 3
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(interval, min_size=1, max_size=40), interval)
+def test_three_branches_are_disjoint(intervals, query):
+    """The sets addressed by leftNodes singletons, the BETWEEN range and
+    rightNodes never overlap, so UNION ALL needs no DISTINCT (Section 4.2)."""
+    backbone = loaded_backbone(intervals)
+    lower, upper = query
+    nodes = collect_query_nodes(backbone, lower, upper)
+    l, u = backbone.shift(lower), backbone.shift(upper)
+    singles = [pair[0] for pair in nodes.left[:-1]]
+    assert len(set(singles)) == len(singles)
+    assert len(set(nodes.right)) == len(nodes.right)
+    for node in singles:
+        assert node < l
+    for node in nodes.right:
+        assert node > u
+    assert nodes.left[-1] == (l, u)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(interval, min_size=1, max_size=40), interval)
+def test_collection_covers_every_intersecting_fork(intervals, query):
+    """Completeness: each stored interval that intersects the query is
+    registered either inside [l, u] or at a collected node."""
+    backbone = VirtualBackbone()
+    forks = [backbone.register(lower, upper) for lower, upper in intervals]
+    lower, upper = query
+    nodes = collect_query_nodes(backbone, lower, upper)
+    l, u = backbone.shift(lower), backbone.shift(upper)
+    singles = {pair[0] for pair in nodes.left[:-1]}
+    rights = set(nodes.right)
+    for (s, e), fork in zip(intervals, forks):
+        if s <= upper and e >= lower:
+            assert (l <= fork <= u) or fork in singles or fork in rights, (
+                (s, e), query, fork)

@@ -1,0 +1,123 @@
+"""Property-based tests: the B+-tree behaves as a sorted set of tuples."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.engine.bptree import BPlusTree
+from repro.engine.buffer import BufferPool
+from repro.engine.storage import DiskManager
+
+entry_strategy = st.tuples(st.integers(-1000, 1000), st.integers(0, 10_000))
+
+
+def fresh_tree(block_size: int = 256) -> BPlusTree:
+    disk = DiskManager(block_size=block_size)
+    pool = BufferPool(disk, capacity=16)
+    return BPlusTree(pool, arity=2)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sets(entry_strategy, max_size=300))
+def test_insert_scan_equals_sorted_set(entries):
+    tree = fresh_tree()
+    for entry in entries:
+        tree.insert(entry)
+    assert list(tree.scan_all()) == sorted(entries)
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sets(entry_strategy, min_size=1, max_size=300), st.data())
+def test_delete_subset_equals_set_difference(entries, data):
+    tree = fresh_tree()
+    for entry in entries:
+        tree.insert(entry)
+    victims = data.draw(st.sets(st.sampled_from(sorted(entries)),
+                                max_size=len(entries)))
+    for victim in victims:
+        tree.delete(victim)
+    assert list(tree.scan_all()) == sorted(entries - victims)
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sets(entry_strategy, max_size=300),
+       st.tuples(st.integers(-1100, 1100)),
+       st.tuples(st.integers(-1100, 1100)))
+def test_range_scan_equals_filtered_sort(entries, lo, hi):
+    tree = fresh_tree()
+    tree.bulk_load(sorted(entries))
+    got = list(tree.scan_range(lo, hi))
+    expected = [e for e in sorted(entries) if lo[0] <= e[0] <= hi[0]]
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sets(entry_strategy, max_size=250), entry_strategy)
+def test_last_le_equals_max_of_filtered(entries, probe):
+    tree = fresh_tree()
+    tree.bulk_load(sorted(entries))
+    candidates = [e for e in entries if e <= probe]
+    expected = max(candidates) if candidates else None
+    assert tree.last_le(probe) == expected
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sets(entry_strategy, max_size=400), st.floats(0.7, 1.0))
+def test_bulk_load_any_fill_factor(entries, fill):
+    tree = fresh_tree()
+    tree.bulk_load(sorted(entries), fill=fill)
+    assert list(tree.scan_all()) == sorted(entries)
+    tree.check_invariants()
+
+
+class BPlusTreeMachine(RuleBasedStateMachine):
+    """Stateful comparison against a Python set."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = fresh_tree()
+        self.model: set[tuple[int, int]] = set()
+
+    @rule(entry=entry_strategy)
+    def insert(self, entry):
+        if entry in self.model:
+            return
+        self.tree.insert(entry)
+        self.model.add(entry)
+
+    @rule(entry=entry_strategy)
+    def delete_if_present(self, entry):
+        if entry in self.model:
+            self.tree.delete(entry)
+            self.model.remove(entry)
+
+    @rule(lo=st.integers(-1100, 1100), hi=st.integers(-1100, 1100))
+    def range_scan(self, lo, hi):
+        got = list(self.tree.scan_range((lo,), (hi,)))
+        expected = sorted(e for e in self.model if lo <= e[0] <= hi)
+        assert got == expected
+
+    @rule(entry=entry_strategy)
+    def membership(self, entry):
+        assert self.tree.contains(entry) == (entry in self.model)
+
+    @invariant()
+    def count_matches(self):
+        assert len(self.tree) == len(self.model)
+
+
+TestBPlusTreeStateful = BPlusTreeMachine.TestCase
+TestBPlusTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])

@@ -1,0 +1,75 @@
+"""Unit tests for the database facade."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.errors import SchemaError
+
+
+def test_create_and_lookup_tables():
+    db = Database()
+    t1 = db.create_table("A", ["x"])
+    t2 = db.create_table("B", ["y"])
+    assert db.table("A") is t1
+    assert db.table("B") is t2
+    assert {t.name for t in db.tables()} == {"A", "B"}
+
+
+def test_duplicate_table_rejected():
+    db = Database()
+    db.create_table("A", ["x"])
+    with pytest.raises(SchemaError):
+        db.create_table("A", ["y"])
+
+
+def test_unknown_table_rejected():
+    db = Database()
+    with pytest.raises(SchemaError):
+        db.table("missing")
+
+
+def test_measure_reports_query_io():
+    db = Database(block_size=512, cache_blocks=16)
+    table = db.create_table("T", ["a"])
+    table.create_index("i", ["a"])
+    for i in range(2000):
+        table.insert((i,))
+    db.clear_cache()
+    with db.measure() as delta:
+        list(table.index_scan("i", (0,), (1999,)))
+    assert delta.physical_reads > 0
+    assert delta.logical_reads >= delta.physical_reads
+
+
+def test_clear_cache_makes_next_scan_cold():
+    # Keep the index smaller than the cache so the warm scan is hit-only.
+    db = Database(block_size=512, cache_blocks=32)
+    table = db.create_table("T", ["a"])
+    table.create_index("i", ["a"])
+    for i in range(300):
+        table.insert((i,))
+    list(table.index_scan("i"))  # warm the cache
+    with db.measure() as warm:
+        list(table.index_scan("i"))
+    db.clear_cache()
+    with db.measure() as cold:
+        list(table.index_scan("i"))
+    assert warm.physical_reads == 0
+    assert cold.physical_reads > 0
+
+
+def test_blocks_in_use_grows_with_data():
+    db = Database(block_size=512, cache_blocks=16)
+    table = db.create_table("T", ["a", "b"])
+    table.create_index("i", ["a"])
+    before = db.blocks_in_use
+    for i in range(1000):
+        table.insert((i, i))
+    db.flush()
+    assert db.blocks_in_use > before
+
+
+def test_shared_stats_object():
+    db = Database()
+    assert db.disk.stats is db.stats
+    assert db.pool.stats is db.stats

@@ -1,0 +1,109 @@
+"""Unit tests for heap files."""
+
+import pytest
+
+from repro.engine.buffer import BufferPool
+from repro.engine.errors import BlockError, SchemaError
+from repro.engine.heap import HeapFile
+from repro.engine.storage import DiskManager
+
+
+def make_heap(arity: int = 3, block_size: int = 256) -> HeapFile:
+    disk = DiskManager(block_size=block_size)
+    pool = BufferPool(disk, capacity=16)
+    return HeapFile(pool, arity=arity)
+
+
+def test_insert_fetch_roundtrip():
+    heap = make_heap()
+    rowid = heap.insert((1, 2, 3))
+    assert heap.fetch(rowid) == (1, 2, 3)
+    assert heap.row_count == 1
+
+
+def test_rowids_are_stable_across_growth():
+    heap = make_heap()
+    rowids = [heap.insert((i, i, i)) for i in range(500)]
+    for i, rowid in enumerate(rowids):
+        assert heap.fetch(rowid) == (i, i, i)
+
+
+def test_delete_returns_row_and_frees_slot():
+    heap = make_heap()
+    rowid = heap.insert((9, 9, 9))
+    assert heap.delete(rowid) == (9, 9, 9)
+    assert heap.row_count == 0
+    with pytest.raises(BlockError):
+        heap.fetch(rowid)
+
+
+def test_deleted_slot_is_reused():
+    heap = make_heap()
+    rowids = [heap.insert((i, 0, 0)) for i in range(100)]
+    heap.delete(rowids[3])
+    pages_before = heap.page_count
+    new_rowid = heap.insert((777, 0, 0))
+    assert heap.page_count == pages_before  # no new page
+    assert heap.fetch(new_rowid) == (777, 0, 0)
+
+
+def test_double_delete_rejected():
+    heap = make_heap()
+    rowid = heap.insert((1, 1, 1))
+    heap.delete(rowid)
+    with pytest.raises(BlockError):
+        heap.delete(rowid)
+
+
+def test_invalid_rowid_rejected():
+    heap = make_heap()
+    with pytest.raises(BlockError):
+        heap.fetch(123456)
+
+
+def test_wrong_arity_rejected():
+    heap = make_heap(arity=2)
+    with pytest.raises(SchemaError):
+        heap.insert((1, 2, 3))
+
+
+def test_scan_yields_live_rows_in_storage_order():
+    heap = make_heap()
+    rowids = [heap.insert((i, 0, 0)) for i in range(50)]
+    for rowid in rowids[::2]:
+        heap.delete(rowid)
+    scanned = list(heap.scan())
+    assert [row[0] for _, row in scanned] == list(range(1, 50, 2))
+    assert all(rowid == expected for (rowid, _), expected
+               in zip(scanned, rowids[1::2]))
+
+
+def test_bulk_append_matches_inserts():
+    heap = make_heap()
+    rows = [(i, i * 2, i * 3) for i in range(300)]
+    rowids = heap.bulk_append(rows)
+    assert heap.row_count == 300
+    for rowid, row in zip(rowids, rows):
+        assert heap.fetch(rowid) == row
+
+
+def test_bulk_append_then_insert_fills_last_page():
+    heap = make_heap()
+    heap.bulk_append([(1, 1, 1)])  # partially filled page
+    pages = heap.page_count
+    heap.insert((2, 2, 2))
+    assert heap.page_count == pages
+
+
+def test_negative_values_roundtrip():
+    heap = make_heap()
+    rowid = heap.insert((-5, -(2 ** 62), 0))
+    assert heap.fetch(rowid) == (-5, -(2 ** 62), 0)
+
+
+def test_page_count_linear_in_rows():
+    heap = make_heap(arity=3, block_size=256)
+    for i in range(400):
+        heap.insert((i, i, i))
+    per_page = heap.slots_per_page
+    assert heap.page_count == -(-400 // per_page)

@@ -1,0 +1,103 @@
+"""Unit and property tests for record serialisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.errors import SerializationError
+from repro.engine.serial import (
+    INT_MAX,
+    INT_MIN,
+    IntTupleCodec,
+    pack_header,
+    pad_high,
+    pad_low,
+    unpack_header,
+)
+
+int64 = st.integers(min_value=INT_MIN, max_value=INT_MAX)
+
+
+def test_pack_unpack_roundtrip_simple():
+    codec = IntTupleCodec(3)
+    entries = [(1, 2, 3), (-5, 0, INT_MAX)]
+    data = codec.pack_many(entries)
+    assert codec.unpack_many(data, 2) == entries
+
+
+def test_entry_size_is_exact():
+    codec = IntTupleCodec(4)
+    assert codec.entry_size == 32
+    assert len(codec.pack_many([(0, 0, 0, 0)])) == 32
+
+
+def test_empty_pack():
+    codec = IntTupleCodec(2)
+    assert codec.pack_many([]) == b""
+    assert codec.unpack_many(b"", 0) == []
+
+
+def test_unpack_short_buffer_rejected():
+    codec = IntTupleCodec(2)
+    with pytest.raises(SerializationError):
+        codec.unpack_many(b"\x00" * 8, 1)
+
+
+def test_out_of_range_value_rejected():
+    codec = IntTupleCodec(1)
+    with pytest.raises(SerializationError):
+        codec.pack_many([(2 ** 63,)])
+
+
+def test_zero_arity_rejected():
+    with pytest.raises(SerializationError):
+        IntTupleCodec(0)
+
+
+def test_pack_one_unpack_one():
+    codec = IntTupleCodec(2)
+    data = codec.pack_one((7, -9))
+    assert codec.unpack_one(data) == (7, -9)
+
+
+def test_header_roundtrip():
+    data = pack_header(2, 1000, -1)
+    assert unpack_header(data) == (2, 1000, -1)
+
+
+def test_header_too_short():
+    with pytest.raises(SerializationError):
+        unpack_header(b"\x01")
+
+
+def test_pad_low_and_high():
+    assert pad_low((5,), 3) == (5, INT_MIN, INT_MIN)
+    assert pad_high((5,), 3) == (5, INT_MAX, INT_MAX)
+    assert pad_low((1, 2, 3), 3) == (1, 2, 3)
+
+
+@given(st.lists(st.tuples(int64, int64, int64), max_size=50))
+def test_roundtrip_property(entries):
+    codec = IntTupleCodec(3)
+    data = codec.pack_many(entries)
+    assert codec.unpack_many(data, len(entries)) == entries
+
+
+@given(st.integers(1, 6), st.data())
+def test_roundtrip_any_arity(arity, data):
+    codec = IntTupleCodec(arity)
+    entries = data.draw(st.lists(
+        st.tuples(*[int64] * arity), max_size=20))
+    packed = codec.pack_many(entries)
+    assert len(packed) == len(entries) * codec.entry_size
+    assert codec.unpack_many(packed, len(entries)) == entries
+
+
+@given(st.lists(int64, min_size=0, max_size=3), st.integers(1, 5))
+def test_padding_orders_extremes(prefix, arity):
+    if len(prefix) > arity:
+        prefix = prefix[:arity]
+    low = pad_low(prefix, arity)
+    high = pad_high(prefix, arity)
+    assert low <= high
+    assert len(low) == len(high) == arity

@@ -1,0 +1,62 @@
+"""Unit tests for the I/O statistics counters."""
+
+from repro.engine.stats import IoSnapshot, IoStats, measure
+
+
+def test_snapshot_is_immutable_copy():
+    stats = IoStats()
+    stats.physical_reads = 3
+    snap = stats.snapshot()
+    stats.physical_reads = 10
+    assert snap.physical_reads == 3
+
+
+def test_snapshot_subtraction():
+    a = IoSnapshot(physical_reads=10, physical_writes=4, logical_reads=20,
+                   blocks_allocated=2)
+    b = IoSnapshot(physical_reads=3, physical_writes=1, logical_reads=5,
+                   blocks_allocated=1)
+    diff = a - b
+    assert diff.physical_reads == 7
+    assert diff.physical_writes == 3
+    assert diff.logical_reads == 15
+    assert diff.blocks_allocated == 1
+
+
+def test_physical_total():
+    snap = IoSnapshot(physical_reads=2, physical_writes=5)
+    assert snap.physical_total == 7
+
+
+def test_measure_captures_delta():
+    stats = IoStats()
+    stats.physical_reads = 5
+    with measure(stats) as delta:
+        stats.physical_reads += 7
+        stats.logical_reads += 2
+    assert delta.physical_reads == 7
+    assert delta.logical_reads == 2
+    assert delta.physical_writes == 0
+
+
+def test_measure_captures_delta_on_exception():
+    stats = IoStats()
+    try:
+        with measure(stats) as delta:
+            stats.physical_writes += 4
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert delta.physical_writes == 4
+
+
+def test_reset_zeroes_counters():
+    stats = IoStats()
+    stats.physical_reads = 1
+    stats.physical_writes = 2
+    stats.logical_reads = 3
+    stats.blocks_allocated = 4
+    stats.reset()
+    snap = stats.snapshot()
+    assert (snap.physical_reads, snap.physical_writes,
+            snap.logical_reads, snap.blocks_allocated) == (0, 0, 0, 0)

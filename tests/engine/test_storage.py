@@ -1,0 +1,97 @@
+"""Unit tests for the simulated disk."""
+
+import pytest
+
+from repro.engine.errors import BlockError
+from repro.engine.storage import DiskManager
+
+
+def test_allocate_write_read_roundtrip():
+    disk = DiskManager(block_size=128)
+    block = disk.allocate()
+    disk.write(block, b"hello")
+    assert disk.read(block) == b"hello"
+
+
+def test_read_counts_physical_reads():
+    disk = DiskManager(block_size=128)
+    block = disk.allocate()
+    disk.write(block, b"x")
+    before = disk.stats.physical_reads
+    disk.read(block)
+    disk.read(block)
+    assert disk.stats.physical_reads == before + 2
+
+
+def test_write_counts_physical_writes():
+    disk = DiskManager(block_size=128)
+    block = disk.allocate()
+    before = disk.stats.physical_writes
+    disk.write(block, b"a")
+    disk.write(block, b"b")
+    assert disk.stats.physical_writes == before + 2
+
+
+def test_read_before_write_rejected():
+    disk = DiskManager(block_size=128)
+    block = disk.allocate()
+    with pytest.raises(BlockError):
+        disk.read(block)
+
+
+def test_oversized_page_rejected():
+    disk = DiskManager(block_size=64)
+    block = disk.allocate()
+    with pytest.raises(BlockError):
+        disk.write(block, b"z" * 65)
+
+
+def test_invalid_block_id_rejected():
+    disk = DiskManager(block_size=128)
+    with pytest.raises(BlockError):
+        disk.read(42)
+    with pytest.raises(BlockError):
+        disk.write(-1, b"x")
+
+
+def test_free_recycles_ids_and_space_accounting():
+    disk = DiskManager(block_size=128)
+    a = disk.allocate()
+    b = disk.allocate()
+    assert disk.blocks_in_use == 2
+    disk.free(a)
+    assert disk.blocks_in_use == 1
+    c = disk.allocate()
+    assert c == a  # recycled
+    assert disk.blocks_in_use == 2
+    assert b != c
+
+
+def test_double_free_rejected():
+    disk = DiskManager(block_size=128)
+    block = disk.allocate()
+    disk.free(block)
+    with pytest.raises(BlockError):
+        disk.free(block)
+
+
+def test_access_to_freed_block_rejected():
+    disk = DiskManager(block_size=128)
+    block = disk.allocate()
+    disk.write(block, b"x")
+    disk.free(block)
+    with pytest.raises(BlockError):
+        disk.read(block)
+
+
+def test_allocation_counter_tracks_in_use():
+    disk = DiskManager(block_size=128)
+    blocks = [disk.allocate() for _ in range(5)]
+    assert disk.stats.blocks_allocated == 5
+    disk.free(blocks[0])
+    assert disk.stats.blocks_allocated == 4
+
+
+def test_tiny_block_size_rejected():
+    with pytest.raises(BlockError):
+        DiskManager(block_size=16)

@@ -1,0 +1,63 @@
+"""Stateful property test: a Table with two indexes vs a Python model."""
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.engine import Database
+
+row_strategy = st.tuples(st.integers(-500, 500), st.integers(-500, 500),
+                         st.integers(0, 10_000))
+
+
+class TableMachine(RuleBasedStateMachine):
+    """Random inserts/deletes/scans with full-model comparison."""
+
+    def __init__(self):
+        super().__init__()
+        db = Database(block_size=512, cache_blocks=16)
+        self.table = db.create_table("T", ["a", "b", "c"])
+        self.table.create_index("ia", ["a"])
+        self.table.create_index("iab", ["a", "b"])
+        self.model: dict[int, tuple[int, int, int]] = {}
+
+    @rule(row=row_strategy)
+    def insert(self, row):
+        rowid = self.table.insert(row)
+        assert rowid not in self.model
+        self.model[rowid] = row
+
+    @rule(data=st.data())
+    def delete_random(self, data):
+        if not self.model:
+            return
+        rowid = data.draw(st.sampled_from(sorted(self.model)))
+        deleted = self.table.delete(rowid)
+        assert deleted == self.model.pop(rowid)
+
+    @rule(lo=st.integers(-600, 600), hi=st.integers(-600, 600))
+    def index_scan_matches(self, lo, hi):
+        got = [(entry[0], entry[1]) for entry in
+               self.table.index_scan("ia", (lo,), (hi,))]
+        expected = sorted((row[0], rowid)
+                          for rowid, row in self.model.items()
+                          if lo <= row[0] <= hi)
+        assert got == expected
+
+    @rule()
+    def full_scan_matches(self):
+        got = sorted(self.table.scan())
+        expected = sorted(self.model.items())
+        assert got == expected
+
+    @invariant()
+    def counts_agree(self):
+        assert self.table.row_count == len(self.model)
+        for index in self.table.indexes.values():
+            assert len(index.tree) == len(self.model)
+
+
+TestTableStateful = TableMachine.TestCase
+TestTableStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])

@@ -1,0 +1,162 @@
+"""Tests for the Interval Skip List (paper Section 2.1)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.methods import (
+    BruteForceIntervals,
+    IntervalSkipList,
+    build_interval_skip_list,
+)
+
+from ..conftest import make_intervals
+
+record = st.tuples(st.integers(-1000, 1000), st.integers(0, 500),
+                   st.integers(0, 100_000)).map(
+    lambda t: (t[0], t[0] + t[1], t[2]))
+
+
+def unique_ids(records):
+    seen = set()
+    out = []
+    for lower, upper, interval_id in records:
+        if interval_id not in seen:
+            seen.add(interval_id)
+            out.append((lower, upper, interval_id))
+    return out
+
+
+def test_empty():
+    skip_list = IntervalSkipList()
+    assert skip_list.stab(5) == []
+    assert skip_list.intersection(0, 10) == []
+    assert len(skip_list) == 0
+
+
+def test_single_interval():
+    skip_list = IntervalSkipList()
+    skip_list.insert(10, 20, 1)
+    assert skip_list.stab(10) == [1]
+    assert skip_list.stab(15) == [1]
+    assert skip_list.stab(20) == [1]
+    assert skip_list.stab(9) == []
+    assert skip_list.stab(21) == []
+    skip_list.check_invariants()
+
+
+def test_point_interval():
+    skip_list = IntervalSkipList()
+    skip_list.insert(5, 5, 1)
+    assert skip_list.stab(5) == [1]
+    assert skip_list.stab(4) == []
+    assert skip_list.intersection(0, 10) == [1]
+    skip_list.check_invariants()
+
+
+def test_shared_endpoints():
+    skip_list = IntervalSkipList()
+    skip_list.insert(0, 10, 1)
+    skip_list.insert(10, 20, 2)
+    skip_list.insert(5, 15, 3)
+    assert sorted(skip_list.stab(10)) == [1, 2, 3]
+    assert sorted(skip_list.stab(0)) == [1]
+    skip_list.check_invariants()
+
+
+def test_duplicate_id_rejected():
+    skip_list = IntervalSkipList()
+    skip_list.insert(0, 1, 1)
+    with pytest.raises(KeyError):
+        skip_list.insert(5, 6, 1)
+
+
+def test_stab_matches_brute_force(rng):
+    records = make_intervals(rng, 1200, domain=20_000, mean_length=500)
+    skip_list = build_interval_skip_list(records)
+    skip_list.check_invariants()
+    brute = BruteForceIntervals(records)
+    for _ in range(300):
+        point = rng.randrange(-100, 21_000)
+        assert skip_list.stab(point) == sorted(brute.stab(point)), point
+
+
+def test_intersection_matches_brute_force(rng):
+    records = make_intervals(rng, 800, domain=20_000, mean_length=400)
+    skip_list = build_interval_skip_list(records)
+    brute = BruteForceIntervals(records)
+    for _ in range(150):
+        lower = rng.randrange(0, 22_000)
+        upper = lower + rng.randrange(0, 2000)
+        assert sorted(skip_list.intersection(lower, upper)) == \
+            sorted(brute.intersection(lower, upper))
+
+
+def test_delete(rng):
+    records = make_intervals(rng, 400, domain=10_000, mean_length=300)
+    skip_list = build_interval_skip_list(records)
+    brute = BruteForceIntervals(records)
+    for record in records[::2]:
+        skip_list.delete(*record)
+        brute.delete(*record)
+    skip_list.check_invariants()
+    for _ in range(100):
+        point = rng.randrange(0, 11_000)
+        assert skip_list.stab(point) == sorted(brute.stab(point))
+    with pytest.raises(KeyError):
+        skip_list.delete(*records[0])
+    with pytest.raises(KeyError):
+        skip_list.delete(1, 2, 999_999)
+
+
+def test_interleaved_updates_preserve_invariants(rng):
+    """Later insertions split marked edges; coverage must survive."""
+    skip_list = IntervalSkipList()
+    brute = BruteForceIntervals()
+    alive = {}
+    next_id = 0
+    for step in range(800):
+        if alive and rng.random() < 0.35:
+            victim = rng.choice(sorted(alive))
+            lower, upper = alive.pop(victim)
+            skip_list.delete(lower, upper, victim)
+            brute.delete(lower, upper, victim)
+        else:
+            lower = rng.randrange(0, 2000)
+            upper = lower + rng.randrange(0, 400)
+            skip_list.insert(lower, upper, next_id)
+            brute.insert(lower, upper, next_id)
+            alive[next_id] = (lower, upper)
+            next_id += 1
+        if step % 100 == 0:
+            skip_list.check_invariants()
+    skip_list.check_invariants()
+    for point in range(0, 2400, 7):
+        assert skip_list.stab(point) == sorted(brute.stab(point)), point
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(record, max_size=80), st.integers(-1200, 1700))
+def test_stab_property(records, point):
+    records = unique_ids(records)
+    skip_list = build_interval_skip_list(records)
+    brute = BruteForceIntervals(records)
+    assert skip_list.stab(point) == sorted(brute.stab(point))
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(record, min_size=1, max_size=60), st.data())
+def test_delete_property(records, data):
+    records = unique_ids(records)
+    skip_list = build_interval_skip_list(records)
+    victims = data.draw(st.sets(st.sampled_from(range(len(records))),
+                                max_size=len(records)))
+    for index in sorted(victims):
+        skip_list.delete(*records[index])
+    skip_list.check_invariants()
+    brute = BruteForceIntervals(
+        rec for i, rec in enumerate(records) if i not in victims)
+    for point in (-1200, -1, 0, 1, 250, 999, 1500):
+        assert skip_list.stab(point) == sorted(brute.stab(point))

@@ -1,0 +1,81 @@
+"""Tests for MAP21."""
+
+import pytest
+
+from repro.methods import Map21
+from repro.methods.memory import BruteForceIntervals
+
+from ..conftest import make_intervals
+
+
+def test_encode_decode_roundtrip():
+    m = Map21()
+    for lower, upper in [(0, 0), (5, 10), (2 ** 20 - 1, 2 ** 20 - 1)]:
+        assert m.decode(m.encode(lower, upper)) == (lower, upper)
+
+
+def test_encoding_is_order_preserving():
+    m = Map21()
+    assert m.encode(1, 5) < m.encode(1, 6) < m.encode(2, 0)
+
+
+def test_out_of_domain_rejected():
+    m = Map21(shift_bits=10)
+    with pytest.raises(ValueError):
+        m.encode(0, 1024)
+    with pytest.raises(ValueError):
+        m.encode(-1, 5)
+
+
+def test_length_class():
+    assert Map21.length_class(0, 0) == 0
+    assert Map21.length_class(0, 1) == 1
+    assert Map21.length_class(0, 7) == 3
+    assert Map21.length_class(0, 8) == 4
+
+
+def test_matches_brute_force(rng):
+    records = make_intervals(rng, 800, domain=100_000, mean_length=700)
+    m = Map21()
+    m.bulk_load(records)
+    brute = BruteForceIntervals(records)
+    for _ in range(100):
+        lower = rng.randrange(0, 110_000)
+        upper = lower + rng.randrange(0, 4000)
+        assert sorted(m.intersection(lower, upper)) == \
+            sorted(brute.intersection(lower, upper))
+
+
+def test_dynamic_updates(rng):
+    records = make_intervals(rng, 300, domain=20_000, mean_length=300)
+    m = Map21()
+    for record in records:
+        m.insert(*record)
+    for record in records[::2]:
+        m.delete(*record)
+    brute = BruteForceIntervals(records[1::2])
+    for _ in range(50):
+        lower = rng.randrange(0, 22_000)
+        upper = lower + rng.randrange(0, 1500)
+        assert sorted(m.intersection(lower, upper)) == \
+            sorted(brute.intersection(lower, upper))
+    with pytest.raises(KeyError):
+        m.delete(*records[0])
+
+
+def test_partition_classes_tracked():
+    m = Map21()
+    m.insert(0, 0, 1)       # class 0
+    m.insert(0, 100, 2)     # class 7
+    m.insert(5, 105, 3)     # class 7
+    assert m.partition_classes == [0, 7]
+    m.delete(0, 0, 1)
+    assert m.partition_classes == [7]
+
+
+def test_no_redundancy(rng):
+    records = make_intervals(rng, 200, domain=10_000, mean_length=100)
+    m = Map21()
+    m.bulk_load(records)
+    assert m.index_entry_count == 200
+    assert m.interval_count == 200

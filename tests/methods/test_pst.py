@@ -1,0 +1,81 @@
+"""Tests for the Priority Search Tree (paper Section 2.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.methods import BruteForceIntervals, PrioritySearchTree
+
+from ..conftest import make_intervals
+
+record = st.tuples(st.integers(-2000, 2000), st.integers(0, 1000),
+                   st.integers(0, 100_000)).map(
+    lambda t: (t[0], t[0] + t[1], t[2]))
+
+
+def unique_ids(records):
+    seen = set()
+    out = []
+    for lower, upper, interval_id in records:
+        if interval_id not in seen:
+            seen.add(interval_id)
+            out.append((lower, upper, interval_id))
+    return out
+
+
+def test_empty_tree():
+    pst = PrioritySearchTree([])
+    assert pst.intersection(0, 100) == []
+    assert len(pst) == 0
+
+
+def test_single_record():
+    pst = PrioritySearchTree([(5, 10, 1)])
+    assert pst.intersection(7, 8) == [1]
+    assert pst.intersection(11, 20) == []
+    assert pst.stab(5) == [1]
+
+
+def test_matches_brute_force(rng):
+    records = make_intervals(rng, 1500, domain=50_000, mean_length=600)
+    pst = PrioritySearchTree(records)
+    brute = BruteForceIntervals(records)
+    for _ in range(200):
+        lower = rng.randrange(0, 55_000)
+        upper = lower + rng.randrange(0, 3000)
+        assert sorted(pst.intersection(lower, upper)) == \
+            sorted(brute.intersection(lower, upper))
+
+
+def test_logarithmic_search_work(rng):
+    """Visited-node accounting: non-reporting visits stay O(log n)."""
+    records = [(i, i + 5, i) for i in range(0, 100_000, 10)]
+    pst = PrioritySearchTree(records)
+    visits = 0
+    original = PrioritySearchTree._query
+
+    def counting(self, node, lower, upper, results):
+        nonlocal visits
+        if node is not None:
+            visits += 1
+        return original(self, node, lower, upper, results)
+
+    PrioritySearchTree._query = counting
+    try:
+        results = pst.intersection(50_000, 50_100)
+    finally:
+        PrioritySearchTree._query = original
+    assert len(results) == 11
+    # Visits bounded by results plus two root-to-leaf boundary paths.
+    assert visits <= len(results) + 4 * 16
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(record, max_size=150),
+       st.integers(-2500, 2500), st.integers(0, 2000))
+def test_property_equivalence(records, query_lower, query_length):
+    records = unique_ids(records)
+    pst = PrioritySearchTree(records)
+    brute = BruteForceIntervals(records)
+    query_upper = query_lower + query_length
+    assert sorted(pst.intersection(query_lower, query_upper)) == \
+        sorted(brute.intersection(query_lower, query_upper))

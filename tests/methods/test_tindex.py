@@ -1,0 +1,108 @@
+"""Tests for the 1-D Tile Index."""
+
+import pytest
+
+from repro.engine import Database
+from repro.methods import TileIndex, tune_fixed_level
+from repro.methods.memory import BruteForceIntervals
+
+from ..conftest import make_intervals
+
+
+def test_matches_brute_force_across_levels(rng):
+    records = make_intervals(rng, 700, domain=200_000, mean_length=900)
+    brute = BruteForceIntervals(records)
+    for level in (4, 8, 12):
+        tindex = TileIndex(fixed_level=level)
+        tindex.bulk_load(records)
+        for _ in range(60):
+            lower = rng.randrange(0, 220_000)
+            upper = lower + rng.randrange(0, 4000)
+            assert sorted(tindex.intersection(lower, upper)) == \
+                sorted(brute.intersection(lower, upper)), (level, lower, upper)
+
+
+def test_point_queries(rng):
+    records = make_intervals(rng, 500, domain=50_000, mean_length=500)
+    tindex = TileIndex(fixed_level=10)
+    tindex.bulk_load(records)
+    brute = BruteForceIntervals(records)
+    for _ in range(80):
+        point = rng.randrange(0, 55_000)
+        assert sorted(tindex.stab(point)) == sorted(brute.stab(point))
+
+
+def test_dynamic_insert_delete(rng):
+    records = make_intervals(rng, 300, domain=30_000, mean_length=400)
+    tindex = TileIndex(fixed_level=9)
+    for record in records:
+        tindex.insert(*record)
+    for record in records[::2]:
+        tindex.delete(*record)
+    brute = BruteForceIntervals(records[1::2])
+    for _ in range(50):
+        lower = rng.randrange(0, 33_000)
+        upper = lower + rng.randrange(0, 2000)
+        assert sorted(tindex.intersection(lower, upper)) == \
+            sorted(brute.intersection(lower, upper))
+    with pytest.raises(KeyError):
+        tindex.delete(*records[0])
+    assert tindex.interval_count == 150
+
+
+def test_redundancy_grows_with_interval_length():
+    short = TileIndex(fixed_level=12)
+    long_ = TileIndex(Database(), fixed_level=12)
+    for i in range(100):
+        short.insert(i * 100, i * 100, i)           # points
+        long_.insert(i * 100, i * 100 + 2000, i)    # ~8 tiles each
+    assert short.redundancy == 1.0
+    assert long_.redundancy > 4.0
+
+
+def test_decomposition_counts():
+    tindex = TileIndex(fixed_level=10)  # tile size 1024
+    assert len(tindex.tiles_for(0, 1023)) == 1
+    assert len(tindex.tiles_for(0, 1024)) == 2
+    assert len(tindex.tiles_for(1000, 5000)) == 5
+    assert len(tindex.tiles_for(1024, 1024)) == 1
+
+
+def test_domain_guard():
+    tindex = TileIndex(fixed_level=8)
+    with pytest.raises(ValueError):
+        tindex.insert(-1, 5, 1)
+    with pytest.raises(ValueError):
+        tindex.insert(0, 2 ** 20, 1)
+
+
+def test_bad_level_rejected():
+    with pytest.raises(ValueError):
+        TileIndex(fixed_level=25)
+    with pytest.raises(ValueError):
+        TileIndex(fixed_level=-1)
+
+
+def test_query_clipping_outside_domain(rng):
+    records = make_intervals(rng, 100, domain=10_000, mean_length=100)
+    tindex = TileIndex(fixed_level=10)
+    tindex.bulk_load(records)
+    brute = BruteForceIntervals(records)
+    assert sorted(tindex.intersection(-500, 20_000)) == \
+        sorted(brute.intersection(-500, 20_000))
+    assert tindex.intersection(-500, -1) == []
+
+
+def test_tuner_prefers_fine_tiles_for_points_coarse_for_long(rng):
+    points = [(i * 37 % 2 ** 20, i * 37 % 2 ** 20, i) for i in range(500)]
+    long_intervals = [(i * 1000 % 2 ** 19, i * 1000 % 2 ** 19 + 50_000, i)
+                      for i in range(500)]
+    queries = [(q, q) for q in range(0, 2 ** 20, 2 ** 16)]
+    fine = tune_fixed_level(points, queries, levels=range(2, 15))
+    coarse = tune_fixed_level(long_intervals, queries, levels=range(2, 15))
+    assert fine >= coarse
+
+
+def test_tuner_requires_sample():
+    with pytest.raises(ValueError):
+        tune_fixed_level([], [(0, 1)])

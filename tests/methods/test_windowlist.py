@@ -1,0 +1,109 @@
+"""Tests for the static Window-List."""
+
+import pytest
+
+from repro.methods import WindowList
+from repro.methods.memory import BruteForceIntervals
+
+from ..conftest import make_intervals
+
+
+def test_matches_brute_force(rng):
+    records = make_intervals(rng, 1000, domain=50_000, mean_length=800)
+    wl = WindowList()
+    wl.bulk_load(records)
+    brute = BruteForceIntervals(records)
+    for _ in range(150):
+        lower = rng.randrange(0, 55_000)
+        upper = lower + rng.randrange(0, 3000)
+        assert sorted(wl.intersection(lower, upper)) == \
+            sorted(brute.intersection(lower, upper))
+    for _ in range(80):
+        point = rng.randrange(0, 55_000)
+        assert sorted(wl.stab(point)) == sorted(brute.stab(point))
+
+
+def test_linear_space(rng):
+    """Snapshot copies stay O(n): total entries bounded by a small factor."""
+    records = make_intervals(rng, 2000, domain=20_000, mean_length=2000)
+    wl = WindowList()
+    wl.bulk_load(records)
+    assert wl.index_entry_count <= 4 * len(records)
+    assert wl.window_count >= 2
+
+
+def test_bulk_load_twice_rejected(rng):
+    wl = WindowList()
+    wl.bulk_load(make_intervals(rng, 10))
+    with pytest.raises(ValueError):
+        wl.bulk_load(make_intervals(rng, 10))
+
+
+def test_overflow_inserts_are_correct_but_unindexed(rng):
+    records = make_intervals(rng, 500, domain=20_000, mean_length=300)
+    wl = WindowList()
+    wl.bulk_load(records)
+    brute = BruteForceIntervals(records)
+    for i in range(600, 650):
+        lower = rng.randrange(0, 20_000)
+        wl.insert(lower, lower + 100, i)
+        brute.insert(lower, lower + 100, i)
+    for _ in range(50):
+        lower = rng.randrange(0, 22_000)
+        upper = lower + rng.randrange(0, 1500)
+        assert sorted(wl.intersection(lower, upper)) == \
+            sorted(brute.intersection(lower, upper))
+    assert wl.interval_count == 550
+
+
+def test_update_degradation_measurable(rng):
+    """Post-build inserts force per-query overflow scans -- the O(n/b)
+    degradation the paper ascribes to the structure."""
+    records = make_intervals(rng, 1000, domain=50_000, mean_length=300)
+    wl = WindowList()
+    wl.bulk_load(records)
+    wl.db.clear_cache()
+    with wl.db.measure() as before:
+        wl.intersection(10_000, 10_500)
+    for i in range(2000, 2600):
+        wl.insert(rng.randrange(0, 50_000), rng.randrange(50_000, 50_100), i)
+    wl.db.clear_cache()
+    with wl.db.measure() as after:
+        wl.intersection(10_000, 10_500)
+    assert after.physical_reads > before.physical_reads
+
+
+def test_delete_from_static_part_is_logical(rng):
+    records = make_intervals(rng, 300, domain=10_000, mean_length=200)
+    wl = WindowList()
+    wl.bulk_load(records)
+    victim = records[0]
+    wl.delete(*victim)
+    assert victim[2] not in wl.intersection(victim[0], victim[1])
+    assert wl.interval_count == 299
+    with pytest.raises(KeyError):
+        wl.delete(*victim)
+
+
+def test_delete_from_overflow(rng):
+    wl = WindowList()
+    wl.bulk_load(make_intervals(rng, 50))
+    wl.insert(5, 10, 999)
+    wl.delete(5, 10, 999)
+    assert 999 not in wl.intersection(0, 100)
+    with pytest.raises(KeyError):
+        wl.delete(5, 10, 999)
+
+
+def test_empty_build():
+    wl = WindowList()
+    wl.bulk_load([])
+    assert wl.intersection(0, 100) == []
+    assert wl.window_count == 0
+
+
+def test_query_before_first_window(rng):
+    wl = WindowList()
+    wl.bulk_load([(100, 200, 1), (150, 300, 2)])
+    assert wl.intersection(0, 99) == []
+    assert sorted(wl.intersection(0, 120)) == [1]

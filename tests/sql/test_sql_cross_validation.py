@@ -1,0 +1,92 @@
+"""Cross-validation: SQL backends vs engine backends vs brute force."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RITree
+from repro.methods import ISTree, TileIndex
+from repro.methods.memory import BruteForceIntervals
+from repro.sql import SQLISTree, SQLRITree, SQLTileIndex
+
+from ..conftest import make_intervals
+
+record = st.tuples(st.integers(0, 2 ** 20 - 1), st.integers(0, 5000),
+                   st.integers(0, 10_000)).map(
+    lambda t: (t[0], min(t[0] + t[1], 2 ** 20 - 1), t[2]))
+query = st.tuples(st.integers(0, 2 ** 20 - 1), st.integers(0, 10_000)).map(
+    lambda t: (t[0], t[0] + t[1]))
+
+
+def unique_ids(records):
+    seen = set()
+    out = []
+    for lower, upper, interval_id in records:
+        if interval_id not in seen:
+            seen.add(interval_id)
+            out.append((lower, upper, interval_id))
+    return out
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(record, max_size=60), st.lists(query, max_size=4))
+def test_sql_and_engine_backends_agree(records, queries):
+    records = unique_ids(records)
+    brute = BruteForceIntervals(records)
+    engine_tree = RITree()
+    engine_tree.bulk_load(records)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(records)
+    sql_ist = SQLISTree()
+    sql_ist.bulk_load(records)
+    sql_tile = SQLTileIndex(fixed_level=9)
+    sql_tile.bulk_load(records)
+    for lower, upper in queries:
+        expected = sorted(brute.intersection(lower, upper))
+        assert sorted(engine_tree.intersection(lower, upper)) == expected
+        assert sorted(sql_tree.intersection(lower, upper)) == expected
+        assert sorted(sql_ist.intersection(lower, upper)) == expected
+        assert sorted(sql_tile.intersection(lower, upper)) == expected
+
+
+def test_sql_competitors_match_engine_competitors(rng):
+    records = make_intervals(rng, 600, domain=200_000, mean_length=800)
+    engine_ist = ISTree(ordering="D")
+    engine_ist.bulk_load(sorted(records))
+    sql_ist = SQLISTree()
+    sql_ist.bulk_load(records)
+    engine_tile = TileIndex(fixed_level=10)
+    engine_tile.bulk_load(records)
+    sql_tile = SQLTileIndex(fixed_level=10)
+    sql_tile.bulk_load(records)
+    assert sql_tile.entry_count == engine_tile.index_entry_count
+    for _ in range(60):
+        lower = rng.randrange(0, 220_000)
+        upper = lower + rng.randrange(0, 4000)
+        assert sorted(engine_ist.intersection(lower, upper)) == \
+            sorted(sql_ist.intersection(lower, upper))
+        assert sorted(engine_tile.intersection(lower, upper)) == \
+            sorted(sql_tile.intersection(lower, upper))
+
+
+def test_sql_ist_delete(rng):
+    records = make_intervals(rng, 100, domain=10_000, mean_length=100)
+    sql_ist = SQLISTree()
+    sql_ist.bulk_load(records)
+    sql_ist.delete(*records[0])
+    assert sql_ist.interval_count == 99
+    import pytest
+    with pytest.raises(KeyError):
+        sql_ist.delete(*records[0])
+
+
+def test_sql_tileindex_delete(rng):
+    records = make_intervals(rng, 100, domain=10_000, mean_length=500)
+    sql_tile = SQLTileIndex(fixed_level=12)
+    sql_tile.bulk_load(records)
+    before = sql_tile.entry_count
+    sql_tile.delete(*records[0])
+    assert sql_tile.entry_count < before
+    import pytest
+    with pytest.raises(KeyError):
+        sql_tile.delete(*records[0])

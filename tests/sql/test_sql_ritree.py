@@ -1,0 +1,151 @@
+"""Tests for the sqlite3-backed RI-tree (paper Section 5)."""
+
+import sqlite3
+
+import pytest
+
+from repro.sql import SQLRITree
+
+from ..conftest import make_intervals
+
+
+def test_figure2_schema_created():
+    tree = SQLRITree()
+    tables = {row[0] for row in tree.conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table'")}
+    assert "Intervals" in tables
+    assert "Intervals_params" in tables
+    indexes = {row[0] for row in tree.conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'index'")}
+    assert "Intervals_lowerIndex" in indexes
+    assert "Intervals_upperIndex" in indexes
+
+
+def test_docstring_example():
+    tree = SQLRITree()
+    tree.insert(3, 9, interval_id=1)
+    tree.insert(5, 15, interval_id=2)
+    assert sorted(tree.intersection(8, 12)) == [1, 2]
+
+
+def test_empty_tree():
+    tree = SQLRITree()
+    assert tree.intersection(0, 100) == []
+    assert tree.interval_count == 0
+
+
+def test_matches_brute_force(rng):
+    records = make_intervals(rng, 800, domain=60_000, mean_length=500)
+    tree = SQLRITree()
+    tree.bulk_load(records)
+    lookup = {r[2]: r[:2] for r in records}
+    for _ in range(120):
+        lower = rng.randrange(0, 66_000)
+        upper = lower + rng.randrange(0, 3000)
+        got = sorted(tree.intersection(lower, upper))
+        expected = sorted(i for i, (s, e) in lookup.items()
+                          if s <= upper and e >= lower)
+        assert got == expected
+
+
+def test_preliminary_query_equivalent(rng):
+    records = make_intervals(rng, 400, domain=30_000, mean_length=400)
+    tree = SQLRITree()
+    tree.bulk_load(records)
+    for _ in range(40):
+        lower = rng.randrange(0, 33_000)
+        upper = lower + rng.randrange(0, 2000)
+        assert sorted(tree.intersection(lower, upper)) == \
+            sorted(tree.intersection_preliminary(lower, upper))
+
+
+def test_union_all_duplicate_free(rng):
+    records = make_intervals(rng, 500, domain=20_000, mean_length=2000)
+    tree = SQLRITree()
+    tree.bulk_load(records)
+    for _ in range(40):
+        lower = rng.randrange(0, 22_000)
+        upper = lower + rng.randrange(0, 5000)
+        results = tree.intersection(lower, upper)
+        assert len(results) == len(set(results))
+
+
+def test_single_statement_delete():
+    tree = SQLRITree()
+    tree.insert(1, 10, 1)
+    tree.insert(1, 10, 2)
+    tree.delete(1, 10, 1)
+    assert tree.intersection(5, 5) == [2]
+    with pytest.raises(KeyError):
+        tree.delete(1, 10, 1)
+    with pytest.raises(KeyError):
+        tree.delete(99, 100, 5)
+
+
+def test_params_persist_across_reopen(tmp_path):
+    path = tmp_path / "ritree.db"
+    conn = sqlite3.connect(path)
+    tree = SQLRITree(conn, name="P")
+    tree.bulk_load([(100, 200, 1), (-50, 20, 2), (5000, 6000, 3)])
+    params_before = tree.backbone.params()
+    conn.commit()
+    conn.close()
+
+    conn2 = sqlite3.connect(path)
+    reopened = SQLRITree(conn2, name="P", attach=True)
+    assert reopened.backbone.params() == params_before
+    assert sorted(reopened.intersection(-100, 10_000)) == [1, 2, 3]
+    # Updates continue correctly after reopening.
+    reopened.insert(150, 160, 4)
+    assert sorted(reopened.intersection(140, 170)) == [1, 4]
+
+
+def test_attach_without_params_rejected():
+    conn = sqlite3.connect(":memory:")
+    with pytest.raises(Exception):
+        SQLRITree(conn, name="Nothing", attach=True)
+
+
+def test_view_trigger_wrapping():
+    conn = sqlite3.connect(":memory:")
+    tree = SQLRITree(conn, name="W")
+    view = tree.create_view()
+    conn.executemany(
+        f'INSERT INTO {view} ("lower", "upper", "id") VALUES (?, ?, ?)',
+        [(0, 10, 1), (5, 25, 2), (30, 40, 3)])
+    tree.sync_params()
+    assert sorted(tree.intersection(8, 35)) == [1, 2, 3]
+    assert tree.intersection(26, 29) == []
+
+
+def test_temporal_now_and_infinity():
+    tree = SQLRITree(now=1000)
+    tree.insert(0, 100, 1)
+    tree.insert_infinite(500, 2)
+    tree.insert_until_now(900, 3)
+    assert sorted(tree.intersection(950, 960)) == [2, 3]
+    assert tree.intersection(101, 400) == []
+    tree.advance_to(5000)
+    assert sorted(tree.intersection(2000, 2100)) == [2, 3]
+    with pytest.raises(ValueError):
+        tree.insert_until_now(6000, 4)
+    with pytest.raises(ValueError):
+        tree.advance_to(0)
+
+
+def test_query_plan_uses_both_indexes():
+    tree = SQLRITree()
+    tree.bulk_load([(i, i + 10, i) for i in range(100)])
+    plan = "\n".join(tree.explain_intersection(20, 40))
+    assert "upperIndex" in plan
+    assert "lowerIndex" in plan
+
+
+def test_multiple_trees_share_connection():
+    conn = sqlite3.connect(":memory:")
+    a = SQLRITree(conn, name="A")
+    b = SQLRITree(conn, name="B")
+    a.insert(0, 10, 1)
+    b.insert(100, 110, 2)
+    assert a.intersection(0, 200) == [1]
+    assert b.intersection(0, 200) == [2]

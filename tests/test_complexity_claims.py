@@ -1,0 +1,109 @@
+"""Direct measurements of the paper's complexity claims.
+
+The abstract promises: O(n/b) space, O(log_b n) insertion/deletion, and
+O(h·log_b n + r/b) intersection queries with the backbone height ``h``
+independent of ``n``.  These tests measure each claim on the engine rather
+than trusting the analysis.
+"""
+
+import math
+
+from repro.core import RITree
+from repro.engine import Database
+
+
+def build_tree(n: int, stride: int = 37, length: int = 10) -> RITree:
+    """A deterministic database of n intervals over a fixed data space."""
+    tree = RITree(Database())
+    domain = 2 ** 20
+    records = [((i * stride) % domain, (i * stride) % domain + length, i)
+               for i in range(n)]
+    tree.bulk_load(records)
+    tree.db.flush()
+    return tree
+
+
+def test_space_is_linear_in_n():
+    """O(n/b): blocks per interval stays constant as n grows 16x."""
+    small = build_tree(2000)
+    large = build_tree(32_000)
+    per_interval_small = small.db.blocks_in_use / 2000
+    per_interval_large = large.db.blocks_in_use / 32_000
+    assert per_interval_large <= 1.5 * per_interval_small
+
+
+def test_update_io_is_logarithmic():
+    """Insert/delete physical I/O grows like log n, not like n."""
+    def update_cost(n):
+        tree = build_tree(n)
+        tree.db.clear_cache()
+        with tree.db.measure() as delta:
+            for k in range(50):
+                tree.insert(500_000 + k, 500_100 + k, 10_000_000 + k)
+        return delta.physical_reads / 50
+
+    cost_small = update_cost(2000)
+    cost_large = update_cost(32_000)
+    # 16x the data: a linear structure would pay ~16x; a B-tree pays one
+    # extra level or two.  Allow 4x to stay robust to cache effects.
+    assert cost_large <= 4 * max(cost_small, 1)
+
+
+def test_backbone_height_independent_of_n():
+    """h depends on data-space extent/granularity, never on cardinality.
+
+    The stride is a large prime so every cardinality spreads over the whole
+    domain: extent and granularity are fixed while n varies 64-fold.
+    """
+    heights = set()
+    for n in (1000, 4000, 16_000, 64_000):
+        tree = build_tree(n, stride=104_729)
+        heights.add(tree.height)
+    assert len(heights) == 1
+
+
+def test_backbone_height_tracks_extent_not_cardinality():
+    """Growing the extent (same n) grows h; growing n (same extent) not."""
+    narrow = build_tree(4000, stride=7)        # extent ~28k
+    wide = build_tree(4000, stride=104_729)    # extent ~2^20
+    assert wide.height > narrow.height
+
+
+def test_transient_entries_bounded_by_height():
+    """The query generates O(h) index probes regardless of n."""
+    for n in (1000, 16_000):
+        tree = build_tree(n)
+        for query in [(0, 100), (500_000, 540_000), (0, 2 ** 20 - 1)]:
+            entries = tree.query_nodes(*query).total_entries
+            assert entries <= 2 * tree.height + 3
+
+
+def test_query_io_linear_in_results():
+    """The r/b term: doubling the result size must not quadruple I/O."""
+    tree = build_tree(64_000, stride=16, length=8)
+    leaf_capacity = tree.table.indexes["upperIndex"].tree.leaf_capacity
+
+    def io_for(width):
+        tree.db.clear_cache()
+        with tree.db.measure() as delta:
+            results = tree.intersection(100_000, 100_000 + width)
+        return delta.physical_reads, len(results)
+
+    io_narrow, r_narrow = io_for(5_000)
+    io_wide, r_wide = io_for(40_000)
+    assert r_wide > 4 * r_narrow
+    # I/O grows at most proportionally to results (plus the O(h log n)
+    # constant), far from quadratically.
+    per_result_narrow = io_narrow / max(r_narrow / leaf_capacity, 1)
+    per_result_wide = io_wide / max(r_wide / leaf_capacity, 1)
+    assert per_result_wide <= 2 * per_result_narrow + 2
+
+
+def test_index_height_is_log_b_n():
+    """The underlying B+-tree height matches ceil(log_b n) + O(1)."""
+    for n in (1000, 32_000):
+        tree = build_tree(n)
+        index = tree.table.indexes["lowerIndex"].tree
+        branching = index.leaf_capacity
+        expected = math.ceil(math.log(max(n, 2), branching))
+        assert index.height <= expected + 1

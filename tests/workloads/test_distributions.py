@@ -1,0 +1,119 @@
+"""Tests for the Table 1 data distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DOMAIN_MAX,
+    d1,
+    d2,
+    d3,
+    d3_restricted,
+    d4,
+    make,
+    table1_catalogue,
+)
+
+
+@pytest.mark.parametrize("factory", [d1, d2, d3, d4])
+def test_bounds_inside_domain(factory):
+    workload = factory(5000, 2000, seed=1)
+    lo, hi = workload.bounds()
+    assert 0 <= lo
+    assert hi <= DOMAIN_MAX
+    assert all(lower <= upper for lower, upper, _ in workload.records)
+    assert len(workload.records) == 5000
+
+
+@pytest.mark.parametrize("factory", [d1, d2, d3, d4])
+def test_deterministic_under_seed(factory):
+    a = factory(1000, 2000, seed=42)
+    b = factory(1000, 2000, seed=42)
+    c = factory(1000, 2000, seed=43)
+    assert a.records == b.records
+    assert a.records != c.records
+
+
+@pytest.mark.parametrize("factory", [d1, d2, d3, d4])
+def test_ids_are_dense_and_unique(factory):
+    workload = factory(500, 100, seed=0)
+    ids = [record[2] for record in workload.records]
+    assert ids == list(range(500))
+
+
+def test_uniform_duration_range():
+    """D1/D3 durations are uniform in [0, 2d]: both ends must occur."""
+    workload = d1(30_000, 100, seed=7)
+    lengths = [upper - lower for lower, upper, _ in workload.records]
+    assert min(lengths) == 0
+    assert max(lengths) == 200
+    assert abs(float(np.mean(lengths)) - 100) < 5
+
+
+def test_exponential_duration_mean():
+    workload = d2(30_000, 500, seed=8)
+    lengths = [upper - lower for lower, upper, _ in workload.records]
+    assert abs(float(np.mean(lengths)) - 500) < 25
+    # Exponential floor produces points (paper Section 6.1 relies on this).
+    assert min(lengths) == 0
+
+
+def test_zero_duration_parameter():
+    workload = d2(100, 0, seed=0)
+    assert all(lower == upper for lower, upper, _ in workload.records)
+
+
+def test_poisson_starts_sorted_and_span_domain():
+    workload = d4(20_000, 2000, seed=3)
+    starts = [lower for lower, _, __ in workload.records]
+    assert starts == sorted(starts)
+    assert starts[-1] > DOMAIN_MAX * 0.8  # the process spans the domain
+
+
+def test_uniform_starts_cover_domain():
+    workload = d1(20_000, 0, seed=3)
+    starts = [lower for lower, _, __ in workload.records]
+    assert min(starts) < DOMAIN_MAX * 0.01
+    assert max(starts) > DOMAIN_MAX * 0.99
+
+
+def test_restricted_d3_length_range():
+    workload = d3_restricted(5000, 1500, 2500, seed=1)
+    lengths = [upper - lower for lower, upper, _ in workload.records]
+    assert min(lengths) >= 1500
+    assert max(lengths) <= 2500
+    _, hi = workload.bounds()
+    assert hi <= DOMAIN_MAX
+
+
+def test_restricted_d3_validation():
+    with pytest.raises(ValueError):
+        d3_restricted(10, 500, 100)
+    with pytest.raises(ValueError):
+        d3_restricted(10, 0, DOMAIN_MAX + 1)
+
+
+def test_make_dispatch():
+    workload = make("D2", 100, 50, seed=5)
+    assert workload.name.startswith("D2")
+    with pytest.raises(ValueError):
+        make("D9", 100, 50)
+
+
+def test_catalogue_contains_all_four():
+    names = [w.name for w in table1_catalogue(n=100, d=100)]
+    assert len(names) == 4
+    assert all(names[i][:2] == f"D{i + 1}" for i in range(4))
+
+
+def test_negative_parameters_rejected():
+    with pytest.raises(ValueError):
+        d1(-1, 100)
+    with pytest.raises(ValueError):
+        d1(10, -5)
+
+
+def test_mean_length_and_bounds_helpers():
+    workload = d1(1000, 300, seed=2)
+    assert workload.mean_length == pytest.approx(
+        float(np.mean([u - l for l, u, _ in workload.records])))
