@@ -61,6 +61,26 @@ class AccessMethod(ABC):
     def intersection(self, lower: int, upper: int) -> list[int]:
         """Ids of all stored intervals intersecting ``[lower, upper]``."""
 
+    def intersection_count(self, lower: int, upper: int) -> int:
+        """Number of intervals intersecting ``[lower, upper]``.
+
+        Same scans, same I/O as :meth:`intersection`; methods with a
+        batched execution pipeline override this to aggregate leaf-slice
+        lengths instead of materialising an id list.  The benchmark
+        harness runs its query batches through this entry point.
+        """
+        return len(self.intersection(lower, upper))
+
+    def intersection_many(self, queries: Sequence[tuple[int, int]]
+                          ) -> list[list[int]]:
+        """Answer a batch of intersection queries in one call.
+
+        A per-query loop over :meth:`intersection`; exists so batch
+        drivers (the bench harness, bulk clients) have a single entry
+        point that methods may later specialise.
+        """
+        return [self.intersection(lower, upper) for lower, upper in queries]
+
     def stab(self, point: int) -> list[int]:
         """Stabbing query: intervals containing ``point``."""
         return self.intersection(point, point)

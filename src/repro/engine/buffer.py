@@ -94,6 +94,72 @@ class BufferPool:
         self._admit(block_id, _Frame(page))
         return page
 
+    def make_reader(self, loader: Callable[[bytes], PageLike]
+                    ) -> Callable[[int], PageLike]:
+        """Bind ``loader`` once and return a fast-path page reader.
+
+        Structures that issue many page requests (B+-tree scans, heap
+        fetches) would otherwise re-create a bound-method loader and pay
+        several attribute lookups on *every* :meth:`get` call.  The
+        returned callable closes over the pool internals and the loader,
+        so a cache hit costs one dict probe and one LRU touch.
+
+        The accounting contract is identical to :meth:`get`: every call is
+        one logical read, only misses touch the disk, and admissions go
+        through the same eviction path.  The closure captures the frame
+        table *object* (never rebound -- :meth:`clear` empties it in
+        place), so readers stay valid across cache clears.
+        """
+        frames = self._frames
+        frames_get = frames.get
+        move_to_end = frames.move_to_end
+        stats = self.stats
+        disk_read = self.disk.read
+        admit = self._admit
+
+        def read(block_id: int) -> PageLike:
+            stats.logical_reads += 1
+            frame = frames_get(block_id)
+            if frame is not None:
+                move_to_end(block_id)
+                return frame.page
+            page = loader(disk_read(block_id))
+            admit(block_id, _Frame(page))
+            return page
+
+        return read
+
+    def scan_refs(self, loader: Callable[[bytes], PageLike]
+                  ) -> tuple["OrderedDict[int, _Frame]", IoStats,
+                             Callable[[int], PageLike]]:
+        """References for loops that inline the cache-hit fast path.
+
+        The innermost scan loops (B+-tree leaf walks) probe the cache once
+        per page; routing every probe through a Python callable costs one
+        frame activation per page even on a hit.  ``scan_refs`` hands such
+        loops ``(frames, stats, miss)`` so a hit is pure C-level dict work
+        while the miss path stays centralised here.
+
+        Contract for the caller, per probe -- identical accounting to
+        :meth:`get`:
+
+        1. ``stats.logical_reads += 1``;
+        2. ``frame = frames.get(block_id)``; on a hit call
+           ``frames.move_to_end(block_id)`` and use ``frame.page``;
+        3. on a miss call ``miss(block_id)``, which performs the physical
+           read, decodes via ``loader`` and admits the page (evicting
+           through the normal path).
+
+        The frame table and stats objects are stable for the pool's
+        lifetime (:meth:`clear` empties the table in place).
+        """
+        def miss(block_id: int) -> PageLike:
+            page = loader(self.disk.read(block_id))
+            self._admit(block_id, _Frame(page))
+            return page
+
+        return self._frames, self.stats, miss
+
     def put_new(self, block_id: int, page: PageLike) -> None:
         """Register a freshly created page (dirty, not yet on disk)."""
         if block_id in self._frames:

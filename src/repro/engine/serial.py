@@ -15,6 +15,7 @@ of benchmark response times.
 from __future__ import annotations
 
 import struct
+from itertools import chain
 from typing import Iterable, Sequence
 
 from .errors import SerializationError
@@ -26,9 +27,16 @@ INT_MAX = 2 ** 63 - 1
 
 
 class IntTupleCodec:
-    """Codec for lists of fixed-arity signed 64-bit integer tuples."""
+    """Codec for lists of fixed-arity signed 64-bit integer tuples.
 
-    __slots__ = ("arity", "entry_size", "_single")
+    ``pack_many``/``unpack_many`` sit on the page (de)serialisation hot
+    path -- every buffer-pool miss decodes a whole page through them -- so
+    both avoid per-entry Python work: packing streams the entries through
+    one cached :class:`struct.Struct` per batch size, and unpacking slices
+    the raw block with a zero-copy ``memoryview`` and ``iter_unpack``.
+    """
+
+    __slots__ = ("arity", "entry_size", "_single", "_batch_structs")
 
     def __init__(self, arity: int) -> None:
         if arity < 1:
@@ -36,17 +44,25 @@ class IntTupleCodec:
         self.arity = arity
         self.entry_size = 8 * arity
         self._single = struct.Struct(f"<{arity}q")
+        # Cache of batch Structs keyed by entry count.  Page geometry caps
+        # the number of distinct counts at the page capacity, so the cache
+        # stays small for the codec's lifetime.
+        self._batch_structs: dict[int, struct.Struct] = {}
+
+    def _batch_struct(self, count: int) -> struct.Struct:
+        cached = self._batch_structs.get(count)
+        if cached is None:
+            cached = struct.Struct(f"<{count * self.arity}q")
+            self._batch_structs[count] = cached
+        return cached
 
     def pack_many(self, entries: Sequence[tuple[int, ...]]) -> bytes:
         """Encode ``entries`` back to back."""
         count = len(entries)
         if count == 0:
             return b""
-        flat: list[int] = []
-        for entry in entries:
-            flat.extend(entry)
         try:
-            return struct.pack(f"<{count * self.arity}q", *flat)
+            return self._batch_struct(count).pack(*chain.from_iterable(entries))
         except struct.error as exc:
             raise SerializationError(str(exc)) from exc
 
@@ -59,9 +75,7 @@ class IntTupleCodec:
             raise SerializationError(
                 f"need {needed} bytes for {count} entries, have {len(data)}"
             )
-        flat = struct.unpack(f"<{count * self.arity}q", data[:needed])
-        arity = self.arity
-        return [tuple(flat[i:i + arity]) for i in range(0, len(flat), arity)]
+        return list(self._single.iter_unpack(memoryview(data)[:needed]))
 
     def pack_one(self, entry: tuple[int, ...]) -> bytes:
         """Encode a single entry."""

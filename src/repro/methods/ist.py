@@ -97,25 +97,38 @@ class ISTree(AccessMethod):
           length-agnostic predicates).
         """
         validate_interval(lower, upper)
-        return list(self._intersection_scan(lower, upper))
+        results: list[int] = []
+        for batch in self._intersection_batches(lower, upper):
+            results.extend(self._refine(batch, lower, upper))
+        return results
 
-    def _intersection_scan(self, lower: int, upper: int) -> Iterator[int]:
+    def intersection_count(self, lower: int, upper: int) -> int:
+        """Count via the same scan; only the residual filter is per-entry."""
+        validate_interval(lower, upper)
+        return sum(len(self._refine(batch, lower, upper))
+                   for batch in self._intersection_batches(lower, upper))
+
+    def _intersection_batches(self, lower: int,
+                              upper: int) -> Iterator[list[tuple[int, ...]]]:
+        """The single index range scan of Figure 11, as leaf slices."""
+        if self.ordering == "D":
+            return self.table.index_scan_batches("istIndex", (lower,), ())
+        if self.ordering == "V":
+            return self.table.index_scan_batches("istIndex", (), (upper,))
+        return self.table.index_scan_batches("istIndex", (), ())
+
+    def _refine(self, batch: list[tuple[int, ...]], lower: int,
+                upper: int) -> list[int]:
+        """Apply the ordering's residual predicate to one leaf slice."""
         if self.ordering == "D":
             # entries: (upper, lower, id, rowid)
-            for entry in self.table.index_scan("istIndex", (lower,), ()):
-                if entry[1] <= upper:
-                    yield entry[2]
-        elif self.ordering == "V":
+            return [entry[2] for entry in batch if entry[1] <= upper]
+        if self.ordering == "V":
             # entries: (lower, upper, id, rowid)
-            for entry in self.table.index_scan("istIndex", (), (upper,)):
-                if entry[1] >= lower:
-                    yield entry[2]
-        else:
-            # entries: (length, lower, id, rowid); refine on both bounds.
-            for entry in self.table.index_scan("istIndex", (), ()):
-                length, start = entry[0], entry[1]
-                if start <= upper and start + length >= lower:
-                    yield entry[2]
+            return [entry[2] for entry in batch if entry[1] >= lower]
+        # entries: (length, lower, id, rowid); refine on both bounds.
+        return [entry[2] for entry in batch
+                if entry[1] <= upper and entry[1] + entry[0] >= lower]
 
     def length_query(self, min_length: int, max_length: int) -> list[int]:
         """H-order's signature capability: report by interval length."""

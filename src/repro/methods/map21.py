@@ -116,15 +116,18 @@ class Map21(AccessMethod):
         """
         validate_interval(lower, upper)
         results: list[int] = []
+        limit = self._limit
         for pclass in sorted(self._class_counts):
             max_len = 2 ** pclass - 1
-            scan_from = (lower - max_len) * self._limit
-            scan_to = upper * self._limit + (self._limit - 1)
-            for entry in self.table.index_scan(
+            scan_from = (lower - max_len) * limit
+            scan_to = upper * limit + (limit - 1)
+            # z-range scan per partition, consumed as leaf slices; the
+            # refinement decodes with divmod inline (no per-entry call).
+            for batch in self.table.index_scan_batches(
                     "zIndex", (pclass, scan_from), (pclass, scan_to)):
-                entry_lower, entry_upper = self.decode(entry[1])
-                if entry_lower <= upper and entry_upper >= lower:
-                    results.append(entry[2])
+                results.extend(
+                    entry[2] for entry in batch
+                    if entry[1] // limit <= upper and entry[1] % limit >= lower)
         return results
 
     # ------------------------------------------------------------------

@@ -165,24 +165,30 @@ class TileIndex(AccessMethod):
         last = upper_clip // self.tile_size
         seen: set[int] = set()
         results: list[int] = []
-        for entry in self.entries.index_scan("tileIndex", (first,), (last,)):
-            tile, interval_id, _rowid = entry
-            if interval_id in seen:
-                continue
-            if first < tile < last or self._tile_covered(tile, lower, upper):
-                # Primary filter suffices: the window covers this tile.
-                seen.add(interval_id)
-                results.append(interval_id)
-                continue
-            # Secondary filter: join to the geometry through the GID index
-            # (one B+-tree probe + one base-table access) and test exactly.
-            seen.add(interval_id)
-            for gid_entry in self.geometry.index_scan(
-                    "gidIndex", (interval_id,), (interval_id,)):
-                geo_lower, geo_upper, _ = self.geometry.fetch(gid_entry[1])
-                if geo_lower <= upper and geo_upper >= lower:
+        # The tile equijoin consumes the scan as leaf slices; only the two
+        # boundary tiles fall through to the per-candidate secondary filter.
+        for batch in self.entries.index_scan_batches(
+                "tileIndex", (first,), (last,)):
+            for tile, interval_id, _rowid in batch:
+                if interval_id in seen:
+                    continue
+                if (first < tile < last
+                        or self._tile_covered(tile, lower, upper)):
+                    # Primary filter suffices: the window covers this tile.
+                    seen.add(interval_id)
                     results.append(interval_id)
-                break
+                    continue
+                # Secondary filter: join to the geometry through the GID
+                # index (one B+-tree probe + one base-table access) and
+                # test exactly.
+                seen.add(interval_id)
+                for gid_entry in self.geometry.index_scan(
+                        "gidIndex", (interval_id,), (interval_id,)):
+                    geo_lower, geo_upper, _ = self.geometry.fetch(
+                        gid_entry[1])
+                    if geo_lower <= upper and geo_upper >= lower:
+                        results.append(interval_id)
+                    break
         return results
 
     def _tile_covered(self, tile: int, lower: int, upper: int) -> bool:

@@ -169,22 +169,32 @@ class WindowList(AccessMethod):
         if self._built and self._window_starts:
             window_no, window_start = self._locate_window(lower)
             if window_no is not None:
-                # Alive-at-boundary copies still alive at `lower`.
-                for entry in self.snapshots.index_scan(
+                # Alive-at-boundary copies still alive at `lower`; the
+                # snapshot scan is pure, so tombstone-free leaf slices are
+                # consumed without per-entry tests.
+                for batch in self.snapshots.index_scan_batches(
                         "snapIndex", (window_no, lower), (window_no,)):
-                    _w, e, s, interval_id, _rowid = entry
-                    if not tombstones or (s, e, interval_id) not in tombstones:
-                        results.append(interval_id)
+                    if tombstones:
+                        results.extend(
+                            interval_id
+                            for _w, e, s, interval_id, _rowid in batch
+                            if (s, e, interval_id) not in tombstones)
+                    else:
+                        results.extend(entry[3] for entry in batch)
                 scan_from = window_start
             else:
                 scan_from = self._window_starts[0]
             # Starts between the boundary and the query's upper bound.
-            for entry in self.starts.index_scan(
+            for batch in self.starts.index_scan_batches(
                     "startIndex", (scan_from,), (upper,)):
-                s, e, interval_id, _rowid = entry
-                if e >= lower:
-                    if not tombstones or (s, e, interval_id) not in tombstones:
-                        results.append(interval_id)
+                if tombstones:
+                    results.extend(
+                        interval_id
+                        for s, e, interval_id, _rowid in batch
+                        if e >= lower and (s, e, interval_id) not in tombstones)
+                else:
+                    results.extend(entry[2] for entry in batch
+                                   if entry[1] >= lower)
         # Overflow: full scan, the price of updating a static structure.
         for _rowid, (s, e, interval_id) in self.overflow.scan():
             if s <= upper and e >= lower:

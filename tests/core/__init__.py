@@ -1,0 +1,1 @@
+"""Test package (enables the relative conftest imports used by the suite)."""

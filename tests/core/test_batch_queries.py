@@ -1,0 +1,158 @@
+"""Batched RI-tree query execution vs the per-entry reference plan.
+
+``intersection`` (batched) must agree with ``intersection_per_entry``
+(the retained pre-batching execution) on results *and* on the exact
+logical/physical I/O trace -- the invariant that keeps the Section 6
+reproduction honest after the pipeline refactor.
+"""
+
+import pytest
+
+from repro.core import RITree
+from repro.engine import Database
+
+from ..conftest import make_intervals
+
+
+@pytest.fixture
+def loaded_records(rng):
+    return make_intervals(rng, 1500)
+
+
+@pytest.fixture
+def loaded_tree(loaded_records):
+    tree = RITree(Database(block_size=512, cache_blocks=32))
+    tree.bulk_load(loaded_records)
+    tree.db.flush()
+    return tree
+
+
+QUERIES = [(0, 100_000), (40_000, 45_000), (99_000, 120_000), (7, 7),
+           (0, 0), (60_000, 60_001), (-50, 10)]
+
+
+def test_batched_matches_per_entry_results(loaded_tree):
+    for lower, upper in QUERIES:
+        assert loaded_tree.intersection(lower, upper) == \
+            loaded_tree.intersection_per_entry(lower, upper)
+
+
+def test_batched_matches_per_entry_io(loaded_tree):
+    db = loaded_tree.db
+    for lower, upper in QUERIES:
+        db.clear_cache()
+        with db.measure() as per_entry:
+            loaded_tree.intersection_per_entry(lower, upper)
+        db.clear_cache()
+        with db.measure() as batched:
+            loaded_tree.intersection(lower, upper)
+        assert batched.logical_reads == per_entry.logical_reads
+        assert batched.physical_reads == per_entry.physical_reads
+
+
+def test_intersection_count_matches_len(loaded_tree):
+    db = loaded_tree.db
+    for lower, upper in QUERIES:
+        ids = loaded_tree.intersection(lower, upper)
+        db.clear_cache()
+        with db.measure() as counted:
+            count = loaded_tree.intersection_count(lower, upper)
+        assert count == len(ids)
+        db.clear_cache()
+        with db.measure() as materialised:
+            loaded_tree.intersection(lower, upper)
+        assert counted.logical_reads == materialised.logical_reads
+        assert counted.physical_reads == materialised.physical_reads
+
+
+def test_intersection_many_matches_single_queries(loaded_tree):
+    queries = QUERIES[:4]
+    assert loaded_tree.intersection_many(queries) == \
+        [loaded_tree.intersection(lower, upper) for lower, upper in queries]
+
+
+def test_dynamic_tree_parity(rng):
+    tree = RITree(Database(block_size=512, cache_blocks=32))
+    records = make_intervals(rng, 400)
+    for lower, upper, interval_id in records:
+        tree.insert(lower, upper, interval_id)
+    for lower, upper, _ in records[::37]:
+        assert sorted(tree.intersection(lower, upper)) == \
+            sorted(tree.intersection_per_entry(lower, upper))
+    # Deletions keep the two executions in lockstep.
+    for lower, upper, interval_id in records[::5]:
+        tree.delete(lower, upper, interval_id)
+    for lower, upper, _ in records[::37]:
+        assert tree.intersection(lower, upper) == \
+            tree.intersection_per_entry(lower, upper)
+
+
+def test_empty_tree_queries():
+    tree = RITree(Database(block_size=512, cache_blocks=32))
+    assert tree.intersection(0, 10) == []
+    assert tree.intersection_count(0, 10) == 0
+    assert tree.intersection_per_entry(0, 10) == []
+
+
+def test_intersection_records_parity(loaded_tree, loaded_records):
+    records = loaded_records
+    expected = {(lower, upper, interval_id)
+                for lower, upper, interval_id in records}
+    got = list(loaded_tree.intersection_records(0, 200_000))
+    assert set(got) == expected
+    assert len(got) == len(records)
+    # Refinement queries agree with id-level intersection.
+    for lower, upper in QUERIES[:4]:
+        ids = sorted(loaded_tree.intersection(lower, upper))
+        rec_ids = sorted(i for _, _, i in
+                         loaded_tree.intersection_records(lower, upper))
+        assert rec_ids == ids
+
+
+# ----------------------------------------------------------------------
+# coalesced execution
+# ----------------------------------------------------------------------
+def test_coalesced_execution_same_results_fewer_reads(rng):
+    records = make_intervals(rng, 1500)
+    plain = RITree(Database(block_size=512, cache_blocks=64))
+    plain.bulk_load(records)
+    plain.db.flush()
+    merged = RITree(Database(block_size=512, cache_blocks=64),
+                    coalesce_scans=True)
+    merged.bulk_load(records)
+    merged.db.flush()
+    total_plain = 0
+    total_merged = 0
+    for lower, upper, _ in records[::23]:
+        query = (max(0, lower - 300), upper + 300)
+        assert sorted(merged.intersection(*query)) == \
+            sorted(plain.intersection(*query))
+        with plain.db.measure() as a:
+            plain.intersection(*query)
+        with merged.db.measure() as b:
+            merged.intersection(*query)
+        total_plain += a.logical_reads
+        total_merged += b.logical_reads
+    # Coalescing may only ever remove descents, never add work.
+    assert total_merged <= total_plain
+
+
+def test_coalescing_merges_adjacent_left_node_runs():
+    """A crafted query whose left singleton touches the covered range."""
+    tree = RITree(Database(block_size=512, cache_blocks=64),
+                  coalesce_scans=True)
+    # Dense point intervals make every backbone node down to minstep 0
+    # reachable, so walks toward odd bounds end at the adjacent node.
+    tree.bulk_load([(i, i, i) for i in range(64)])
+    tree.db.flush()
+    plan = tree._plan(33, 40)
+    per_node_ranges = sum(
+        1 for node_min, node_max in tree.query_nodes(33, 40).left) + len(
+        tree.query_nodes(33, 40).right)
+    assert plan is not None
+    merged_ranges = len(plan[0]) + len(plan[1])
+    assert merged_ranges < per_node_ranges
+    reference = RITree(Database(block_size=512, cache_blocks=64))
+    reference.bulk_load([(i, i, i) for i in range(64)])
+    assert sorted(tree.intersection(33, 40)) == \
+        sorted(reference.intersection(33, 40)) == list(range(33, 41))

@@ -93,6 +93,24 @@ def test_roundtrip_any_arity(arity, data):
     assert codec.unpack_many(packed, len(entries)) == entries
 
 
+def test_batch_struct_cache_reused():
+    codec = IntTupleCodec(2)
+    for _ in range(3):
+        for count in (1, 4, 7):
+            entries = [(i, -i) for i in range(count)]
+            assert codec.unpack_many(codec.pack_many(entries),
+                                     count) == entries
+    # One cached Struct per distinct batch size, however often it is hit.
+    assert set(codec._batch_structs) == {1, 4, 7}
+
+
+def test_unpack_many_accepts_memoryview_and_extra_tail():
+    codec = IntTupleCodec(3)
+    entries = [(1, 2, 3), (4, 5, 6)]
+    data = codec.pack_many(entries) + b"\xff" * 11
+    assert codec.unpack_many(memoryview(data), 2) == entries
+
+
 @given(st.lists(int64, min_size=0, max_size=3), st.integers(1, 5))
 def test_padding_orders_extremes(prefix, arity):
     if len(prefix) > arity:
