@@ -24,6 +24,8 @@ def test_fig17_sweep(benchmark, scale):
         ri = [io for _, io in series["RI-tree"]]
         assert max(ri) <= 3 * max(min(ri), 0.5) + 2
         # And the RI-tree is the cheapest on average.
-        mean = lambda xs: sum(x for _, x in xs) / len(xs)
+        def mean(xs):
+            return sum(x for _, x in xs) / len(xs)
+
         assert mean(series["RI-tree"]) <= mean(series["IST"])
         assert mean(series["RI-tree"]) <= mean(series["T-index"])

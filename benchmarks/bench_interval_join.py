@@ -1,0 +1,292 @@
+"""Interval-join benchmark: index-nested-loop vs plane sweep vs oracle.
+
+Runs the interval equi-overlap join ``R JOIN S`` on a two-sided workload
+(cardinality and duration controlled per side by the scale preset)
+through the three strategies of :mod:`repro.core.join` and emits a JSON
+report:
+
+* ``index-nested-loop`` -- an RI-tree over the inner relation, one
+  batched intersection probe per outer tuple.  Logical and physical I/O
+  are observed through the same :class:`~repro.engine.stats.IoStats`
+  counters as the Figure 13 queries, and the report includes an
+  in-process cross-check that ``join_count`` reproduces, bit for bit,
+  the I/O of the equivalent per-probe ``intersection_count`` loop.
+* ``sweep`` -- the Piatov-style endpoint-sorted merge join with gapless
+  active lists.  Its only engine I/O is one sequential heap scan of each
+  input relation, measured on the same counters.
+* ``nested-loop`` -- the brute-force oracle (pure Python up to a
+  cross-product cap, numpy-vectorised beyond it), run once for parity.
+
+The script fails loudly unless all three strategies -- plus the
+independent ``searchsorted`` counting oracle -- agree on the pair count,
+and unless the index and sweep *pair sets* are identical.  Python-level
+work is measured as profile-hook frame activations per emitted pair.
+
+Usage::
+
+    python benchmarks/bench_interval_join.py                # small scale
+    python benchmarks/bench_interval_join.py --scale tiny   # CI smoke
+    python benchmarks/bench_interval_join.py --output out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from benchlib import best_of, count_frame_activations
+from repro.bench.experiments import get_scale
+from repro.bench.harness import paper_database, run_join_batch
+from repro.core.join import NestedLoopJoin, SweepJoin
+from repro.core.ritree import RITree
+from repro.workloads import joins as join_gen
+
+#: Cross-product size up to which the pure-Python oracle runs; beyond it
+#: the numpy-vectorised brute force (same nested-loop semantics) is used.
+PURE_ORACLE_LIMIT = 30_000_000
+
+#: Counter keys that must reproduce exactly across repeated runs.
+DETERMINISTIC_KEYS = ("pairs", "logical_reads", "physical_reads")
+
+
+def _measure_index_join(tree, probes, repeat):
+    """Cold-cache ``join_count`` runs via the harness, plus one
+    ``join_pairs`` run to check the two paths' I/O parity."""
+
+    def run_count():
+        batch = run_join_batch(tree, probes, count_only=True)
+        return {
+            "pairs": batch.pairs,
+            "logical_reads": batch.logical_io,
+            "physical_reads": batch.physical_io,
+            "time_s": batch.response_time,
+        }
+
+    count_row = best_of(repeat, run_count, keys=DETERMINISTIC_KEYS)
+    pairs_batch = run_join_batch(tree, probes, count_only=False)
+    for key, got in (
+        ("pairs", pairs_batch.pairs),
+        ("logical_reads", pairs_batch.logical_io),
+        ("physical_reads", pairs_batch.physical_io),
+    ):
+        if got != count_row[key]:
+            raise SystemExit(
+                f"index join paths diverge: join_pairs {key} {got} != "
+                f"join_count {count_row[key]}"
+            )
+    return count_row
+
+
+def _check_figure13_accounting(tree, probes, count_row):
+    """The acceptance cross-check: the join's I/O is exactly the sum of
+    the per-probe Figure 13 intersection queries, on the same counters."""
+    tree.db.clear_cache()
+    with tree.db.measure() as delta:
+        total = 0
+        for lower, upper, _probe_id in probes:
+            total += tree.intersection_count(lower, upper)
+    reference = {
+        "pairs": total,
+        "logical_reads": delta.logical_reads,
+        "physical_reads": delta.physical_reads,
+    }
+    for key, expected in reference.items():
+        if count_row[key] != expected:
+            raise SystemExit(
+                f"join I/O accounting diverges from per-probe "
+                f"intersection_count: {key} {count_row[key]} != {expected}"
+            )
+    return {"status": "bit-identical", **reference}
+
+
+def _measure_sweep(workload, repeat):
+    """Sweep runs reading both inputs from heap tables on the engine.
+
+    The sweep's engine I/O is one sequential scan per relation -- the
+    index-free competitor pays full input consumption, measured on the
+    same counters as the index join.
+    """
+    db = paper_database()
+    outer_table = db.create_table("R", ["lower", "upper", "id"])
+    inner_table = db.create_table("S", ["lower", "upper", "id"])
+    outer_table.bulk_load(workload.outer.records)
+    inner_table.bulk_load(workload.inner.records)
+    db.flush()
+    sweep = SweepJoin()
+
+    def run_once():
+        db.clear_cache()
+        started = time.perf_counter()
+        with db.measure() as delta:
+            outer = [row for _rowid, row in outer_table.scan()]
+            inner = [row for _rowid, row in inner_table.scan()]
+        count = sweep.count(outer, inner)
+        elapsed = time.perf_counter() - started
+        return {
+            "pairs": count,
+            "logical_reads": delta.logical_reads,
+            "physical_reads": delta.physical_reads,
+            "time_s": elapsed,
+        }
+
+    return best_of(repeat, run_once, keys=DETERMINISTIC_KEYS)
+
+
+def run(scale_name, seed, repeat):
+    scale = get_scale(scale_name)
+    workload = join_gen.join_workload(
+        outer_n=scale["join_outer_n"],
+        inner_n=scale["join_inner_n"],
+        outer_d=scale["join_outer_d"],
+        inner_d=scale["join_inner_d"],
+        seed=seed,
+    )
+    outer, inner = workload.outer.records, workload.inner.records
+
+    report = {
+        "workload": workload.name,
+        "scale": scale["name"],
+        "seed": seed,
+        "outer_n": workload.outer.n,
+        "inner_n": workload.inner.n,
+        "outer_d": workload.outer.duration_param,
+        "inner_d": workload.inner.duration_param,
+        "rows": [],
+    }
+
+    # Index-nested-loop join: RI-tree over the inner relation.
+    tree = RITree(paper_database())
+    tree.bulk_load(inner)
+    tree.db.flush()
+    index_row = _measure_index_join(tree, outer, repeat)
+    report["figure13_accounting"] = _check_figure13_accounting(
+        tree, outer, index_row
+    )
+    index_frames, _ = count_frame_activations(lambda: tree.join_count(outer))
+    report["rows"].append(
+        {
+            "strategy": "index-nested-loop",
+            **index_row,
+            "frame_activations": index_frames,
+            "frames_per_pair": index_frames / max(index_row["pairs"], 1),
+        }
+    )
+
+    # Sweep join: inputs scanned from heap tables, merge in memory.
+    sweep_row = _measure_sweep(workload, repeat)
+    sweep = SweepJoin()
+    sweep_frames, _ = count_frame_activations(lambda: sweep.count(outer, inner))
+    report["rows"].append(
+        {
+            "strategy": "sweep",
+            **sweep_row,
+            "frame_activations": sweep_frames,
+            "frames_per_pair": sweep_frames / max(sweep_row["pairs"], 1),
+        }
+    )
+
+    # Brute-force oracle (once; it exists to falsify the other two).
+    started = time.perf_counter()
+    if workload.pair_domain <= PURE_ORACLE_LIMIT:
+        oracle_pairs = NestedLoopJoin().pairs(outer, inner)
+        oracle_impl = "pure-python"
+    else:
+        oracle_pairs = join_gen.brute_force_pairs(outer, inner)
+        oracle_impl = "numpy"
+    oracle_elapsed = time.perf_counter() - started
+    report["rows"].append(
+        {
+            "strategy": "nested-loop",
+            "pairs": len(oracle_pairs),
+            "logical_reads": 0,
+            "physical_reads": 0,
+            "time_s": oracle_elapsed,
+            "oracle_impl": oracle_impl,
+        }
+    )
+
+    # Parity: all three strategies plus the independent counting oracle.
+    counting_oracle = workload.expected_pairs()
+    counts = {row["strategy"]: row["pairs"] for row in report["rows"]}
+    if len(set(counts.values()) | {counting_oracle}) != 1:
+        raise SystemExit(
+            f"join parity failure: {counts}, counting oracle "
+            f"{counting_oracle}"
+        )
+    index_pairs = sorted(tree.join_pairs(outer))
+    if index_pairs != sorted(SweepJoin().pairs(outer, inner)):
+        raise SystemExit("index and sweep pair SETS diverge")
+    if index_pairs != sorted(oracle_pairs):
+        raise SystemExit("index and nested-loop pair SETS diverge")
+    report["parity"] = {
+        "status": "identical",
+        "pairs": counting_oracle,
+        "strategies_compared": sorted(counts),
+        "pair_sets_compared": ["index-nested-loop", "sweep", "nested-loop"],
+    }
+
+    index_io = index_row["physical_reads"]
+    sweep_io = sweep_row["physical_reads"]
+    report["summary"] = {
+        "pairs": counting_oracle,
+        "join_selectivity": workload.selectivity(),
+        "index_physical_io": index_io,
+        "sweep_physical_io": sweep_io,
+        "index_over_sweep_io": index_io / max(sweep_io, 1),
+        "index_time_s": index_row["time_s"],
+        "sweep_time_s": sweep_row["time_s"],
+    }
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Interval equi-overlap join benchmark"
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="scale preset (default: REPRO_BENCH_SCALE or 'small')",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="cold-cache repetitions per measured strategy",
+    )
+    parser.add_argument("--output", default=None, help="path for the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run(args.scale, args.seed, args.repeat)
+    text = json.dumps(report, indent=1)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"report written to {args.output}")
+    summary = report["summary"]
+    print(
+        f"{report['workload']}: {summary['pairs']} pairs "
+        f"(selectivity {summary['join_selectivity']:.2e})"
+    )
+    print(
+        f"physical I/O: index-nested-loop {summary['index_physical_io']} "
+        f"vs sweep input scan {summary['sweep_physical_io']} "
+        f"({summary['index_over_sweep_io']:.2f}x)"
+    )
+    print(
+        f"wall time: index {summary['index_time_s']:.3f}s, "
+        f"sweep {summary['sweep_time_s']:.3f}s"
+    )
+    print(
+        f"parity: {report['parity']['status']} across "
+        f"{len(report['parity']['strategies_compared'])} strategies "
+        f"+ counting oracle"
+    )
+    print(f"figure-13 I/O accounting: {report['figure13_accounting']['status']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

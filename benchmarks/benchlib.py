@@ -1,0 +1,59 @@
+"""Shared measurement helpers for the benchmark scripts.
+
+Imported by sibling ``bench_*`` scripts (the script's own directory is on
+``sys.path`` when run as ``python benchmarks/bench_x.py``), so the
+profile-hook operation counter and the repeat-and-keep-best protocol stay
+identical across benchmarks instead of drifting as copies.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def count_frame_activations(runner):
+    """Run ``runner`` under a profile hook counting 'call' events.
+
+    Every Python function call *and* every generator resume activates a
+    frame, so this is a direct, deterministic proxy for the per-entry
+    interpreter work the batched pipelines eliminate.  Returns
+    ``(activation count, runner's result)``.
+    """
+    counter = 0
+
+    def hook(frame, event, arg):
+        nonlocal counter
+        if event == "call":
+            counter += 1
+
+    sys.setprofile(hook)
+    try:
+        result = runner()
+    finally:
+        sys.setprofile(None)
+    return counter, result
+
+
+def best_of(repeat, runner, keys):
+    """Repeat ``runner``, demand deterministic ``keys``, keep best time.
+
+    ``runner`` returns a dict containing every key in ``keys`` plus
+    ``"time_s"``.  Counter-valued keys (result sizes, logical/physical
+    I/O) must reproduce exactly across repetitions -- they are
+    deterministic, so any drift aborts the benchmark -- while the minimum
+    wall time is kept, the standard defence against scheduler noise.
+    """
+    best = None
+    for _ in range(repeat):
+        row = runner()
+        if best is None:
+            best = row
+        else:
+            for key in keys:
+                if best[key] != row[key]:
+                    raise SystemExit(
+                        f"non-deterministic measurement: {key} "
+                        f"{best[key]} vs {row[key]}"
+                    )
+            best["time_s"] = min(best["time_s"], row["time_s"])
+    return best

@@ -16,7 +16,7 @@ from __future__ import annotations
 import os
 import random
 import time
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 from ..core.backbone import FixedHeightBackbone, VirtualBackbone
 from ..core.ritree import RITree
@@ -50,6 +50,8 @@ SCALES: dict[str, dict] = {
         windowlist_n=2000, windowlist_queries=20,
         tune_sample=200, tune_queries=10, tune_levels=range(2, 15),
         ablation_n=2000, ablation_queries=15,
+        join_outer_n=200, join_inner_n=2000,
+        join_outer_d=2000, join_inner_d=2000,
     ),
     "small": dict(
         fig12_sizes=[1000, 5000, 20_000, 50_000],
@@ -68,6 +70,8 @@ SCALES: dict[str, dict] = {
         windowlist_n=20_000, windowlist_queries=50,
         tune_sample=1000, tune_queries=20, tune_levels=range(2, 15),
         ablation_n=20_000, ablation_queries=30,
+        join_outer_n=1500, join_inner_n=15_000,
+        join_outer_d=2000, join_inner_d=2000,
     ),
     "full": dict(
         fig12_sizes=[1000, 10_000, 100_000, 300_000, 1_000_000],
@@ -86,6 +90,8 @@ SCALES: dict[str, dict] = {
         windowlist_n=100_000, windowlist_queries=100,
         tune_sample=1000, tune_queries=20, tune_levels=range(2, 15),
         ablation_n=100_000, ablation_queries=50,
+        join_outer_n=5000, join_inner_n=100_000,
+        join_outer_d=2000, join_inner_d=2000,
     ),
 }
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from ..core.access import AccessMethod, IntervalRecord
 from ..engine.database import Database
@@ -106,6 +106,69 @@ def run_query_batch(method: AccessMethod,
         response_time_per_query=elapsed / count,
         results_per_query=total_results / count,
         selectivity=(total_results / count) / n,
+    )
+
+
+@dataclass
+class JoinBatchResult:
+    """Aggregate measurements of one index-nested-loop join run."""
+
+    method: str
+    probes: int
+    pairs: int
+    physical_io: int
+    logical_io: int
+    response_time: float
+
+    @property
+    def io_per_pair(self) -> float:
+        """Physical block accesses per emitted join pair."""
+        return self.physical_io / max(self.pairs, 1)
+
+    def as_row(self) -> dict:
+        """Flat dict for table printing."""
+        return {
+            "method": self.method,
+            "probes": self.probes,
+            "pairs": self.pairs,
+            "physical I/O": self.physical_io,
+            "logical I/O": self.logical_io,
+            "time [ms]": round(self.response_time * 1000, 3),
+            "I/O per pair": round(self.io_per_pair, 4),
+        }
+
+
+def run_join_batch(method: AccessMethod,
+                   probes: Sequence[IntervalRecord],
+                   cold_start: bool = True,
+                   count_only: bool = True) -> JoinBatchResult:
+    """Join ``probes`` against ``method``'s stored intervals, measured.
+
+    The index-nested-loop interval join as the harness sees it: the
+    method holds the inner relation, every probe record drives one
+    intersection scan, and the whole batch's I/O is observed through
+    :meth:`~repro.engine.database.Database.measure` -- the same counters
+    (and, per probe, the same scans) as the Figure 13 query batches.
+    ``count_only`` selects :meth:`~repro.core.access.AccessMethod.
+    join_count` (the harness default, no pair list materialised) over
+    :meth:`~repro.core.access.AccessMethod.join_pairs`.
+    """
+    if cold_start:
+        method.db.clear_cache()
+    started = time.perf_counter()
+    with method.db.measure() as delta:
+        if count_only:
+            pairs = method.join_count(probes)
+        else:
+            pairs = len(method.join_pairs(probes))
+    elapsed = time.perf_counter() - started
+    return JoinBatchResult(
+        method=method.method_name,
+        probes=len(probes),
+        pairs=pairs,
+        physical_io=delta.physical_reads,
+        logical_io=delta.logical_reads,
+        response_time=elapsed,
     )
 
 

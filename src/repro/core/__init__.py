@@ -6,6 +6,10 @@ Public surface:
 * :class:`~repro.core.temporal.TemporalRITree` -- ``now``/``infinity``
   support (Section 4.6);
 * :mod:`~repro.core.topology` -- Allen's 13 relation queries (Section 4.5);
+* :mod:`~repro.core.join` -- interval equi-overlap joins: index-nested-loop
+  over the batched scan plan, a Piatov-style plane sweep, and the
+  brute-force oracle, all behind one :class:`~repro.core.join.JoinStrategy`
+  API;
 * :class:`~repro.core.backbone.VirtualBackbone` and
   :func:`~repro.core.transient.collect_query_nodes` -- the virtual primary
   structure and transient query tables, exposed for inspection and tests;
@@ -22,6 +26,15 @@ from .backbone import (
 )
 from .costmodel import QueryEstimate, RITreeCostModel
 from .interval import Interval, validate_interval
+from .join import (
+    JOIN_STRATEGIES,
+    IndexNestedLoopJoin,
+    JoinPair,
+    JoinStrategy,
+    NestedLoopJoin,
+    SweepJoin,
+    interval_join,
+)
 from .ritree import RITree
 from .strings import StringIntervalTree, string_code
 from .temporal import (
@@ -39,9 +52,15 @@ __all__ = [
     "FixedHeightBackbone",
     "FORK_INF",
     "FORK_NOW",
+    "IndexNestedLoopJoin",
     "Interval",
     "IntervalRecord",
+    "JOIN_STRATEGIES",
+    "JoinPair",
+    "JoinStrategy",
     "MAX_ABS_BOUND",
+    "NestedLoopJoin",
+    "SweepJoin",
     "QueryEstimate",
     "QueryNodes",
     "RITree",
@@ -53,5 +72,6 @@ __all__ = [
     "UPPER_NOW",
     "VirtualBackbone",
     "collect_query_nodes",
+    "interval_join",
     "validate_interval",
 ]

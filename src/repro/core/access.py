@@ -86,6 +86,36 @@ class AccessMethod(ABC):
         return self.intersection(point, point)
 
     # ------------------------------------------------------------------
+    # joins (probe side of the index-nested-loop interval join)
+    # ------------------------------------------------------------------
+    def join_pairs(self, probes: Sequence[IntervalRecord]
+                   ) -> list[tuple[int, int]]:
+        """``(probe_id, stored_id)`` pairs of overlapping intervals.
+
+        The index-nested-loop interval join: one intersection probe per
+        outer record against this method's stored (inner) relation.  The
+        default loops :meth:`intersection`; methods with a batched
+        pipeline override it to emit pairs straight from leaf slices.
+        Pairs are duplicate-free because each probe's result is.
+        """
+        pairs: list[tuple[int, int]] = []
+        for lower, upper, probe_id in probes:
+            pairs.extend((probe_id, interval_id)
+                         for interval_id in self.intersection(lower, upper))
+        return pairs
+
+    def join_count(self, probes: Sequence[IntervalRecord]) -> int:
+        """Size of :meth:`join_pairs` without materialising the pair list.
+
+        Runs the same per-probe scans through :meth:`intersection_count`,
+        so the I/O trace is identical to :meth:`join_pairs` while batched
+        methods skip building id lists -- the join analogue of the
+        harness's count-only query path.
+        """
+        return sum(self.intersection_count(lower, upper)
+                   for lower, upper, _probe_id in probes)
+
+    # ------------------------------------------------------------------
     # accounting (Figure 12's storage metric and general bookkeeping)
     # ------------------------------------------------------------------
     @property

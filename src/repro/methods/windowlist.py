@@ -201,6 +201,47 @@ class WindowList(AccessMethod):
                 results.append(interval_id)
         return results
 
+    def intersection_count(self, lower: int, upper: int) -> int:
+        """Result count of :meth:`intersection` without building id lists.
+
+        Identical scans and therefore identical I/O: tombstone-free
+        snapshot slices contribute whole leaf-slice lengths, the starts
+        branch keeps its per-entry ``upper >= lower`` residual test.  This
+        is the Window-List's cheap join adapter -- the base
+        :meth:`~repro.core.access.AccessMethod.join_count` dispatches here
+        per probe.
+        """
+        validate_interval(lower, upper)
+        total = 0
+        tombstones = self._overflow_deletes
+        if self._built and self._window_starts:
+            window_no, window_start = self._locate_window(lower)
+            if window_no is not None:
+                for batch in self.snapshots.index_scan_batches(
+                        "snapIndex", (window_no, lower), (window_no,)):
+                    if tombstones:
+                        total += sum(
+                            1 for _w, e, s, interval_id, _rowid in batch
+                            if (s, e, interval_id) not in tombstones)
+                    else:
+                        total += len(batch)
+                scan_from = window_start
+            else:
+                scan_from = self._window_starts[0]
+            for batch in self.starts.index_scan_batches(
+                    "startIndex", (scan_from,), (upper,)):
+                if tombstones:
+                    total += sum(
+                        1 for s, e, interval_id, _rowid in batch
+                        if e >= lower
+                        and (s, e, interval_id) not in tombstones)
+                else:
+                    total += sum(1 for entry in batch if entry[1] >= lower)
+        for _rowid, (s, e, _interval_id) in self.overflow.scan():
+            if s <= upper and e >= lower:
+                total += 1
+        return total
+
     def _locate_window(self, point: int) -> tuple[Optional[int], int]:
         """Directory lookup: the window whose start precedes ``point``.
 

@@ -24,7 +24,7 @@ modification of the SQL statement*.
 from __future__ import annotations
 
 import sqlite3
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from ..core.backbone import VirtualBackbone
 from ..core.interval import validate_interval

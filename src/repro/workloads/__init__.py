@@ -1,4 +1,5 @@
-"""Workload generators: the Table 1 interval databases and query batches."""
+"""Workload generators: Table 1 interval databases, query batches and
+join workloads (two relations with independent parameters)."""
 
 from .distributions import (
     DISTRIBUTIONS,
@@ -13,6 +14,13 @@ from .distributions import (
     make,
     table1_catalogue,
 )
+from .joins import (
+    OUTER_ID_OFFSET,
+    JoinWorkload,
+    brute_force_pairs,
+    expected_pair_count,
+    join_workload,
+)
 from .queries import (
     brute_force_results,
     measured_selectivity,
@@ -26,13 +34,18 @@ __all__ = [
     "DISTRIBUTIONS",
     "DOMAIN_BITS",
     "DOMAIN_MAX",
+    "JoinWorkload",
+    "OUTER_ID_OFFSET",
     "Workload",
+    "brute_force_pairs",
     "brute_force_results",
     "d1",
     "d2",
     "d3",
     "d3_restricted",
     "d4",
+    "expected_pair_count",
+    "join_workload",
     "make",
     "measured_selectivity",
     "point_queries",

@@ -1,0 +1,208 @@
+"""The interval equi-overlap join: three strategies, one pair set."""
+
+import pytest
+
+from repro.bench.harness import run_join_batch
+from repro.core import RITree, TemporalRITree
+from repro.core.join import (
+    JOIN_STRATEGIES,
+    IndexNestedLoopJoin,
+    NestedLoopJoin,
+    SweepJoin,
+    interval_join,
+)
+from repro.methods import WindowList
+
+from ..conftest import make_intervals
+
+STRATEGIES = ["nested-loop", "sweep", "index"]
+
+OUTER = [(0, 10, 100), (5, 5, 101), (20, 30, 102), (35, 60, 103)]
+INNER = [(8, 25, 1), (10, 10, 2), (30, 35, 3), (70, 80, 4)]
+
+#: Hand-checked: overlap over closed intervals, shared endpoints count.
+EXPECTED = [
+    (100, 1),
+    (100, 2),
+    (102, 1),
+    (102, 3),
+    (103, 3),
+]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_hand_checked_join(strategy):
+    assert sorted(interval_join(OUTER, INNER, strategy)) == EXPECTED
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_empty_sides(strategy):
+    assert interval_join([], INNER, strategy) == []
+    assert interval_join(OUTER, [], strategy) == []
+    assert interval_join([], [], strategy) == []
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_point_and_touching_intervals(strategy):
+    outer = [(5, 5, 1), (10, 20, 2)]
+    inner = [(5, 5, 7), (0, 5, 8), (20, 20, 9), (6, 9, 10)]
+    expected = [(1, 7), (1, 8), (2, 9)]
+    assert sorted(interval_join(outer, inner, strategy)) == expected
+
+
+def test_unknown_strategy_raises():
+    with pytest.raises(ValueError, match="unknown join strategy"):
+        interval_join(OUTER, INNER, strategy="hash")
+
+
+def test_strategy_registry_covers_all_names():
+    assert set(JOIN_STRATEGIES) == {
+        "nested-loop",
+        "sweep",
+        "index",
+        "index-nested-loop",
+    }
+
+
+def test_random_parity_across_strategies(rng):
+    outer = make_intervals(rng, 120, domain=20_000, mean_length=400)
+    inner = [
+        (lower, upper, 10_000 + i)
+        for i, (lower, upper, _) in enumerate(
+            make_intervals(rng, 150, domain=20_000, mean_length=700)
+        )
+    ]
+    expected = sorted(NestedLoopJoin().pairs(outer, inner))
+    assert sorted(SweepJoin().pairs(outer, inner)) == expected
+    assert sorted(IndexNestedLoopJoin().pairs(outer, inner)) == expected
+
+
+def test_sweep_count_matches_pairs(rng):
+    outer = make_intervals(rng, 80, domain=5000, mean_length=300)
+    inner = [
+        (lo, up, 900 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 90, domain=5000, mean_length=300)
+        )
+    ]
+    sweep = SweepJoin()
+    assert sweep.count(outer, inner) == len(sweep.pairs(outer, inner))
+
+
+def test_sweep_validates_inputs():
+    with pytest.raises(ValueError):
+        SweepJoin().pairs([(5, 3, 1)], INNER)
+    with pytest.raises(ValueError):
+        SweepJoin().pairs(OUTER, [(5, 3, 1)])
+    with pytest.raises(ValueError):
+        NestedLoopJoin().pairs([(5, 3, 1)], INNER)
+
+
+def test_ritree_join_pairs_matches_base_loop(rng):
+    inner = make_intervals(rng, 200, domain=50_000, mean_length=800)
+    probes = [
+        (lo, up, 5000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 40, domain=50_000, mean_length=2000)
+        )
+    ]
+    tree = RITree()
+    tree.bulk_load(inner)
+    via_batches = tree.join_pairs(probes)
+    via_loop = []
+    for lower, upper, probe_id in probes:
+        via_loop.extend(
+            (probe_id, interval_id)
+            for interval_id in tree.intersection(lower, upper)
+        )
+    assert sorted(via_batches) == sorted(via_loop)
+    assert tree.join_count(probes) == len(via_batches)
+
+
+def test_ritree_join_io_matches_per_probe_queries(rng):
+    """The acceptance criterion: join I/O goes through the same IoStats
+    counters -- and adds up to exactly the per-probe Figure 13 scans."""
+    inner = make_intervals(rng, 300, domain=60_000, mean_length=600)
+    probes = [
+        (lo, up, 9000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 25, domain=60_000, mean_length=1500)
+        )
+    ]
+    tree = RITree()
+    tree.bulk_load(inner)
+    tree.db.flush()
+
+    tree.db.clear_cache()
+    with tree.db.measure() as join_io:
+        joined = tree.join_count(probes)
+
+    tree.db.clear_cache()
+    with tree.db.measure() as query_io:
+        queried = sum(tree.intersection_count(lo, up) for lo, up, _ in probes)
+
+    assert joined == queried
+    assert join_io.logical_reads == query_io.logical_reads
+    assert join_io.physical_reads == query_io.physical_reads
+    assert join_io.logical_reads > 0
+
+
+def test_join_pairs_against_prebuilt_temporal_tree():
+    tree = TemporalRITree(now=100)
+    tree.insert(10, 20, interval_id=1)
+    tree.insert_until_now(50, interval_id=2)  # effectively [50, 100]
+    tree.insert_infinite(80, interval_id=3)   # [80, oo)
+    probes = [(15, 60, 500), (90, 95, 501), (200, 300, 502)]
+    join = IndexNestedLoopJoin(method=tree)
+    pairs = sorted(join.pairs(probes, inner=[]))
+    assert pairs == [(500, 1), (500, 2), (501, 2), (501, 3), (502, 3)]
+    assert join.count(probes, inner=[]) == len(pairs)
+
+
+def test_windowlist_count_and_join_adapter(rng):
+    records = make_intervals(rng, 150, domain=30_000, mean_length=500)
+    wl = WindowList()
+    wl.bulk_load(records)
+    # Post-build updates exercise the overflow and tombstone paths.
+    wl.insert(1000, 4000, interval_id=7000)
+    wl.delete(*records[3])
+    probes = [
+        (lo, up, 8000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 20, domain=30_000, mean_length=1200)
+        )
+    ]
+    for lower, upper, _ in probes:
+        assert wl.intersection_count(lower, upper) == len(
+            wl.intersection(lower, upper)
+        )
+    expected = []
+    for lower, upper, probe_id in probes:
+        expected.extend(
+            (probe_id, interval_id)
+            for interval_id in wl.intersection(lower, upper)
+        )
+    assert sorted(wl.join_pairs(probes)) == sorted(expected)
+    assert wl.join_count(probes) == len(expected)
+
+
+def test_run_join_batch_reports_join_measurements(rng):
+    inner = make_intervals(rng, 250, domain=40_000, mean_length=500)
+    probes = [
+        (lo, up, 3000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 15, domain=40_000, mean_length=1000)
+        )
+    ]
+    tree = RITree()
+    tree.bulk_load(inner)
+    tree.db.flush()
+    batch = run_join_batch(tree, probes)
+    assert batch.method == "RI-tree"
+    assert batch.probes == len(probes)
+    assert batch.pairs == len(NestedLoopJoin().pairs(probes, inner))
+    assert batch.logical_io > 0
+    assert batch.physical_io >= 0
+    row = batch.as_row()
+    assert row["pairs"] == batch.pairs
+    assert row["I/O per pair"] == round(batch.io_per_pair, 4)

@@ -1,6 +1,5 @@
 """Tests for string intervals (the Section 7 extension)."""
 
-import random
 import string as string_module
 
 import pytest

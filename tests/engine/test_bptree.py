@@ -1,7 +1,5 @@
 """Unit tests for the B+-tree."""
 
-import random
-
 import pytest
 
 from repro.engine.bptree import NO_BLOCK, BPlusTree, DuplicateEntryError

@@ -6,8 +6,6 @@ returns, with an identical logical/physical I/O trace, while the buffer
 pool's pre-bound readers keep the same accounting as ``BufferPool.get``.
 """
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,77 @@
+"""Join workload generation and the counting/brute-force oracles."""
+
+import pytest
+
+from repro.core.join import NestedLoopJoin
+from repro.workloads import joins
+
+
+def test_join_workload_is_deterministic():
+    first = joins.join_workload(50, 80, seed=3)
+    second = joins.join_workload(50, 80, seed=3)
+    assert first.outer.records == second.outer.records
+    assert first.inner.records == second.inner.records
+    assert first.name == second.name
+
+
+def test_sides_are_independent_despite_equal_parameters():
+    workload = joins.join_workload(60, 60, outer_d=500, inner_d=500, seed=1)
+    outer_shapes = [(lo, up) for lo, up, _ in workload.outer.records]
+    inner_shapes = [(lo, up) for lo, up, _ in workload.inner.records]
+    assert outer_shapes != inner_shapes
+
+
+def test_id_spaces_are_disjoint():
+    workload = joins.join_workload(40, 70, seed=2)
+    outer_ids = {r[2] for r in workload.outer.records}
+    inner_ids = {r[2] for r in workload.inner.records}
+    assert not outer_ids & inner_ids
+    assert min(outer_ids) >= joins.OUTER_ID_OFFSET
+    assert max(inner_ids) < joins.OUTER_ID_OFFSET
+
+
+def test_independent_cardinality_and_duration():
+    workload = joins.join_workload(30, 200, outer_d=100, inner_d=4000, seed=5)
+    assert workload.outer.n == 30
+    assert workload.inner.n == 200
+    assert workload.outer.mean_length < workload.inner.mean_length
+    assert workload.pair_domain == 30 * 200
+
+
+def test_distribution_mix():
+    workload = joins.join_workload(25, 25, outer_dist="D2", inner_dist="D3", seed=4)
+    assert workload.name.startswith("D2(")
+    assert "D3(" in workload.name
+
+
+def test_expected_pair_count_matches_pure_oracle():
+    workload = joins.join_workload(45, 90, outer_d=3000, seed=7)
+    pure = len(
+        NestedLoopJoin().pairs(workload.outer.records, workload.inner.records)
+    )
+    assert workload.expected_pairs() == pure
+    assert workload.selectivity() == pytest.approx(pure / workload.pair_domain)
+
+
+def test_brute_force_pairs_matches_pure_oracle():
+    workload = joins.join_workload(35, 60, seed=9)
+    outer, inner = workload.outer.records, workload.inner.records
+    assert sorted(joins.brute_force_pairs(outer, inner)) == sorted(
+        NestedLoopJoin().pairs(outer, inner)
+    )
+
+
+def test_oracles_on_empty_sides():
+    workload = joins.join_workload(20, 30, seed=1)
+    records = workload.inner.records
+    assert joins.expected_pair_count([], records) == 0
+    assert joins.expected_pair_count(records, []) == 0
+    assert joins.brute_force_pairs([], records) == []
+    assert workload.pair_domain == 600
+
+
+def test_empty_workload_selectivity():
+    workload = joins.join_workload(0, 0, seed=1)
+    assert workload.pair_domain == 0
+    assert workload.selectivity() == 0.0
+    assert workload.expected_pairs() == 0
