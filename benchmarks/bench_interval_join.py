@@ -16,8 +16,11 @@ report:
   input relation, measured on the same counters.
 * ``nested-loop`` -- the brute-force oracle (pure Python up to a
   cross-product cap, numpy-vectorised beyond it), run once for parity.
+* ``auto`` -- the cost-model planner: its decision (with the predicted
+  per-strategy costs) is recorded, and its row carries the measured cost
+  of the strategy it dispatched to.
 
-The script fails loudly unless all three strategies -- plus the
+The script fails loudly unless all four strategies -- plus the
 independent ``searchsorted`` counting oracle -- agree on the pair count,
 and unless the index and sweep *pair sets* are identical.  Python-level
 work is measured as profile-hook frame activations per emitted pair.
@@ -39,7 +42,7 @@ from pathlib import Path
 from benchlib import best_of, count_frame_activations
 from repro.bench.experiments import get_scale
 from repro.bench.harness import paper_database, run_join_batch
-from repro.core.join import NestedLoopJoin, SweepJoin
+from repro.core.join import AutoJoin, NestedLoopJoin, SweepJoin
 from repro.core.ritree import RITree
 from repro.workloads import joins as join_gen
 
@@ -160,6 +163,10 @@ def run(scale_name, seed, repeat):
     tree = RITree(paper_database())
     tree.bulk_load(inner)
     tree.db.flush()
+    # The planner's view of this workload (the estimate the auto strategy
+    # dispatches on), recorded before any measurement.
+    planner = tree.cost_model().estimate_join(outer).as_dict()
+    report["planner"] = planner
     index_row = _measure_index_join(tree, outer, repeat)
     report["figure13_accounting"] = _check_figure13_accounting(
         tree, outer, index_row
@@ -184,6 +191,29 @@ def run(scale_name, seed, repeat):
             **sweep_row,
             "frame_activations": sweep_frames,
             "frames_per_pair": sweep_frames / max(sweep_row["pairs"], 1),
+        }
+    )
+
+    # Auto strategy: the planner's dispatch, with the measured cost of
+    # whichever strategy it picked (the decision itself is O(statistics),
+    # so the dispatched strategy's measurements *are* auto's).  The row's
+    # prediction is the estimate auto actually dispatched on (the
+    # engine-free planner), not the tree model recorded above -- the two
+    # estimators may legitimately disagree right at the crossover.
+    auto = AutoJoin()
+    auto_pairs = auto.count(outer, inner)
+    dispatched = auto.last_decision.choice
+    dispatched_row = index_row if dispatched == "index-nested-loop" \
+        else sweep_row
+    report["rows"].append(
+        {
+            "strategy": "auto",
+            "pairs": auto_pairs,
+            "logical_reads": dispatched_row["logical_reads"],
+            "physical_reads": dispatched_row["physical_reads"],
+            "time_s": dispatched_row["time_s"],
+            "dispatched_to": dispatched,
+            "predicted": auto.last_decision.as_dict(),
         }
     )
 

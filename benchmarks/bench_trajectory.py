@@ -1,0 +1,115 @@
+"""Merge benchmark reports into BENCH_PR.json and diff the baselines.
+
+The CLI face of :mod:`repro.bench.trajectory`: CI (the
+``bench-trajectory`` job) runs the scan-throughput, interval-join, and
+join-crossover benchmarks at tiny scale, then invokes this script to
+
+* merge their reports into one ``BENCH_PR.json`` artifact
+  (rows of ``{bench, scale, metrics, git_sha}``), and
+* compare against the committed baseline under ``benchmarks/baselines/``,
+  failing with a readable delta table when a deterministic metric drifts
+  or a quality ratio regresses.
+
+Usage::
+
+    python benchmarks/bench_trajectory.py --out BENCH_PR.json \\
+        scan-throughput=scan.json interval-join=join.json \\
+        join-crossover=crossover.json
+
+    # refresh the committed baseline after a deliberate change:
+    python benchmarks/bench_trajectory.py --write-baseline \\
+        benchmarks/baselines/bench_trajectory_tiny.json ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+from pathlib import Path
+
+from repro.bench import trajectory
+
+DEFAULT_BASELINE = (Path(__file__).parent / "baselines"
+                    / "bench_trajectory_tiny.json")
+
+
+def resolve_sha(explicit: str | None) -> str:
+    """The commit the trajectory row is attributed to."""
+    if explicit:
+        return explicit
+    env = os.environ.get("GITHUB_SHA")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=Path(__file__).parent, timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Merge bench reports into BENCH_PR.json, diff baselines"
+    )
+    parser.add_argument(
+        "reports", nargs="+", metavar="BENCH=PATH",
+        help="benchmark reports as name=path pairs "
+             f"(names: {sorted(trajectory.BENCH_EXTRACTORS)})")
+    parser.add_argument("--out", default="BENCH_PR.json",
+                        help="merged report path (default: BENCH_PR.json)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed baseline to diff against")
+    parser.add_argument("--sha", default=None,
+                        help="commit sha (default: GITHUB_SHA or git HEAD)")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="write the merged rows as a new baseline "
+                             "instead of diffing")
+    args = parser.parse_args(argv)
+
+    named = {}
+    for pair in args.reports:
+        bench, _, path = pair.partition("=")
+        if not path:
+            parser.error(f"report {pair!r} is not a BENCH=PATH pair")
+        named[bench] = json.loads(Path(path).read_text())
+
+    merged = trajectory.merge_reports(named, git_sha=resolve_sha(args.sha))
+    Path(args.out).write_text(json.dumps(merged, indent=1) + "\n")
+    print(f"merged trajectory written to {args.out} "
+          f"({len(merged['rows'])} rows, sha {merged['git_sha'][:12]})")
+
+    if args.write_baseline:
+        baseline = trajectory.strip_baseline(merged)
+        Path(args.write_baseline).write_text(
+            json.dumps(baseline, indent=1) + "\n")
+        print(f"baseline written to {args.write_baseline}")
+        return 0
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping comparison "
+              "(commit one with --write-baseline)")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    deltas = trajectory.compare_to_baseline(merged, baseline)
+    print()
+    print(trajectory.render_delta_table(deltas))
+    failures = trajectory.regressions(deltas)
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed against "
+              f"{baseline_path}")
+        print("update the baseline deliberately with --write-baseline "
+              "if the change is intended")
+        return 1
+    print(f"\nbaseline check OK against {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,9 @@ SCALES: dict[str, dict] = {
         ablation_n=2000, ablation_queries=15,
         join_outer_n=200, join_inner_n=2000,
         join_outer_d=2000, join_inner_d=2000,
+        crossover_outer_ns=[5, 20, 80, 320],
+        crossover_inner_ns=[2000],
+        crossover_inner_ds=[500, 2000],
     ),
     "small": dict(
         fig12_sizes=[1000, 5000, 20_000, 50_000],
@@ -72,6 +75,9 @@ SCALES: dict[str, dict] = {
         ablation_n=20_000, ablation_queries=30,
         join_outer_n=1500, join_inner_n=15_000,
         join_outer_d=2000, join_inner_d=2000,
+        crossover_outer_ns=[5, 10, 20, 40, 80, 160, 320, 640],
+        crossover_inner_ns=[4000, 8000],
+        crossover_inner_ds=[1000, 2000],
     ),
     "full": dict(
         fig12_sizes=[1000, 10_000, 100_000, 300_000, 1_000_000],
@@ -92,6 +98,9 @@ SCALES: dict[str, dict] = {
         ablation_n=100_000, ablation_queries=50,
         join_outer_n=5000, join_inner_n=100_000,
         join_outer_d=2000, join_inner_d=2000,
+        crossover_outer_ns=[5, 10, 20, 40, 80, 160, 320, 640, 1280],
+        crossover_inner_ns=[8000, 15_000, 30_000],
+        crossover_inner_ds=[500, 2000, 4000],
     ),
 }
 

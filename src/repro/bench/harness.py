@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..core.access import AccessMethod, IntervalRecord
 from ..engine.database import Database
@@ -119,6 +119,9 @@ class JoinBatchResult:
     physical_io: int
     logical_io: int
     response_time: float
+    #: The planner's prediction (``JoinEstimate.as_dict()``) when the run
+    #: was planned (``run_join_batch(..., plan=True)``); ``None`` otherwise.
+    decision: Optional[dict] = None
 
     @property
     def io_per_pair(self) -> float:
@@ -127,7 +130,7 @@ class JoinBatchResult:
 
     def as_row(self) -> dict:
         """Flat dict for table printing."""
-        return {
+        row = {
             "method": self.method,
             "probes": self.probes,
             "pairs": self.pairs,
@@ -136,12 +139,21 @@ class JoinBatchResult:
             "time [ms]": round(self.response_time * 1000, 3),
             "I/O per pair": round(self.io_per_pair, 4),
         }
+        if self.decision is not None:
+            chosen = self.decision[
+                "index" if self.decision["choice"] == "index-nested-loop"
+                else "sweep"]
+            row["planner choice"] = self.decision["choice"]
+            row["predicted pairs"] = self.decision["result_count"]
+            row["predicted physical I/O"] = chosen["physical_reads"]
+        return row
 
 
 def run_join_batch(method: AccessMethod,
                    probes: Sequence[IntervalRecord],
                    cold_start: bool = True,
-                   count_only: bool = True) -> JoinBatchResult:
+                   count_only: bool = True,
+                   plan: bool = False) -> JoinBatchResult:
     """Join ``probes`` against ``method``'s stored intervals, measured.
 
     The index-nested-loop interval join as the harness sees it: the
@@ -152,7 +164,19 @@ def run_join_batch(method: AccessMethod,
     ``count_only`` selects :meth:`~repro.core.access.AccessMethod.
     join_count` (the harness default, no pair list materialised) over
     :meth:`~repro.core.access.AccessMethod.join_pairs`.
+
+    With ``plan=True`` the method's cost model (where it has one) prices
+    the batch *before* the caches are cleared, and the prediction --
+    expected pair count, per-strategy logical/physical I/O -- rides along
+    on :attr:`JoinBatchResult.decision`, so reports can put predicted and
+    measured cost side by side.  Planning happens outside the measured
+    window: the ANALYZE scan is statistics maintenance, not query work.
     """
+    decision = None
+    if plan:
+        model = method.cost_model()
+        if model is not None:
+            decision = model.estimate_join(probes).as_dict()
     if cold_start:
         method.db.clear_cache()
     started = time.perf_counter()
@@ -169,6 +193,7 @@ def run_join_batch(method: AccessMethod,
         physical_io=delta.physical_reads,
         logical_io=delta.logical_reads,
         response_time=elapsed,
+        decision=decision,
     )
 
 

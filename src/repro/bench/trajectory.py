@@ -1,0 +1,209 @@
+"""The bench-trajectory pipeline: merge reports, diff committed baselines.
+
+CI runs the benchmark scripts at tiny scale and hands their JSON reports
+to this module, which
+
+* extracts each benchmark's *deterministic* metrics (I/O counters, result
+  sizes, decision accuracy -- never wall time, which CI runners cannot
+  reproduce),
+* merges them into one ``BENCH_PR.json`` whose rows follow the schema
+  ``{bench, scale, metrics, git_sha}`` -- the perf-trajectory record a PR
+  leaves behind as an artifact, and
+* diffs the rows against the committed baselines under
+  ``benchmarks/baselines/`` so a regression fails the job with a
+  readable delta table.
+
+Two comparison rules cover every metric:
+
+* ``exact`` -- deterministic counters (physical/logical reads, pair
+  counts, grid sizes) must reproduce bit for bit; any drift means the
+  change altered measured behaviour and the baseline must be updated
+  *deliberately* (with the diff in the PR).
+* ``at-least`` -- quality ratios (ops ratio, planner accuracy) may only
+  improve; dropping below the recorded value is a regression.
+
+The CLI wrapper is ``benchmarks/bench_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+#: Comparison rules.
+EXACT = "exact"
+AT_LEAST = "at-least"
+
+#: Metric name -> comparison rule; anything unlisted defaults to EXACT.
+METRIC_RULES: dict[str, str] = {
+    "worst_ops_ratio": AT_LEAST,
+    "auto_accuracy": AT_LEAST,
+    "correct_choices": AT_LEAST,
+}
+
+#: Tolerance for AT_LEAST comparisons (floating-point guard only).
+AT_LEAST_SLACK = 1e-9
+
+
+def _scan_throughput_metrics(report: dict) -> dict:
+    count_rows = [r for r in report["rows"] if r["path"] == "count"]
+    return {
+        "results_total": sum(r["results_total"] for r in count_rows),
+        "logical_reads": sum(r["logical_reads"] for r in count_rows),
+        "physical_reads": sum(r["physical_reads"] for r in count_rows),
+        "worst_ops_ratio": round(
+            report["summary"]["ritree_worst_ops_ratio"], 3),
+    }
+
+
+def _interval_join_metrics(report: dict) -> dict:
+    rows = {r["strategy"]: r for r in report["rows"]}
+    return {
+        "pairs": report["summary"]["pairs"],
+        "index_physical_reads": rows["index-nested-loop"]["physical_reads"],
+        "index_logical_reads": rows["index-nested-loop"]["logical_reads"],
+        "sweep_physical_reads": rows["sweep"]["physical_reads"],
+        "sweep_logical_reads": rows["sweep"]["logical_reads"],
+        "auto_physical_reads": rows["auto"]["physical_reads"],
+    }
+
+
+def _join_crossover_metrics(report: dict) -> dict:
+    summary = report["summary"]
+    measured_index = sum(
+        r["measured"]["index-nested-loop"]["physical_reads"]
+        for r in report["rows"])
+    measured_sweep = sum(
+        r["measured"]["sweep"]["physical_reads"] for r in report["rows"])
+    return {
+        "grid_points": summary["grid_points"],
+        "correct_choices": summary["correct_choices"],
+        "auto_accuracy": round(summary["auto_accuracy"], 3),
+        "index_physical_reads": measured_index,
+        "sweep_physical_reads": measured_sweep,
+    }
+
+
+#: Benchmark name -> metrics extractor over its JSON report.
+BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
+    "scan-throughput": _scan_throughput_metrics,
+    "interval-join": _interval_join_metrics,
+    "join-crossover": _join_crossover_metrics,
+}
+
+
+def extract_metrics(bench: str, report: dict) -> dict:
+    """Deterministic metrics of one benchmark report."""
+    try:
+        extractor = BENCH_EXTRACTORS[bench]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {bench!r}; expected one of "
+            f"{sorted(BENCH_EXTRACTORS)}"
+        ) from None
+    return extractor(report)
+
+
+def merge_reports(named_reports: dict[str, dict],
+                  git_sha: str = "unknown") -> dict:
+    """Merge benchmark reports into the BENCH_PR row schema."""
+    rows = []
+    for bench, report in sorted(named_reports.items()):
+        rows.append({
+            "bench": bench,
+            "scale": report.get("scale", "unknown"),
+            "metrics": extract_metrics(bench, report),
+            "git_sha": git_sha,
+        })
+    return {"schema": "bench-trajectory/v1", "git_sha": git_sha,
+            "rows": rows}
+
+
+def strip_baseline(merged: dict) -> dict:
+    """The committable form of a merged report: rows minus the sha."""
+    return {
+        "schema": merged["schema"],
+        "rows": [{"bench": r["bench"], "scale": r["scale"],
+                  "metrics": r["metrics"]} for r in merged["rows"]],
+    }
+
+
+def compare_to_baseline(merged: dict, baseline: dict) -> list[dict]:
+    """Per-metric deltas of a merged report against a committed baseline.
+
+    Returns one dict per comparison: ``bench``, ``scale``, ``metric``,
+    ``baseline``, ``current``, ``status`` (``ok`` / ``regression`` /
+    ``new`` / ``missing``).  Baseline rows are matched on
+    ``(bench, scale)``; benches without a baseline row pass with a
+    ``new`` marker so freshly added benchmarks do not need a same-PR
+    baseline to land.  The converse is a failure: a baseline row with no
+    matching merged row means a benchmark vanished from the pipeline
+    (dropped report, renamed bench), which must not pass silently.
+    """
+    base_rows = {(r["bench"], r["scale"]): r["metrics"]
+                 for r in baseline.get("rows", [])}
+    merged_keys = {(r["bench"], r["scale"]) for r in merged["rows"]}
+    deltas: list[dict] = []
+    for (bench, scale), metrics in base_rows.items():
+        if (bench, scale) not in merged_keys:
+            deltas.append({"bench": bench, "scale": scale, "metric": "*",
+                           "baseline": len(metrics), "current": None,
+                           "status": "missing"})
+    for row in merged["rows"]:
+        key = (row["bench"], row["scale"])
+        base_metrics = base_rows.get(key)
+        if base_metrics is None:
+            deltas.append({"bench": row["bench"], "scale": row["scale"],
+                           "metric": "*", "baseline": None,
+                           "current": None, "status": "new"})
+            continue
+        for metric, current in sorted(row["metrics"].items()):
+            recorded = base_metrics.get(metric)
+            entry = {"bench": row["bench"], "scale": row["scale"],
+                     "metric": metric, "baseline": recorded,
+                     "current": current}
+            if recorded is None:
+                entry["status"] = "new"
+            elif METRIC_RULES.get(metric, EXACT) == AT_LEAST:
+                entry["status"] = (
+                    "ok" if current >= recorded - AT_LEAST_SLACK
+                    else "regression")
+            else:
+                entry["status"] = "ok" if current == recorded \
+                    else "regression"
+            deltas.append(entry)
+        for metric in sorted(set(base_metrics) - set(row["metrics"])):
+            deltas.append({"bench": row["bench"], "scale": row["scale"],
+                           "metric": metric,
+                           "baseline": base_metrics[metric],
+                           "current": None, "status": "missing"})
+    return deltas
+
+
+def regressions(deltas: Iterable[dict]) -> list[dict]:
+    """The failing subset: regressed or vanished metrics."""
+    return [d for d in deltas if d["status"] in ("regression", "missing")]
+
+
+def render_delta_table(deltas: list[dict]) -> str:
+    """Markdown-style delta table, readable straight from the CI log."""
+    headers = ["bench", "scale", "metric", "baseline", "current", "status"]
+    body = [[str(d["bench"]), str(d["scale"]), str(d["metric"]),
+             _fmt(d["baseline"]), _fmt(d["current"]), d["status"]]
+            for d in deltas]
+    widths = [max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+              for i, h in enumerate(headers)]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        " | ".join("-" * w for w in widths),
+    ]
+    lines.extend(" | ".join(c.ljust(w) for c, w in zip(row, widths))
+                 for row in body)
+    return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

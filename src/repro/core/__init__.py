@@ -24,10 +24,19 @@ from .backbone import (
     FixedHeightBackbone,
     VirtualBackbone,
 )
-from .costmodel import QueryEstimate, RITreeCostModel
+from .costmodel import (
+    BoundSummary,
+    JoinEstimate,
+    JoinStrategyCost,
+    QueryEstimate,
+    RITreeCostModel,
+    choose_join_strategy,
+    expected_join_pairs,
+)
 from .interval import Interval, validate_interval
 from .join import (
     JOIN_STRATEGIES,
+    AutoJoin,
     IndexNestedLoopJoin,
     JoinPair,
     JoinStrategy,
@@ -48,7 +57,13 @@ from .transient import QueryNodes, collect_query_nodes
 
 __all__ = [
     "AccessMethod",
+    "AutoJoin",
     "BackboneParams",
+    "BoundSummary",
+    "JoinEstimate",
+    "JoinStrategyCost",
+    "choose_join_strategy",
+    "expected_join_pairs",
     "FixedHeightBackbone",
     "FORK_INF",
     "FORK_NOW",

@@ -10,7 +10,7 @@ against each technique.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..engine.database import Database
 
@@ -84,6 +84,32 @@ class AccessMethod(ABC):
     def stab(self, point: int) -> list[int]:
         """Stabbing query: intervals containing ``point``."""
         return self.intersection(point, point)
+
+    # ------------------------------------------------------------------
+    # planning (the Section 5 cost model, where a method provides one)
+    # ------------------------------------------------------------------
+    def cost_model(self):
+        """This method's optimizer cost model, or ``None``.
+
+        Methods that keep optimizer statistics (the RI-tree's bound
+        histograms of :mod:`repro.core.costmodel`) override this so
+        planners -- the ``auto`` join strategy, the harness's ``plan``
+        mode -- can price plans without executing them.  The base class
+        has no statistics and returns ``None``, which planners treat as
+        "fall back to record-level estimation".
+        """
+        return None
+
+    def stored_records(self) -> Optional[list[IntervalRecord]]:
+        """All stored intervals as ``(lower, upper, id)``, or ``None``.
+
+        Enables plan switches that abandon this index entirely (the
+        planner choosing a sweep over a pre-built inner index needs the
+        raw inner relation back).  ``None`` -- the base default -- means
+        the method cannot enumerate its intervals cheaply and callers
+        must keep probing through it.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # joins (probe side of the index-nested-loop interval join)

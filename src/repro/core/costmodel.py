@@ -1,4 +1,4 @@
-"""Optimizer cost model for RI-tree intersection queries (paper Section 5).
+"""Optimizer cost model for RI-tree queries and joins (paper Section 5).
 
 "With a cost model registered at the optimizer, the server is able to
 generate efficient execution plans for queries on interval data types."
@@ -14,27 +14,260 @@ An interval intersects ``[l, u]`` iff ``lower <= u`` and ``upper >= l``, so
     r(l, u)  =  n - #{lower > u} - #{upper < l}
 
 which needs only the two marginal cumulative distributions of the bounds.
-The model keeps equi-depth histograms of both, refreshed from the index
-itself (the leftmost/rightmost columns of the two composite indexes).
+The model keeps equi-depth histograms of both, refreshed either from the
+base relation or from the leftmost bound columns of the two composite
+indexes (:meth:`RITreeCostModel.refresh` with ``source="indexes"``).
 
 The I/O model follows Section 4.4: each of the O(h) transient entries costs
 one index descent of ``ceil(log_b n)`` block reads, and the result blocks
 add ``r / entries_per_leaf``; a buffer-cache residency factor discounts the
 repeated upper-level reads, matching the warm-cache behaviour of the
 benchmark harness.
+
+Join estimation
+---------------
+:class:`JoinEstimate` extends the model to the interval equi-overlap join
+``R JOIN S``: the expected pair count convolves both sides' bound
+histograms,
+
+    E[pairs] = n_R * n_S * ( E_{u ~ R.upper}[F_S.lower(u)]
+                             - E_{l ~ R.lower}[F_S.upper(l - 1)] )
+
+(the per-probe identity above, averaged over the outer side's bound
+distributions), and per-strategy cost formulas predict logical reads,
+physical reads, and Python-frame work for the index-nested-loop join
+against an RI-tree versus the sort-based plane sweep.  The planner entry
+points -- :meth:`RITreeCostModel.estimate_join` on a loaded tree and the
+engine-free :func:`choose_join_strategy` on raw record sequences -- feed
+the ``auto`` strategy of :mod:`repro.core.join`, which dispatches to the
+predicted-cheaper strategy.  The physical model for repeated index probes
+is a two-regime LRU approximation in the spirit of Mackert & Lohman's
+buffer model: leaf sets that fit the cache are read at most once, larger
+leaf sets pay a steady-state miss rate damped by a calibrated locality
+factor (probe locality on bulk-loaded indexes is far better than uniform).
 """
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
+from ..engine.buffer import DEFAULT_CACHE_BLOCKS
+from ..engine.serial import PAGE_HEADER_SIZE
+from ..engine.storage import DEFAULT_BLOCK_SIZE
+from .access import IntervalRecord
+from .backbone import VirtualBackbone
 from .interval import validate_interval
 from .ritree import RITree
 from .transient import collect_query_nodes
 
 #: Default number of histogram buckets (equi-depth boundaries kept).
 DEFAULT_BUCKETS = 128
+
+#: How many outer records are probed against the virtual backbone (pure
+#: arithmetic, no I/O) to estimate the average transient-entry count.
+TRANSIENT_SAMPLE = 64
+
+#: Bytes per serialised integer column (engine-wide fixed width).
+_INT_BYTES = 8
+
+#: Leaf-miss damping for the over-cache LRU regime: probe streams against
+#: a bulk-loaded index are strongly clustered (consecutive transient
+#: entries of one probe land on neighbouring leaves), so the steady-state
+#: uniform miss rate overshoots.  Calibrated against the measured
+#: crossover grid of ``benchmarks/bench_join_crossover.py``.
+LEAF_MISS_LOCALITY = 0.1
+
+#: Fraction of transient-entry scans that land on a *new* leaf block:
+#: within one probe the scan plan walks node ranges in key order, so many
+#: of its O(h) range scans hit the leaf the previous range ended on (or
+#: an empty gap inside it).  Feeds the Yao distinct-block estimate below;
+#: calibrated alongside :data:`LEAF_MISS_LOCALITY`.
+SCAN_LEAF_DISTINCT = 0.25
+
+# Python-frame cost constants, calibrated with the profile-hook counter of
+# benchmarks/benchlib.py on the crossover grid (least-squares fit over
+# count-path runs; the planner only compares strategies with them, so
+# order-of-magnitude fidelity is what matters).
+SWEEP_FRAMES_PER_INPUT = 1.0
+SWEEP_FRAMES_PER_PAIR = 1.0
+INDEX_FRAMES_PER_PROBE = 8.0
+INDEX_FRAMES_PER_SCAN = 4.8
+INDEX_FRAMES_PER_LEAF = 40.0
+
+
+def heap_scan_blocks(rows: int, columns: int,
+                     block_size: int = DEFAULT_BLOCK_SIZE) -> int:
+    """Blocks of a heap file holding ``rows`` fixed-width integer rows.
+
+    Mirrors :class:`repro.engine.heap.HeapFile`'s layout: one live flag
+    plus ``columns`` integers per slot, ``PAGE_HEADER_SIZE`` bytes of page
+    header -- the cost of one sequential relation scan.
+    """
+    if rows <= 0:
+        return 0
+    slot_bytes = _INT_BYTES * (columns + 1)
+    per_page = max(1, (block_size - PAGE_HEADER_SIZE) // slot_bytes)
+    return -(-rows // per_page)
+
+
+def index_geometry(entries: int, key_columns: int,
+                   block_size: int = DEFAULT_BLOCK_SIZE) -> tuple[int, int]:
+    """``(height, leaf_capacity)`` of a B+-tree index without building it.
+
+    Mirrors :class:`repro.engine.bptree.BPlusTree`'s page layout (key
+    columns plus rowid per entry, internal pages with 8-byte child
+    pointers), so the engine-free planner prices descents with the same
+    geometry the engine would realise.
+    """
+    entry_bytes = _INT_BYTES * (key_columns + 1)
+    leaf_capacity = max(4, (block_size - PAGE_HEADER_SIZE) // entry_bytes)
+    internal_capacity = max(
+        4, (block_size - PAGE_HEADER_SIZE - 8) // (entry_bytes + 8))
+    height = 1
+    pages = -(-max(entries, 1) // leaf_capacity)
+    while pages > 1:
+        height += 1
+        pages = -(-pages // internal_capacity)
+    return height, leaf_capacity
+
+
+def index_internal_blocks(entries: int, leaf_capacity: int,
+                          internal_capacity: int) -> int:
+    """Non-leaf block count of one B+-tree with ``entries`` entries."""
+    pages = -(-max(entries, 1) // max(1, leaf_capacity))
+    internal = 0
+    while pages > 1:
+        pages = -(-pages // max(4, internal_capacity))
+        internal += pages
+    return internal
+
+
+class BoundSummary:
+    """Equi-depth histograms of one relation's lower and upper bounds.
+
+    The reusable statistics object behind both the single-query and the
+    join estimators: ``count`` intervals summarised by quantile boundaries
+    of each bound, with interpolated CDF lookups and bucket-weighted means
+    over either bound distribution.
+    """
+
+    __slots__ = ("count", "buckets", "lower_bounds", "upper_bounds")
+
+    def __init__(self, sorted_lowers: Sequence[int],
+                 sorted_uppers: Sequence[int],
+                 buckets: int = DEFAULT_BUCKETS) -> None:
+        if buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {buckets}")
+        if len(sorted_lowers) != len(sorted_uppers):
+            raise ValueError("bound lists must have equal lengths")
+        self.count = len(sorted_lowers)
+        self.buckets = buckets
+        self.lower_bounds = self._equi_depth(sorted_lowers)
+        self.upper_bounds = self._equi_depth(sorted_uppers)
+
+    @classmethod
+    def from_records(cls, records: Sequence[IntervalRecord],
+                     buckets: int = DEFAULT_BUCKETS) -> "BoundSummary":
+        """Summarise ``(lower, upper, id)`` records (one sorting pass)."""
+        lowers = sorted(r[0] for r in records)
+        uppers = sorted(r[1] for r in records)
+        return cls(lowers, uppers, buckets)
+
+    def _equi_depth(self, values: Sequence[int]) -> list[int]:
+        """Quantile boundaries q_0..q_B of a sorted value list."""
+        if not values:
+            return []
+        if len(values) <= self.buckets:
+            return list(values)
+        last = len(values) - 1
+        return [values[(i * last) // self.buckets]
+                for i in range(self.buckets + 1)]
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cdf(boundaries: list[int], value: int) -> float:
+        """P(X <= value) from quantile boundaries, linearly interpolated."""
+        if not boundaries:
+            return 0.0
+        if value < boundaries[0]:
+            return 0.0
+        if value >= boundaries[-1]:
+            return 1.0
+        bucket_count = len(boundaries) - 1
+        index = bisect_right(boundaries, value) - 1
+        left = boundaries[index]
+        right = boundaries[index + 1]
+        within = (value - left) / (right - left) if right > left else 1.0
+        return (index + within) / bucket_count
+
+    def cdf_lower(self, value: int) -> float:
+        """P(lower <= value)."""
+        return self._cdf(self.lower_bounds, value)
+
+    def cdf_upper(self, value: int) -> float:
+        """P(upper <= value)."""
+        return self._cdf(self.upper_bounds, value)
+
+    def intersecting(self, lower: int, upper: int) -> float:
+        """Expected number of summarised intervals meeting ``[lower, upper]``.
+
+        The exact identity for l <= u (the two exclusions cannot overlap):
+        ``r = n - #{lower > u} - #{upper < l}``.
+        """
+        if self.count == 0:
+            return 0.0
+        lower_gt_u = self.count * (1.0 - self.cdf_lower(upper))
+        upper_lt_l = self.count * self.cdf_upper(lower - 1)
+        return max(0.0, self.count - lower_gt_u - upper_lt_l)
+
+    def _mean(self, boundaries: list[int],
+              func: Callable[[int], float]) -> float:
+        """Bucket-weighted mean of ``func`` over one bound distribution.
+
+        Equi-depth boundaries carry equal probability mass per bucket, so
+        the trapezoid over consecutive boundaries integrates ``func``
+        against the empirical distribution; small relations keep every
+        value, making the mean exact.
+        """
+        if not boundaries:
+            return 0.0
+        if len(boundaries) == 1:
+            return func(boundaries[0])
+        if self.count <= self.buckets:
+            return sum(func(v) for v in boundaries) / len(boundaries)
+        samples = [func(v) for v in boundaries]
+        bucket_count = len(boundaries) - 1
+        return sum((samples[i] + samples[i + 1]) / 2.0
+                   for i in range(bucket_count)) / bucket_count
+
+    def mean_over_lowers(self, func: Callable[[int], float]) -> float:
+        """E[func(X)] with X drawn from the lower-bound distribution."""
+        return self._mean(self.lower_bounds, func)
+
+    def mean_over_uppers(self, func: Callable[[int], float]) -> float:
+        """E[func(X)] with X drawn from the upper-bound distribution."""
+        return self._mean(self.upper_bounds, func)
+
+
+def expected_join_pairs(outer: BoundSummary, inner: BoundSummary) -> float:
+    """Expected equi-overlap pair count by histogram convolution.
+
+    Averages the per-probe intersection identity over the outer side's
+    bound distributions: a pair ``(r, s)`` exists iff ``s.lower <= r.upper``
+    and ``s.upper >= r.lower``, so the expected count is ``n_R * n_S``
+    times the mean started-by-``r.upper`` probability minus the mean
+    ended-before-``r.lower`` probability.
+    """
+    if outer.count == 0 or inner.count == 0:
+        return 0.0
+    started = outer.mean_over_uppers(inner.cdf_lower)
+    ended = outer.mean_over_lowers(lambda l: inner.cdf_upper(l - 1))
+    return max(0.0, outer.count * inner.count * (started - ended))
 
 
 @dataclass
@@ -53,6 +286,156 @@ class QueryEstimate:
         return self.logical_reads < table_blocks
 
 
+@dataclass
+class JoinStrategyCost:
+    """Predicted cost of evaluating the join with one strategy."""
+
+    strategy: str
+    logical_reads: float
+    physical_reads: float
+    frame_cost: float
+
+    def as_dict(self) -> dict:
+        """Flat dict for benchmark reports."""
+        return {
+            "strategy": self.strategy,
+            "logical_reads": round(self.logical_reads, 1),
+            "physical_reads": round(self.physical_reads, 1),
+            "frame_cost": round(self.frame_cost, 1),
+        }
+
+
+@dataclass
+class JoinEstimate:
+    """The planner-facing prediction for one interval equi-overlap join.
+
+    ``result_count`` is the convolved pair-count estimate; ``index`` and
+    ``sweep`` price the two executable strategies.  :attr:`choice` is the
+    planner's verdict: the strategy with fewer predicted physical reads,
+    Python-frame cost breaking ties -- physical block accesses are the
+    paper's figure of merit, frames the substrate's.
+    """
+
+    outer_n: int
+    inner_n: int
+    result_count: float
+    index: JoinStrategyCost
+    sweep: JoinStrategyCost
+
+    @property
+    def choice(self) -> str:
+        """Name of the predicted-cheaper strategy."""
+        if self.index.physical_reads != self.sweep.physical_reads:
+            if self.index.physical_reads < self.sweep.physical_reads:
+                return self.index.strategy
+            return self.sweep.strategy
+        if self.index.frame_cost <= self.sweep.frame_cost:
+            return self.index.strategy
+        return self.sweep.strategy
+
+    @property
+    def chosen(self) -> JoinStrategyCost:
+        """The cost row of the predicted-cheaper strategy."""
+        return self.index if self.choice == self.index.strategy \
+            else self.sweep
+
+    def as_dict(self) -> dict:
+        """Nested dict for benchmark reports and harness rows."""
+        return {
+            "choice": self.choice,
+            "outer_n": self.outer_n,
+            "inner_n": self.inner_n,
+            "result_count": round(self.result_count, 1),
+            "index": self.index.as_dict(),
+            "sweep": self.sweep.as_dict(),
+        }
+
+
+def _index_join_cost(probes: int, avg_transient: float, pairs: float,
+                     height: int, leaf_capacity: int, leaf_blocks: float,
+                     internal_blocks: float, cache_blocks: int,
+                     cache_residency: float) -> JoinStrategyCost:
+    """Price the index-nested-loop join against an RI-tree.
+
+    Logical reads follow Section 4.4 per probe; physical reads split the
+    index into its upper levels (shared across probes, discounted by the
+    cache-residency factor and capped at the internal block count -- the
+    handful of non-leaf pages is LRU-resident for the whole batch) and
+    its leaves (two-regime LRU: leaf sets within the cache are read at
+    most once, larger ones pay a locality-damped steady-state miss rate).
+    """
+    descent = max(1, height)
+    per_leaf = max(1, leaf_capacity)
+    scans = probes * avg_transient
+    result_leaves = pairs / per_leaf
+    logical = scans * descent + result_leaves
+    cold_fraction = 1.0 - cache_residency
+    internal = min(scans * (descent - 1) * cold_fraction, internal_blocks)
+    # Yao's function: expected distinct blocks touched by k clustered
+    # accesses over B leaf blocks -- the cold-phase physical reads.
+    blocks = max(1.0, leaf_blocks)
+    k = scans * SCAN_LEAF_DISTINCT + result_leaves
+    distinct = blocks * (1.0 - (1.0 - 1.0 / blocks) ** k)
+    leaf_touches = scans + result_leaves
+    if leaf_blocks <= cache_blocks:
+        # The touched leaves all fit: each is read from disk at most once.
+        leaf_misses = min(leaf_touches, distinct)
+    else:
+        # Steady state beyond the cold phase: every further leaf touch
+        # misses with the LRU residency gap, damped by probe locality.
+        miss_rate = (leaf_blocks - cache_blocks) / leaf_blocks
+        steady = max(0.0, leaf_touches - distinct) * miss_rate \
+            * LEAF_MISS_LOCALITY
+        leaf_misses = min(leaf_touches, distinct + steady)
+    frames = (probes * INDEX_FRAMES_PER_PROBE
+              + scans * INDEX_FRAMES_PER_SCAN
+              + result_leaves * INDEX_FRAMES_PER_LEAF)
+    return JoinStrategyCost(
+        strategy="index-nested-loop",
+        logical_reads=logical,
+        physical_reads=internal + leaf_misses,
+        frame_cost=frames,
+    )
+
+
+def _sweep_join_cost(outer_n: int, inner_n: int, pairs: float,
+                     block_size: int) -> JoinStrategyCost:
+    """Price the plane sweep: two sequential input scans plus merge work.
+
+    The sweep is index-free; its engine I/O is exactly one heap scan per
+    relation (each block read once, cold), and its Python work is the
+    endpoint merge -- a few frames per input record plus one per emitted
+    pair.
+    """
+    scan_blocks = (heap_scan_blocks(outer_n, 3, block_size)
+                   + heap_scan_blocks(inner_n, 3, block_size))
+    frames = (SWEEP_FRAMES_PER_INPUT * (outer_n + inner_n)
+              + SWEEP_FRAMES_PER_PAIR * pairs)
+    return JoinStrategyCost(
+        strategy="sweep",
+        logical_reads=float(scan_blocks),
+        physical_reads=float(scan_blocks),
+        frame_cost=frames,
+    )
+
+
+def average_transient_entries(backbone: VirtualBackbone,
+                              probes: Sequence[IntervalRecord],
+                              sample: int = TRANSIENT_SAMPLE) -> float:
+    """Mean transient-entry count of a probe workload, by sampling.
+
+    Walks the virtual backbone (pure arithmetic, Section 4.2: "causing no
+    I/O effort") for up to ``sample`` evenly spaced probes.
+    """
+    if backbone.is_empty or not probes:
+        return 0.0
+    step = max(1, len(probes) // sample)
+    chosen = probes[::step]
+    total = sum(collect_query_nodes(backbone, lower, upper).total_entries
+                for lower, upper, _ in chosen)
+    return total / len(chosen)
+
+
 class RITreeCostModel:
     """Bound-histogram cost model over a loaded :class:`RITree`.
 
@@ -66,51 +449,65 @@ class RITreeCostModel:
         Fraction of non-leaf index reads expected to hit the buffer cache
         (0 = cold, 1 = fully cached upper levels).  The harness's
         batch-with-warm-cache protocol sits near 0.9.
+    source:
+        Where :meth:`refresh` reads the bounds from: ``"table"`` scans the
+        base relation, ``"indexes"`` reads the bound columns out of the
+        already-loaded composite indexes (lowerIndex/upperIndex) -- the
+        planner's choice, since a served tree always has them in place.
     """
 
     def __init__(self, tree: RITree, buckets: int = DEFAULT_BUCKETS,
-                 cache_residency: float = 0.9) -> None:
+                 cache_residency: float = 0.9,
+                 source: str = "table") -> None:
         if buckets < 2:
             raise ValueError(f"need at least 2 buckets, got {buckets}")
         if not 0.0 <= cache_residency <= 1.0:
             raise ValueError(f"cache residency {cache_residency} not in [0,1]")
+        if source not in ("table", "indexes"):
+            raise ValueError(f"unknown statistics source {source!r}")
         self.tree = tree
         self.buckets = buckets
         self.cache_residency = cache_residency
-        self._lower_bounds: list[int] = []
-        self._upper_bounds: list[int] = []
-        self._count = 0
+        self.source = source
+        self.summary: BoundSummary = BoundSummary([], [], buckets)
         self.refresh()
 
     # ------------------------------------------------------------------
     # statistics maintenance (ANALYZE)
     # ------------------------------------------------------------------
-    def refresh(self) -> None:
-        """Rebuild both bound histograms from the stored relation.
+    def refresh(self, source: Optional[str] = None) -> None:
+        """Rebuild both bound histograms -- the engine's ``ANALYZE`` pass.
 
-        The scan reads the base table once -- the engine equivalent of an
-        ``ANALYZE`` pass; run it after bulk loads or heavy update batches.
+        ``source="table"`` scans the stored relation once;
+        ``source="indexes"`` scans the two composite indexes instead and
+        collects their bound columns (entries are ``(node, bound, id)``,
+        so the bound sits at position 1).  Run after bulk loads or heavy
+        update batches; omitting ``source`` keeps the constructor's.
         """
-        lowers: list[int] = []
-        uppers: list[int] = []
-        for _rowid, row in self.tree.table.scan():
-            lowers.append(row[1])
-            uppers.append(row[2])
-        lowers.sort()
-        uppers.sort()
-        self._count = len(lowers)
-        self._lower_bounds = self._equi_depth(lowers)
-        self._upper_bounds = self._equi_depth(uppers)
+        chosen = source or self.source
+        if chosen == "indexes" and self.tree.table.indexes:
+            # Index entries arrive in (node, bound) order; only the bound
+            # column matters here, re-sorted into one global distribution.
+            lowers = [entry[1] for entry in
+                      self.tree.table.index("lowerIndex").tree.scan_all()]
+            uppers = [entry[1] for entry in
+                      self.tree.table.index("upperIndex").tree.scan_all()]
+            lowers.sort()
+            uppers.sort()
+        else:
+            lowers = []
+            uppers = []
+            for _rowid, row in self.tree.table.scan():
+                lowers.append(row[1])
+                uppers.append(row[2])
+            lowers.sort()
+            uppers.sort()
+        self.summary = BoundSummary(lowers, uppers, self.buckets)
 
-    def _equi_depth(self, values: list[int]) -> list[int]:
-        """Quantile boundaries q_0..q_B of a sorted value list."""
-        if not values:
-            return []
-        if len(values) <= self.buckets:
-            return list(values)
-        last = len(values) - 1
-        return [values[(i * last) // self.buckets]
-                for i in range(self.buckets + 1)]
+    @property
+    def _count(self) -> int:
+        """Summarised interval count (kept for extension-hook stability)."""
+        return self.summary.count
 
     # ------------------------------------------------------------------
     # estimation
@@ -118,29 +515,7 @@ class RITreeCostModel:
     def estimate_result_count(self, lower: int, upper: int) -> float:
         """Expected number of intersecting intervals for ``[lower, upper]``."""
         validate_interval(lower, upper)
-        if self._count == 0:
-            return 0.0
-        # Exact identity for l <= u (the two exclusions cannot overlap):
-        #   r = n - #{lower > u} - #{upper < l}
-        lower_gt_u = self._count * (1.0 - self._cdf(self._lower_bounds,
-                                                    upper))
-        upper_lt_l = self._count * self._cdf(self._upper_bounds, lower - 1)
-        return max(0.0, self._count - lower_gt_u - upper_lt_l)
-
-    def _cdf(self, boundaries: list[int], value: int) -> float:
-        """P(X <= value) from quantile boundaries, linearly interpolated."""
-        if not boundaries:
-            return 0.0
-        if value < boundaries[0]:
-            return 0.0
-        if value >= boundaries[-1]:
-            return 1.0
-        bucket_count = len(boundaries) - 1
-        index = bisect_right(boundaries, value) - 1
-        left = boundaries[index]
-        right = boundaries[index + 1]
-        within = (value - left) / (right - left) if right > left else 1.0
-        return (index + within) / bucket_count
+        return self.summary.intersecting(lower, upper)
 
     def estimate(self, lower: int, upper: int) -> QueryEstimate:
         """Full plan estimate for one intersection query."""
@@ -160,16 +535,142 @@ class RITreeCostModel:
         cold_fraction = 1.0 - self.cache_residency
         physical = (probes * (1 + (descent - 1) * cold_fraction)
                     + result_count / per_leaf)
+        count = self.summary.count
         return QueryEstimate(
             result_count=result_count,
-            selectivity=result_count / self._count if self._count else 0.0,
+            selectivity=result_count / count if count else 0.0,
             transient_entries=transient,
             index_probes=probes,
             logical_reads=logical,
             physical_reads=physical,
         )
 
+    # ------------------------------------------------------------------
+    # join estimation (the planner path)
+    # ------------------------------------------------------------------
+    def estimate_join(self, outer: Sequence[IntervalRecord]) -> JoinEstimate:
+        """Predict the join of ``outer`` probes against the modelled tree.
+
+        The tree's stored relation is the inner side; its histograms (and
+        virtual backbone) are already in place, so only the outer side is
+        summarised here.  Returns a :class:`JoinEstimate` whose
+        :attr:`~JoinEstimate.choice` names the predicted-cheaper strategy.
+        """
+        outer_summary = BoundSummary.from_records(outer, self.buckets)
+        pairs = expected_join_pairs(outer_summary, self.summary)
+        avg_transient = average_transient_entries(self.tree.backbone, outer)
+        index = self.tree.table.indexes["lowerIndex"].tree
+        leaf_blocks = 2.0 * math.ceil(
+            max(self.summary.count, 1) / max(1, index.leaf_capacity))
+        internal_blocks = 2.0 * index_internal_blocks(
+            self.summary.count, index.leaf_capacity,
+            index.internal_capacity)
+        db = self.tree.db
+        index_cost = _index_join_cost(
+            probes=len(outer),
+            avg_transient=avg_transient,
+            pairs=pairs,
+            height=index.height,
+            leaf_capacity=index.leaf_capacity,
+            leaf_blocks=leaf_blocks,
+            internal_blocks=internal_blocks,
+            cache_blocks=db.pool.capacity,
+            cache_residency=self.cache_residency,
+        )
+        sweep_cost = _sweep_join_cost(
+            outer_n=len(outer),
+            inner_n=self.summary.count,
+            pairs=pairs,
+            block_size=db.disk.block_size,
+        )
+        return JoinEstimate(
+            outer_n=len(outer),
+            inner_n=self.summary.count,
+            result_count=pairs,
+            index=index_cost,
+            sweep=sweep_cost,
+        )
+
+    def choose_join_strategy(
+            self, outer: Sequence[IntervalRecord],
+            inner: Optional[Sequence[IntervalRecord]] = None) -> JoinEstimate:
+        """Plan the join of ``outer`` against ``inner`` (or the tree).
+
+        With ``inner`` omitted the modelled tree's stored relation is the
+        inner side (:meth:`estimate_join`); passing explicit ``inner``
+        records plans an ad-hoc join with the engine-free estimator
+        instead, sharing this model's resolution and residency settings.
+        """
+        if inner is None:
+            return self.estimate_join(outer)
+        return choose_join_strategy(
+            outer, inner, buckets=self.buckets,
+            cache_residency=self.cache_residency,
+            block_size=self.tree.db.disk.block_size,
+            cache_blocks=self.tree.db.pool.capacity,
+        )
+
     @property
     def table_blocks(self) -> int:
         """Base-relation size in blocks (the full-scan alternative cost)."""
         return self.tree.table.heap.page_count
+
+
+def choose_join_strategy(
+        outer: Sequence[IntervalRecord],
+        inner: Sequence[IntervalRecord],
+        buckets: int = DEFAULT_BUCKETS,
+        cache_residency: float = 0.9,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> JoinEstimate:
+    """Plan an interval join from raw records, without touching an engine.
+
+    The engine-free planner: both sides are summarised into bound
+    histograms, a virtual backbone is populated by registering the inner
+    records (pure arithmetic -- no relation, no I/O), and the index
+    geometry an RI-tree *would* realise under the given block size is
+    computed analytically.  Used by the ``auto`` join strategy before it
+    decides whether building/probing an index is worth it at all.
+    """
+    for lower, upper, _ in outer:
+        validate_interval(lower, upper)
+    for lower, upper, _ in inner:
+        validate_interval(lower, upper)
+    outer_summary = BoundSummary.from_records(outer, buckets)
+    inner_summary = BoundSummary.from_records(inner, buckets)
+    pairs = expected_join_pairs(outer_summary, inner_summary)
+    backbone = VirtualBackbone()
+    for lower, upper, _ in inner:
+        backbone.register(lower, upper)
+    avg_transient = average_transient_entries(backbone, outer)
+    height, leaf_capacity = index_geometry(len(inner), 3, block_size)
+    entry_bytes = _INT_BYTES * 4
+    internal_capacity = max(
+        4, (block_size - PAGE_HEADER_SIZE - 8) // (entry_bytes + 8))
+    leaf_blocks = 2.0 * math.ceil(max(len(inner), 1) / leaf_capacity)
+    internal_blocks = 2.0 * index_internal_blocks(
+        len(inner), leaf_capacity, internal_capacity)
+    index_cost = _index_join_cost(
+        probes=len(outer),
+        avg_transient=avg_transient,
+        pairs=pairs,
+        height=height,
+        leaf_capacity=leaf_capacity,
+        leaf_blocks=leaf_blocks,
+        internal_blocks=internal_blocks,
+        cache_blocks=cache_blocks,
+        cache_residency=cache_residency,
+    )
+    sweep_cost = _sweep_join_cost(
+        outer_n=len(outer),
+        inner_n=len(inner),
+        pairs=pairs,
+        block_size=block_size,
+    )
+    return JoinEstimate(
+        outer_n=len(outer),
+        inner_n=len(inner),
+        result_count=pairs,
+        index=index_cost,
+        sweep=sweep_cost,
+    )

@@ -19,6 +19,11 @@ interchangeable strategies:
   O(output + purges) merge work, but it must consume both inputs in full.
 * :class:`NestedLoopJoin` -- the quadratic brute-force oracle, kept only
   to falsify the other two (tests and the benchmark's parity check).
+* :class:`AutoJoin` -- the planner: consults the Section 5 cost model
+  (:mod:`repro.core.costmodel`) to predict per-strategy physical I/O and
+  Python-frame work, then dispatches to the predicted-cheaper executable
+  strategy.  The decision is kept on :attr:`AutoJoin.last_decision` so
+  harness rows and benchmark reports can surface predicted-vs-measured.
 
 All strategies emit the identical duplicate-free pair set
 ``{(r_id, s_id) | r overlaps s}`` over closed integer intervals, where
@@ -247,11 +252,106 @@ class IndexNestedLoopJoin(JoinStrategy):
         return self._inner_method(inner).join_count(outer)
 
 
-#: The three join strategies by benchmark/CLI name.
+class AutoJoin(JoinStrategy):
+    """Cost-model-driven strategy choice: the join planner.
+
+    Every evaluation first *plans*: with a pre-built inner ``method``, the
+    method's own cost model is consulted (histograms refreshed from its
+    already-loaded composite indexes); otherwise the engine-free
+    :func:`~repro.core.costmodel.choose_join_strategy` prices both
+    executable strategies from the raw record sequences.  The join is then
+    dispatched to the predicted-cheaper strategy -- index-nested-loop or
+    sweep -- and the full :class:`~repro.core.costmodel.JoinEstimate` is
+    retained on :attr:`last_decision` for reporting.
+
+    When a pre-built method stores the inner relation and the planner
+    picks the sweep, the inner records are recovered through
+    :meth:`~repro.core.access.AccessMethod.stored_records`; methods that
+    cannot enumerate their intervals fall back to the index join.
+    """
+
+    strategy_name = "auto"
+
+    def __init__(
+        self,
+        method: Optional[AccessMethod] = None,
+        factory: Callable[[Database], AccessMethod] = RITree,
+    ) -> None:
+        self.method = method
+        self.factory = factory
+        #: The JoinEstimate backing the most recent dispatch (None until
+        #: the first pairs()/count() call).
+        self.last_decision = None
+
+    def decide(self, outer, inner):
+        """Plan the join and return the planner's cost estimate."""
+        self._plan(outer, inner)
+        return self.last_decision
+
+    def _plan(
+        self,
+        outer: Sequence[IntervalRecord],
+        inner: Sequence[IntervalRecord],
+    ) -> tuple[JoinStrategy, Sequence[IntervalRecord]]:
+        """Estimate, decide, and resolve the records the winner consumes.
+
+        With a prebuilt ``method``, its stored relation *is* the inner
+        side -- both strategies then evaluate the same join, whatever the
+        planner picks (the ``inner`` argument is ignored, exactly as
+        :class:`IndexNestedLoopJoin` ignores it).  The stored relation is
+        recovered at most once per evaluation.
+        """
+        from .costmodel import choose_join_strategy
+
+        stored: Optional[list[IntervalRecord]] = None
+        if self.method is not None:
+            model = self.method.cost_model()
+            if model is not None:
+                estimate = model.estimate_join(outer)
+            else:
+                stored = self.method.stored_records()
+                estimate = choose_join_strategy(
+                    outer, inner if stored is None else stored
+                )
+        else:
+            estimate = choose_join_strategy(outer, inner)
+        self.last_decision = estimate
+        if estimate.choice == SweepJoin.strategy_name:
+            if self.method is None:
+                return SweepJoin(), inner
+            if stored is None:
+                stored = self.method.stored_records()
+            if stored is not None:
+                return SweepJoin(), stored
+            # The method cannot enumerate its intervals: keep probing it.
+        return (
+            IndexNestedLoopJoin(method=self.method, factory=self.factory),
+            inner,
+        )
+
+    def pairs(
+        self,
+        outer: Sequence[IntervalRecord],
+        inner: Sequence[IntervalRecord],
+    ) -> list[JoinPair]:
+        strategy, records = self._plan(outer, inner)
+        return strategy.pairs(outer, records)
+
+    def count(
+        self,
+        outer: Sequence[IntervalRecord],
+        inner: Sequence[IntervalRecord],
+    ) -> int:
+        strategy, records = self._plan(outer, inner)
+        return strategy.count(outer, records)
+
+
+#: The join strategies by benchmark/CLI name.
 JOIN_STRATEGIES: dict[str, Callable[[], JoinStrategy]] = {
     NestedLoopJoin.strategy_name: NestedLoopJoin,
     SweepJoin.strategy_name: SweepJoin,
     IndexNestedLoopJoin.strategy_name: IndexNestedLoopJoin,
+    AutoJoin.strategy_name: AutoJoin,
     # Convenience alias used by examples and the CLI.
     "index": IndexNestedLoopJoin,
 }
@@ -265,8 +365,9 @@ def interval_join(
     """Join two interval relations with a strategy chosen by name.
 
     ``strategy`` is one of ``"sweep"`` (default), ``"index"`` /
-    ``"index-nested-loop"``, or ``"nested-loop"``; all return the same
-    pair set, differing only in evaluation cost.
+    ``"index-nested-loop"``, ``"nested-loop"``, or ``"auto"`` (the
+    cost-model planner picking between index and sweep); all return the
+    same pair set, differing only in evaluation cost.
     """
     try:
         chosen = JOIN_STRATEGIES[strategy]

@@ -94,6 +94,8 @@ class RITree(AccessMethod):
         # used by the before/after topological queries.
         self._min_lower: Optional[int] = None
         self._max_upper: Optional[int] = None
+        # Lazily built optimizer statistics (see cost_model()).
+        self._cost_model = None
 
     # ------------------------------------------------------------------
     # updates (Section 3.3 / Figure 6)
@@ -323,6 +325,35 @@ class RITree(AccessMethod):
             rows = fetch_many([entry[3] for entry in batch])
             for row in rows:
                 yield row[1], row[2], row[3]
+
+    # ------------------------------------------------------------------
+    # planning (Section 5)
+    # ------------------------------------------------------------------
+    def cost_model(self, refresh: bool = False):
+        """The tree's optimizer cost model, built lazily and cached.
+
+        Histograms are read from the already-loaded composite indexes
+        (``source="indexes"`` -- the bound columns are right there in
+        lowerIndex/upperIndex, no base-table scan needed).  The cached
+        model goes stale under updates; pass ``refresh=True`` to re-run
+        the ANALYZE pass, the engine equivalent of refreshed optimizer
+        statistics.
+        """
+        from .costmodel import RITreeCostModel
+        if self._cost_model is None:
+            self._cost_model = RITreeCostModel(self, source="indexes")
+        elif refresh:
+            self._cost_model.refresh()
+        return self._cost_model
+
+    def stored_records(self) -> list[IntervalRecord]:
+        """The stored relation as ``(lower, upper, id)`` records.
+
+        One heap scan; lets a planner hand the inner relation to an
+        index-free strategy (the sweep) after pricing this index out.
+        """
+        return [(row[1], row[2], row[3])
+                for _rowid, row in self.table.scan()]
 
     # ------------------------------------------------------------------
     # accounting

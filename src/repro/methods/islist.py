@@ -70,7 +70,7 @@ class IntervalSkipList:
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
-        self._head = _ISNode(-(2 ** 62), MAX_LEVEL)
+        self._head = _ISNode(-(2**62), MAX_LEVEL)
         self._intervals: dict[int, tuple[int, int]] = {}
         # id -> edge marker locations [(node, level)] and eq locations.
         self._edge_registry: dict[int, list[tuple[_ISNode, int]]] = {}
@@ -113,8 +113,7 @@ class IntervalSkipList:
         results: set[int] = set()
         node = self._head
         for level in range(MAX_LEVEL - 1, -1, -1):
-            while (node.forward[level] is not None
-                   and node.forward[level].key <= point):
+            while node.forward[level] is not None and node.forward[level].key <= point:
                 node = node.forward[level]
             # The edge (node -> forward[level]) overshoots `point`, so all
             # its markers span it.
@@ -131,10 +130,9 @@ class IntervalSkipList:
         """stab(lower) plus every interval starting in ``(lower, upper]``."""
         validate_interval(lower, upper)
         results = self.stab(lower)
-        start = bisect_right(self._by_lower, (lower, 2 ** 62))
-        end = bisect_right(self._by_lower, (upper, 2 ** 62))
-        results.extend(interval_id
-                       for _, interval_id in self._by_lower[start:end])
+        start = bisect_right(self._by_lower, (lower, 2**62))
+        end = bisect_right(self._by_lower, (upper, 2**62))
+        results.extend(interval_id for _, interval_id in self._by_lower[start:end])
         return results
 
     def __len__(self) -> int:
@@ -148,8 +146,7 @@ class IntervalSkipList:
         path = [self._head] * MAX_LEVEL
         node = self._head
         for level in range(MAX_LEVEL - 1, -1, -1):
-            while (node.forward[level] is not None
-                   and node.forward[level].key < key):
+            while node.forward[level] is not None and node.forward[level].key < key:
                 node = node.forward[level]
             path[level] = node
         return path
@@ -206,8 +203,7 @@ class IntervalSkipList:
             node.eq_markers.add(interval_id)
             self._eq_registry[interval_id].append(node)
 
-    def _place_markers(self, lower: int, upper: int,
-                       interval_id: int) -> None:
+    def _place_markers(self, lower: int, upper: int, interval_id: int) -> None:
         """Tile ``[lower, upper]`` with the highest edges that fit."""
         node = self._find_node(lower)
         assert node is not None
@@ -215,14 +211,16 @@ class IntervalSkipList:
         while node.key < upper:
             level = 0
             # Ascend while a higher edge still lands inside the interval.
-            while (level + 1 < node.level
-                   and node.forward[level + 1] is not None
-                   and node.forward[level + 1].key <= upper):
+            while (
+                level + 1 < node.level
+                and node.forward[level + 1] is not None
+                and node.forward[level + 1].key <= upper
+            ):
                 level += 1
             # Descend while the current edge overshoots.
-            while (level >= 0
-                   and (node.forward[level] is None
-                        or node.forward[level].key > upper)):
+            while level >= 0 and (
+                node.forward[level] is None or node.forward[level].key > upper
+            ):
                 level -= 1
             if level < 0:
                 break
@@ -242,7 +240,8 @@ class IntervalSkipList:
                 assert successor is not None, "marker on a dangling edge"
                 assert interval_id in node.markers[level]
                 assert lower <= node.key and successor.key <= upper, (
-                    f"containment violated for {interval_id}")
+                    f"containment violated for {interval_id}"
+                )
                 covered.append((node.key, successor.key))
             covered.sort()
             # Coverage: the marked spans tile [lower, upper] seamlessly.
@@ -252,16 +251,17 @@ class IntervalSkipList:
                 assert covered, f"no markers for {interval_id}"
                 assert covered[0][0] == lower
                 assert covered[-1][1] == upper
-                for (_, previous_end), (next_start, _) in zip(
-                        covered, covered[1:]):
+                for (_, previous_end), (next_start, _) in zip(covered, covered[1:]):
                     assert previous_end == next_start, (
-                        f"coverage gap for {interval_id}")
+                        f"coverage gap for {interval_id}"
+                    )
             for node in self._eq_registry[interval_id]:
                 assert lower <= node.key <= upper
 
 
-def build_interval_skip_list(records: Iterable[tuple[int, int, int]],
-                             seed: int = 0) -> IntervalSkipList:
+def build_interval_skip_list(
+    records: Iterable[tuple[int, int, int]], seed: int = 0
+) -> IntervalSkipList:
     """Convenience constructor from (lower, upper, id) records."""
     skip_list = IntervalSkipList(seed=seed)
     for lower, upper, interval_id in records:

@@ -39,12 +39,17 @@ class ISTree(AccessMethod):
         ``"H"`` -> index (upper - lower, lower).  The evaluation uses ``"D"``.
     """
 
-    def __init__(self, db: Optional[Database] = None,
-                 ordering: str = "D", name: str = "ISTIntervals") -> None:
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        ordering: str = "D",
+        name: str = "ISTIntervals",
+    ) -> None:
         super().__init__(db)
         if ordering not in ORDERINGS:
             raise ValueError(
-                f"unknown ordering {ordering!r}; expected one of {ORDERINGS}")
+                f"unknown ordering {ordering!r}; expected one of {ORDERINGS}"
+            )
         self.ordering = ordering
         self.method_name = f"IST({ordering}-order)"
         if ordering == "H":
@@ -53,8 +58,11 @@ class ISTree(AccessMethod):
             key = ["length", "lower", "id"]
         else:
             columns = ["lower", "upper", "id"]
-            key = (["upper", "lower", "id"] if ordering == "D"
-                   else ["lower", "upper", "id"])
+            key = (
+                ["upper", "lower", "id"]
+                if ordering == "D"
+                else ["lower", "upper", "id"]
+            )
         self.table = self.db.create_table(name, columns)
         self.table.create_index("istIndex", key)
 
@@ -77,8 +85,10 @@ class ISTree(AccessMethod):
 
     def bulk_load(self, intervals: Sequence[IntervalRecord]) -> None:
         """Bulk load in ordering-clustered sequence (as in the paper)."""
-        rows = [self._row(lower, upper, interval_id)
-                for lower, upper, interval_id in intervals]
+        rows = [
+            self._row(lower, upper, interval_id)
+            for lower, upper, interval_id in intervals
+        ]
         self.table.bulk_load(rows)
 
     # ------------------------------------------------------------------
@@ -105,11 +115,14 @@ class ISTree(AccessMethod):
     def intersection_count(self, lower: int, upper: int) -> int:
         """Count via the same scan; only the residual filter is per-entry."""
         validate_interval(lower, upper)
-        return sum(len(self._refine(batch, lower, upper))
-                   for batch in self._intersection_batches(lower, upper))
+        return sum(
+            len(self._refine(batch, lower, upper))
+            for batch in self._intersection_batches(lower, upper)
+        )
 
-    def _intersection_batches(self, lower: int,
-                              upper: int) -> Iterator[list[tuple[int, ...]]]:
+    def _intersection_batches(
+        self, lower: int, upper: int
+    ) -> Iterator[list[tuple[int, ...]]]:
         """The single index range scan of Figure 11, as leaf slices."""
         if self.ordering == "D":
             return self.table.index_scan_batches("istIndex", (lower,), ())
@@ -117,8 +130,9 @@ class ISTree(AccessMethod):
             return self.table.index_scan_batches("istIndex", (), (upper,))
         return self.table.index_scan_batches("istIndex", (), ())
 
-    def _refine(self, batch: list[tuple[int, ...]], lower: int,
-                upper: int) -> list[int]:
+    def _refine(
+        self, batch: list[tuple[int, ...]], lower: int, upper: int
+    ) -> list[int]:
         """Apply the ordering's residual predicate to one leaf slice."""
         if self.ordering == "D":
             # entries: (upper, lower, id, rowid)
@@ -127,15 +141,22 @@ class ISTree(AccessMethod):
             # entries: (lower, upper, id, rowid)
             return [entry[2] for entry in batch if entry[1] >= lower]
         # entries: (length, lower, id, rowid); refine on both bounds.
-        return [entry[2] for entry in batch
-                if entry[1] <= upper and entry[1] + entry[0] >= lower]
+        return [
+            entry[2]
+            for entry in batch
+            if entry[1] <= upper and entry[1] + entry[0] >= lower
+        ]
 
     def length_query(self, min_length: int, max_length: int) -> list[int]:
         """H-order's signature capability: report by interval length."""
         if self.ordering != "H":
             raise ValueError("length_query requires the H-ordering")
-        return [entry[2] for entry in
-                self.table.index_scan("istIndex", (min_length,), (max_length,))]
+        return [
+            entry[2]
+            for entry in self.table.index_scan(
+                "istIndex", (min_length,), (max_length,)
+            )
+        ]
 
     # ------------------------------------------------------------------
     # accounting
@@ -158,8 +179,7 @@ class ISTree(AccessMethod):
             return (upper - lower, lower, upper, interval_id)
         return (lower, upper, interval_id)
 
-    def _index_key(self, lower: int, upper: int,
-                   interval_id: int) -> tuple[int, ...]:
+    def _index_key(self, lower: int, upper: int, interval_id: int) -> tuple[int, ...]:
         if self.ordering == "D":
             return (upper, lower, interval_id)
         if self.ordering == "V":

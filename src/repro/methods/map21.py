@@ -36,12 +36,15 @@ class Map21(AccessMethod):
 
     method_name = "MAP21"
 
-    def __init__(self, db: Optional[Database] = None,
-                 shift_bits: int = DEFAULT_SHIFT_BITS,
-                 name: str = "Map21Intervals") -> None:
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        shift_bits: int = DEFAULT_SHIFT_BITS,
+        name: str = "Map21Intervals",
+    ) -> None:
         super().__init__(db)
         self.shift_bits = shift_bits
-        self._limit = 2 ** shift_bits
+        self._limit = 2**shift_bits
         self.table = self.db.create_table(name, ["pclass", "z", "id"])
         self.table.create_index("zIndex", ["pclass", "z", "id"])
         # Non-empty partition classes and their populations (O(log domain)
@@ -57,7 +60,8 @@ class Map21(AccessMethod):
         if not 0 <= lower < self._limit or not 0 <= upper < self._limit:
             raise ValueError(
                 f"bounds ({lower}, {upper}) outside MAP21 domain "
-                f"[0, 2^{self.shift_bits})")
+                f"[0, 2^{self.shift_bits})"
+            )
         return lower * self._limit + upper
 
     def decode(self, z: int) -> tuple[int, int]:
@@ -118,16 +122,19 @@ class Map21(AccessMethod):
         results: list[int] = []
         limit = self._limit
         for pclass in sorted(self._class_counts):
-            max_len = 2 ** pclass - 1
+            max_len = 2**pclass - 1
             scan_from = (lower - max_len) * limit
             scan_to = upper * limit + (limit - 1)
             # z-range scan per partition, consumed as leaf slices; the
             # refinement decodes with divmod inline (no per-entry call).
             for batch in self.table.index_scan_batches(
-                    "zIndex", (pclass, scan_from), (pclass, scan_to)):
+                "zIndex", (pclass, scan_from), (pclass, scan_to)
+            ):
                 results.extend(
-                    entry[2] for entry in batch
-                    if entry[1] // limit <= upper and entry[1] % limit >= lower)
+                    entry[2]
+                    for entry in batch
+                    if entry[1] // limit <= upper and entry[1] % limit >= lower
+                )
         return results
 
     # ------------------------------------------------------------------

@@ -59,9 +59,11 @@ class BruteForceIntervals:
     def intersection(self, lower: int, upper: int) -> list[int]:
         """All ids whose interval intersects ``[lower, upper]`` (O(n))."""
         validate_interval(lower, upper)
-        return [interval_id
-                for interval_id, (s, e) in self._data.items()
-                if s <= upper and e >= lower]
+        return [
+            interval_id
+            for interval_id, (s, e) in self._data.items()
+            if s <= upper and e >= lower
+        ]
 
     def stab(self, point: int) -> list[int]:
         """Ids containing ``point``."""
@@ -147,7 +149,8 @@ class IntervalTree:
             else:
                 return node
         raise ValueError(
-            f"interval ({lower}, {upper}) does not embrace any universe point")
+            f"interval ({lower}, {upper}) does not embrace any universe point"
+        )
 
     # ------------------------------------------------------------------
     # queries (the three descents of paper Section 4.1)
@@ -209,8 +212,7 @@ class IntervalTree:
         idx = bisect_left(node.uppers, (lower, float("-inf")))
         results.extend(interval_id for _, interval_id in node.uppers[idx:])
 
-    def _report_subtree(self, node: Optional[_ITNode],
-                        results: list[int]) -> None:
+    def _report_subtree(self, node: Optional[_ITNode], results: list[int]) -> None:
         if node is None:
             return
         results.extend(interval_id for _, interval_id in node.lowers)
@@ -260,8 +262,15 @@ class SegmentTree:
         insort(self._by_lower, (lower, upper, interval_id))
         self._count += 1
 
-    def _place(self, node: int, node_lo: int, node_hi: int, lo: int, hi: int,
-               record: IntervalRecord) -> None:
+    def _place(
+        self,
+        node: int,
+        node_lo: int,
+        node_hi: int,
+        lo: int,
+        hi: int,
+        record: IntervalRecord,
+    ) -> None:
         if hi < node_lo or node_hi < lo:
             return
         if lo <= node_lo and node_hi <= hi:
@@ -283,8 +292,10 @@ class SegmentTree:
         node, node_lo, node_hi = 1, 0, self._size - 1
         while True:
             results.extend(
-                interval_id for lower, upper, interval_id in self._nodes[node]
-                if lower <= point <= upper)
+                interval_id
+                for lower, upper, interval_id in self._nodes[node]
+                if lower <= point <= upper
+            )
             if node_lo == node_hi:
                 break
             mid = (node_lo + node_hi) // 2
@@ -300,8 +311,7 @@ class SegmentTree:
         results = self.stab(lower)
         start = bisect_right(self._by_lower, (lower, float("inf"), float("inf")))
         end = bisect_right(self._by_lower, (upper, float("inf"), float("inf")))
-        results.extend(interval_id
-                       for _, __, interval_id in self._by_lower[start:end])
+        results.extend(interval_id for _, __, interval_id in self._by_lower[start:end])
         return results
 
     @property
@@ -349,7 +359,7 @@ class PrioritySearchTree:
         # remaining records split at the median lower bound.
         top_index = max(range(len(records)), key=lambda i: records[i][1])
         top = records[top_index]
-        rest = records[:top_index] + records[top_index + 1:]
+        rest = records[:top_index] + records[top_index + 1 :]
         if not rest:
             return _PSTNode(top, top[0])
         mid = len(rest) // 2
@@ -365,8 +375,9 @@ class PrioritySearchTree:
         self._query(self._root, lower, upper, results)
         return results
 
-    def _query(self, node: Optional[_PSTNode], lower: int, upper: int,
-               results: list[int]) -> None:
+    def _query(
+        self, node: Optional[_PSTNode], lower: int, upper: int, results: list[int]
+    ) -> None:
         if node is None:
             return
         s, e, interval_id = node.record

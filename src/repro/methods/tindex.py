@@ -74,18 +74,22 @@ class TileIndex(AccessMethod):
 
     method_name = "T-index"
 
-    def __init__(self, db: Optional[Database] = None, fixed_level: int = 8,
-                 domain_bits: int = DEFAULT_DOMAIN_BITS,
-                 name: str = "Tile") -> None:
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        fixed_level: int = 8,
+        domain_bits: int = DEFAULT_DOMAIN_BITS,
+        name: str = "Tile",
+    ) -> None:
         super().__init__(db)
         if not 0 <= fixed_level <= domain_bits:
-            raise ValueError(
-                f"fixed_level {fixed_level} outside [0, {domain_bits}]")
+            raise ValueError(f"fixed_level {fixed_level} outside [0, {domain_bits}]")
         self.fixed_level = fixed_level
         self.domain_bits = domain_bits
         self.tile_size = 2 ** (domain_bits - fixed_level)
-        self.geometry = self.db.create_table(f"{name}Geometry",
-                                             ["lower", "upper", "id"])
+        self.geometry = self.db.create_table(
+            f"{name}Geometry", ["lower", "upper", "id"]
+        )
         self.geometry.create_index("gidIndex", ["id"])
         self.entries = self.db.create_table(f"{name}Entries", ["tile", "id"])
         self.entries.create_index("tileIndex", ["tile", "id"])
@@ -98,10 +102,11 @@ class TileIndex(AccessMethod):
         return range(lower // self.tile_size, upper // self.tile_size + 1)
 
     def _check_domain(self, lower: int, upper: int) -> None:
-        if lower < 0 or upper >= 2 ** self.domain_bits:
+        if lower < 0 or upper >= 2**self.domain_bits:
             raise ValueError(
                 f"interval ({lower}, {upper}) outside the tile index domain "
-                f"[0, 2^{self.domain_bits} - 1]")
+                f"[0, 2^{self.domain_bits} - 1]"
+            )
 
     # ------------------------------------------------------------------
     # updates
@@ -118,8 +123,9 @@ class TileIndex(AccessMethod):
         """Remove the geometry row and every tile entry."""
         validate_interval(lower, upper)
         georow = None
-        for entry in self.geometry.index_scan("gidIndex", (interval_id,),
-                                              (interval_id,)):
+        for entry in self.geometry.index_scan(
+            "gidIndex", (interval_id,), (interval_id,)
+        ):
             candidate = self.geometry.fetch(entry[1])
             if candidate == (lower, upper, interval_id):
                 georow = entry[1]
@@ -129,7 +135,8 @@ class TileIndex(AccessMethod):
         entry_rowids = []
         for tile in self.tiles_for(lower, upper):
             for entry in self.entries.index_scan(
-                    "tileIndex", (tile, interval_id), (tile, interval_id)):
+                "tileIndex", (tile, interval_id), (tile, interval_id)
+            ):
                 entry_rowids.append(entry[2])
         for rowid in entry_rowids:
             self.entries.delete(rowid)
@@ -158,7 +165,7 @@ class TileIndex(AccessMethod):
         """
         validate_interval(lower, upper)
         lower_clip = max(lower, 0)
-        upper_clip = min(upper, 2 ** self.domain_bits - 1)
+        upper_clip = min(upper, 2**self.domain_bits - 1)
         if lower_clip > upper_clip:
             return []
         first = lower_clip // self.tile_size
@@ -167,13 +174,11 @@ class TileIndex(AccessMethod):
         results: list[int] = []
         # The tile equijoin consumes the scan as leaf slices; only the two
         # boundary tiles fall through to the per-candidate secondary filter.
-        for batch in self.entries.index_scan_batches(
-                "tileIndex", (first,), (last,)):
+        for batch in self.entries.index_scan_batches("tileIndex", (first,), (last,)):
             for tile, interval_id, _rowid in batch:
                 if interval_id in seen:
                     continue
-                if (first < tile < last
-                        or self._tile_covered(tile, lower, upper)):
+                if first < tile < last or self._tile_covered(tile, lower, upper):
                     # Primary filter suffices: the window covers this tile.
                     seen.add(interval_id)
                     results.append(interval_id)
@@ -183,9 +188,9 @@ class TileIndex(AccessMethod):
                 # test exactly.
                 seen.add(interval_id)
                 for gid_entry in self.geometry.index_scan(
-                        "gidIndex", (interval_id,), (interval_id,)):
-                    geo_lower, geo_upper, _ = self.geometry.fetch(
-                        gid_entry[1])
+                    "gidIndex", (interval_id,), (interval_id,)
+                ):
+                    geo_lower, geo_upper, _ = self.geometry.fetch(gid_entry[1])
                     if geo_lower <= upper and geo_upper >= lower:
                         results.append(interval_id)
                     break
@@ -210,12 +215,14 @@ class TileIndex(AccessMethod):
         return len(self.entries.index("tileIndex").tree)
 
 
-def tune_fixed_level(sample: Sequence[IntervalRecord],
-                     queries: Sequence[tuple[int, int]],
-                     domain_bits: int = DEFAULT_DOMAIN_BITS,
-                     levels: Optional[Sequence[int]] = None,
-                     block_size: int = 2048,
-                     cache_blocks: int = 64) -> int:
+def tune_fixed_level(
+    sample: Sequence[IntervalRecord],
+    queries: Sequence[tuple[int, int]],
+    domain_bits: int = DEFAULT_DOMAIN_BITS,
+    levels: Optional[Sequence[int]] = None,
+    block_size: int = 2048,
+    cache_blocks: int = 64,
+) -> int:
     """The paper's tuning protocol (Section 6.1).
 
     Builds a throwaway tile index per candidate level over ``sample``

@@ -57,21 +57,19 @@ class WindowList(AccessMethod):
 
     method_name = "Window-List"
 
-    def __init__(self, db: Optional[Database] = None,
-                 name: str = "WindowList") -> None:
+    def __init__(self, db: Optional[Database] = None, name: str = "WindowList") -> None:
         super().__init__(db)
-        self.windir = self.db.create_table(f"{name}_dir",
-                                           ["start", "window_no"])
+        self.windir = self.db.create_table(f"{name}_dir", ["start", "window_no"])
         self.windir.create_index("dirIndex", ["start", "window_no"])
         self.snapshots = self.db.create_table(
-            f"{name}_snap", ["window_no", "upper", "lower", "id"])
-        self.snapshots.create_index("snapIndex",
-                                    ["window_no", "upper", "lower", "id"])
-        self.starts = self.db.create_table(f"{name}_starts",
-                                           ["lower", "upper", "id"])
+            f"{name}_snap", ["window_no", "upper", "lower", "id"]
+        )
+        self.snapshots.create_index("snapIndex", ["window_no", "upper", "lower", "id"])
+        self.starts = self.db.create_table(f"{name}_starts", ["lower", "upper", "id"])
         self.starts.create_index("startIndex", ["lower", "upper", "id"])
-        self.overflow = self.db.create_table(f"{name}_overflow",
-                                             ["lower", "upper", "id"])
+        self.overflow = self.db.create_table(
+            f"{name}_overflow", ["lower", "upper", "id"]
+        )
         self._built = False
         self._window_starts: list[int] = []
         self._overflow_deletes: set[tuple[int, int, int]] = set()
@@ -84,8 +82,9 @@ class WindowList(AccessMethod):
     def bulk_load(self, intervals: Sequence[IntervalRecord]) -> None:
         """One sweep over the intervals, sorted by lower bound."""
         if self._built or self._base_count or self._overflow_count:
-            raise ValueError("the Window-List is static: bulk_load once, "
-                             "before any update")
+            raise ValueError(
+                "the Window-List is static: bulk_load once, before any update"
+            )
         records = sorted(intervals)
         start_rows: list[tuple[int, int, int]] = []
         snapshot_rows: list[tuple[int, int, int, int]] = []
@@ -99,9 +98,9 @@ class WindowList(AccessMethod):
         snapshot_size = 0
         for lower, upper, interval_id in records:
             validate_interval(lower, upper)
-            open_new = (window_no < 0 or
-                        starts_in_window >= max(MIN_WINDOW_STARTS,
-                                                snapshot_size))
+            open_new = window_no < 0 or starts_in_window >= max(
+                MIN_WINDOW_STARTS, snapshot_size
+            )
             if open_new:
                 window_no += 1
                 # Prune dead intervals; snapshot the survivors at `lower`.
@@ -173,12 +172,14 @@ class WindowList(AccessMethod):
                 # snapshot scan is pure, so tombstone-free leaf slices are
                 # consumed without per-entry tests.
                 for batch in self.snapshots.index_scan_batches(
-                        "snapIndex", (window_no, lower), (window_no,)):
+                    "snapIndex", (window_no, lower), (window_no,)
+                ):
                     if tombstones:
                         results.extend(
                             interval_id
                             for _w, e, s, interval_id, _rowid in batch
-                            if (s, e, interval_id) not in tombstones)
+                            if (s, e, interval_id) not in tombstones
+                        )
                     else:
                         results.extend(entry[3] for entry in batch)
                 scan_from = window_start
@@ -186,15 +187,16 @@ class WindowList(AccessMethod):
                 scan_from = self._window_starts[0]
             # Starts between the boundary and the query's upper bound.
             for batch in self.starts.index_scan_batches(
-                    "startIndex", (scan_from,), (upper,)):
+                "startIndex", (scan_from,), (upper,)
+            ):
                 if tombstones:
                     results.extend(
                         interval_id
                         for s, e, interval_id, _rowid in batch
-                        if e >= lower and (s, e, interval_id) not in tombstones)
+                        if e >= lower and (s, e, interval_id) not in tombstones
+                    )
                 else:
-                    results.extend(entry[2] for entry in batch
-                                   if entry[1] >= lower)
+                    results.extend(entry[2] for entry in batch if entry[1] >= lower)
         # Overflow: full scan, the price of updating a static structure.
         for _rowid, (s, e, interval_id) in self.overflow.scan():
             if s <= upper and e >= lower:
@@ -218,23 +220,28 @@ class WindowList(AccessMethod):
             window_no, window_start = self._locate_window(lower)
             if window_no is not None:
                 for batch in self.snapshots.index_scan_batches(
-                        "snapIndex", (window_no, lower), (window_no,)):
+                    "snapIndex", (window_no, lower), (window_no,)
+                ):
                     if tombstones:
                         total += sum(
-                            1 for _w, e, s, interval_id, _rowid in batch
-                            if (s, e, interval_id) not in tombstones)
+                            1
+                            for _w, e, s, interval_id, _rowid in batch
+                            if (s, e, interval_id) not in tombstones
+                        )
                     else:
                         total += len(batch)
                 scan_from = window_start
             else:
                 scan_from = self._window_starts[0]
             for batch in self.starts.index_scan_batches(
-                    "startIndex", (scan_from,), (upper,)):
+                "startIndex", (scan_from,), (upper,)
+            ):
                 if tombstones:
                     total += sum(
-                        1 for s, e, interval_id, _rowid in batch
-                        if e >= lower
-                        and (s, e, interval_id) not in tombstones)
+                        1
+                        for s, e, interval_id, _rowid in batch
+                        if e >= lower and (s, e, interval_id) not in tombstones
+                    )
                 else:
                     total += sum(1 for entry in batch if entry[1] >= lower)
         for _rowid, (s, e, _interval_id) in self.overflow.scan():
@@ -264,9 +271,11 @@ class WindowList(AccessMethod):
     @property
     def index_entry_count(self) -> int:
         """Starts + snapshot copies + directory entries."""
-        return (len(self.starts.index("startIndex").tree)
-                + len(self.snapshots.index("snapIndex").tree)
-                + len(self.windir.index("dirIndex").tree))
+        return (
+            len(self.starts.index("startIndex").tree)
+            + len(self.snapshots.index("snapIndex").tree)
+            + len(self.windir.index("dirIndex").tree)
+        )
 
     @property
     def window_count(self) -> int:

@@ -19,6 +19,7 @@ from .joins import (
     JoinWorkload,
     brute_force_pairs,
     expected_pair_count,
+    join_grid,
     join_workload,
 )
 from .queries import (
@@ -45,6 +46,7 @@ __all__ = [
     "d3_restricted",
     "d4",
     "expected_pair_count",
+    "join_grid",
     "join_workload",
     "make",
     "measured_selectivity",

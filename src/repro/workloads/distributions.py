@@ -32,7 +32,7 @@ import numpy as np
 
 #: The paper's data space: [0, 2^20 - 1].
 DOMAIN_BITS = 20
-DOMAIN_MAX = 2 ** DOMAIN_BITS - 1
+DOMAIN_MAX = 2**DOMAIN_BITS - 1
 
 IntervalRecord = tuple[int, int, int]
 
@@ -52,8 +52,7 @@ class Workload:
         """Average ``upper - lower`` over the database."""
         if not self.records:
             return 0.0
-        return float(np.mean([upper - lower
-                              for lower, upper, _ in self.records]))
+        return float(np.mean([upper - lower for lower, upper, _ in self.records]))
 
     def bounds(self) -> tuple[int, int]:
         """(min lower, max upper) over the database."""
@@ -82,22 +81,24 @@ def _poisson_starts(rng: np.random.Generator, n: int) -> np.ndarray:
     return starts
 
 
-def _uniform_durations(rng: np.random.Generator, n: int,
-                       d: int) -> np.ndarray:
+def _uniform_durations(rng: np.random.Generator, n: int, d: int) -> np.ndarray:
     return rng.integers(0, 2 * d + 1, size=n, dtype=np.int64)
 
 
-def _exponential_durations(rng: np.random.Generator, n: int,
-                           d: int) -> np.ndarray:
+def _exponential_durations(rng: np.random.Generator, n: int, d: int) -> np.ndarray:
     if d == 0:
         return np.zeros(n, dtype=np.int64)
     return rng.exponential(scale=d, size=n).astype(np.int64)
 
 
-def _build(name: str, n: int, d: int, seed: int,
-           starts_fn: Callable[[np.random.Generator, int], np.ndarray],
-           durations_fn: Callable[[np.random.Generator, int, int], np.ndarray]
-           ) -> Workload:
+def _build(
+    name: str,
+    n: int,
+    d: int,
+    seed: int,
+    starts_fn: Callable[[np.random.Generator, int], np.ndarray],
+    durations_fn: Callable[[np.random.Generator, int, int], np.ndarray],
+) -> Workload:
     if n < 0:
         raise ValueError(f"negative cardinality {n}")
     if d < 0:
@@ -106,46 +107,41 @@ def _build(name: str, n: int, d: int, seed: int,
     starts = starts_fn(rng, n)
     durations = durations_fn(rng, n, d)
     uppers = _clamp_uppers(starts, durations)
-    records = [(int(lower), int(upper), i)
-               for i, (lower, upper) in enumerate(zip(starts, uppers))]
-    return Workload(name=name, n=n, duration_param=d, seed=seed,
-                    records=records)
+    records = [
+        (int(lower), int(upper), i)
+        for i, (lower, upper) in enumerate(zip(starts, uppers))
+    ]
+    return Workload(name=name, n=n, duration_param=d, seed=seed, records=records)
 
 
 def d1(n: int, d: int, seed: int = 0) -> Workload:
     """D1(n, d): uniform starts, uniform durations in [0, 2d]."""
-    return _build(f"D1({n},{d})", n, d, seed,
-                  _uniform_starts, _uniform_durations)
+    return _build(f"D1({n},{d})", n, d, seed, _uniform_starts, _uniform_durations)
 
 
 def d2(n: int, d: int, seed: int = 0) -> Workload:
     """D2(n, d): uniform starts, exponential durations with mean d."""
-    return _build(f"D2({n},{d})", n, d, seed,
-                  _uniform_starts, _exponential_durations)
+    return _build(f"D2({n},{d})", n, d, seed, _uniform_starts, _exponential_durations)
 
 
 def d3(n: int, d: int, seed: int = 0) -> Workload:
     """D3(n, d): Poisson-process starts, uniform durations in [0, 2d]."""
-    return _build(f"D3({n},{d})", n, d, seed,
-                  _poisson_starts, _uniform_durations)
+    return _build(f"D3({n},{d})", n, d, seed, _poisson_starts, _uniform_durations)
 
 
 def d4(n: int, d: int, seed: int = 0) -> Workload:
     """D4(n, d): Poisson-process starts, exponential durations with mean d."""
-    return _build(f"D4({n},{d})", n, d, seed,
-                  _poisson_starts, _exponential_durations)
+    return _build(f"D4({n},{d})", n, d, seed, _poisson_starts, _exponential_durations)
 
 
-def d3_restricted(n: int, min_length: int, max_length: int,
-                  seed: int = 0) -> Workload:
+def d3_restricted(n: int, min_length: int, max_length: int, seed: int = 0) -> Workload:
     """The Figure 15 variant: D3 with durations uniform in a restricted range.
 
     The paper restricts the length domain "from [0, 4k] to [500, 3.5k],
     [1k, 3k], and [1.5k, 2.5k]" to study the minstep/granularity effect.
     """
     if not 0 <= min_length <= max_length:
-        raise ValueError(
-            f"invalid length range [{min_length}, {max_length}]")
+        raise ValueError(f"invalid length range [{min_length}, {max_length}]")
     if max_length > DOMAIN_MAX:
         raise ValueError(f"max_length {max_length} exceeds the domain")
     rng = np.random.default_rng(seed)
@@ -154,18 +150,26 @@ def d3_restricted(n: int, min_length: int, max_length: int,
     # point of the Figure 15 experiment (minstep tracks the *minimum*
     # stored length, so a single clamped short interval would defeat it).
     starts = np.minimum(_poisson_starts(rng, n), DOMAIN_MAX - max_length)
-    durations = rng.integers(min_length, max_length + 1, size=n,
-                             dtype=np.int64)
-    records = [(int(lower), int(lower + length), i)
-               for i, (lower, length) in enumerate(zip(starts, durations))]
-    return Workload(name=f"D3({n},[{min_length},{max_length}])", n=n,
-                    duration_param=(min_length + max_length) // 2,
-                    seed=seed, records=records)
+    durations = rng.integers(min_length, max_length + 1, size=n, dtype=np.int64)
+    records = [
+        (int(lower), int(lower + length), i)
+        for i, (lower, length) in enumerate(zip(starts, durations))
+    ]
+    return Workload(
+        name=f"D3({n},[{min_length},{max_length}])",
+        n=n,
+        duration_param=(min_length + max_length) // 2,
+        seed=seed,
+        records=records,
+    )
 
 
 #: Dispatch table for the four Table 1 distributions.
 DISTRIBUTIONS: dict[str, Callable[..., Workload]] = {
-    "D1": d1, "D2": d2, "D3": d3, "D4": d4,
+    "D1": d1,
+    "D2": d2,
+    "D3": d3,
+    "D4": d4,
 }
 
 
@@ -174,13 +178,13 @@ def make(name: str, n: int, d: int, seed: int = 0) -> Workload:
     try:
         factory = DISTRIBUTIONS[name]
     except KeyError:
-        raise ValueError(f"unknown distribution {name!r}; expected one of "
-                         f"{sorted(DISTRIBUTIONS)}") from None
+        raise ValueError(
+            f"unknown distribution {name!r}; expected one of {sorted(DISTRIBUTIONS)}"
+        ) from None
     return factory(n, d, seed)
 
 
-def table1_catalogue(n: int = 1000, d: int = 2000,
-                     seed: int = 0) -> Sequence[Workload]:
+def table1_catalogue(n: int = 1000, d: int = 2000, seed: int = 0) -> Sequence[Workload]:
     """One instance of each Table 1 distribution (for tests and Table 1's
     reproduction bench)."""
     return [make(name, n, d, seed) for name in sorted(DISTRIBUTIONS)]

@@ -96,6 +96,42 @@ def join_workload(
     return JoinWorkload(name=name, outer=outer, inner=inner, seed=seed)
 
 
+def join_grid(
+    outer_ns: Sequence[int],
+    inner_ns: Sequence[int],
+    inner_ds: Sequence[int],
+    outer_d: int = 2000,
+    outer_dist: str = "D1",
+    inner_dist: str = "D1",
+    seed: int = 0,
+) -> list[JoinWorkload]:
+    """The crossover grid: one workload per parameter combination.
+
+    The cartesian product of outer cardinality, inner cardinality, and
+    inner mean duration -- the three axes along which the index-vs-sweep
+    trade-off moves (probe count scales index cost, inner size scales the
+    sweep's input scan, duration scales the join selectivity).  Every
+    grid point draws from its own derived seed, so neighbouring points
+    are independent samples rather than nested subsets.
+    """
+    grid: list[JoinWorkload] = []
+    for point, (outer_n, inner_n, inner_d) in enumerate(
+        (o, i, d) for o in outer_ns for i in inner_ns for d in inner_ds
+    ):
+        grid.append(
+            join_workload(
+                outer_n=outer_n,
+                inner_n=inner_n,
+                outer_d=outer_d,
+                inner_d=inner_d,
+                outer_dist=outer_dist,
+                inner_dist=inner_dist,
+                seed=seed * 10_000 + point,
+            )
+        )
+    return grid
+
+
 def expected_pair_count(
     outer: Sequence[IntervalRecord], inner: Sequence[IntervalRecord]
 ) -> int:

@@ -28,16 +28,18 @@ from .distributions import DOMAIN_MAX, IntervalRecord, Workload
 QueryInterval = tuple[int, int]
 
 
-def window_length_for_selectivity(selectivity: float, mean_length: float,
-                                  domain_size: int = DOMAIN_MAX + 1) -> int:
+def window_length_for_selectivity(
+    selectivity: float, mean_length: float, domain_size: int = DOMAIN_MAX + 1
+) -> int:
     """Window length giving the target selectivity in expectation."""
     if not 0.0 <= selectivity <= 1.0:
         raise ValueError(f"selectivity {selectivity} outside [0, 1]")
     return max(0, int(round(selectivity * domain_size - mean_length - 1)))
 
 
-def range_queries(workload: Workload, selectivity: float, count: int,
-                  seed: int = 1) -> list[QueryInterval]:
+def range_queries(
+    workload: Workload, selectivity: float, count: int, seed: int = 1
+) -> list[QueryInterval]:
     """Range queries compatible with ``workload`` at a target selectivity.
 
     Query starting points are drawn uniformly from the domain (matching the
@@ -47,12 +49,10 @@ def range_queries(workload: Workload, selectivity: float, count: int,
     if count <= 0:
         raise ValueError(f"query count must be positive, got {count}")
     rng = np.random.default_rng(seed)
-    length = window_length_for_selectivity(selectivity,
-                                           workload.mean_length)
+    length = window_length_for_selectivity(selectivity, workload.mean_length)
     max_start = max(0, DOMAIN_MAX - length)
     starts = rng.integers(0, max_start + 1, size=count, dtype=np.int64)
-    return [(int(start), int(min(start + length, DOMAIN_MAX)))
-            for start in starts]
+    return [(int(start), int(min(start + length, DOMAIN_MAX))) for start in starts]
 
 
 def point_queries(count: int, seed: int = 1) -> list[QueryInterval]:
@@ -62,9 +62,9 @@ def point_queries(count: int, seed: int = 1) -> list[QueryInterval]:
     return [(int(p), int(p)) for p in points]
 
 
-def sweeping_point_queries(distances: Sequence[int],
-                           domain_max: int = DOMAIN_MAX
-                           ) -> list[QueryInterval]:
+def sweeping_point_queries(
+    distances: Sequence[int], domain_max: int = DOMAIN_MAX
+) -> list[QueryInterval]:
     """Figure 17's sweep: one point query per distance to the domain's
     upper bound."""
     queries = []
@@ -83,8 +83,9 @@ def measured_selectivity(result_sizes: Sequence[int], n: int) -> float:
     return float(np.mean(result_sizes)) / n
 
 
-def brute_force_results(records: Sequence[IntervalRecord],
-                        queries: Sequence[QueryInterval]) -> list[int]:
+def brute_force_results(
+    records: Sequence[IntervalRecord], queries: Sequence[QueryInterval]
+) -> list[int]:
     """Result sizes of ``queries`` against ``records`` (O(n) per query).
 
     Used by the harness to report realised selectivities and by tests to
@@ -96,6 +97,5 @@ def brute_force_results(records: Sequence[IntervalRecord],
     uppers = np.array([upper for _, upper, __ in records], dtype=np.int64)
     sizes = []
     for q_lower, q_upper in queries:
-        sizes.append(int(np.count_nonzero(
-            (lowers <= q_upper) & (uppers >= q_lower))))
+        sizes.append(int(np.count_nonzero((lowers <= q_upper) & (uppers >= q_lower))))
     return sizes

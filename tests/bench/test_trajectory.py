@@ -1,0 +1,182 @@
+"""The bench-trajectory pipeline: metric extraction, merge, baseline diff."""
+
+import pytest
+
+from repro.bench import trajectory
+
+SCAN_REPORT = {
+    "scale": "tiny",
+    "rows": [
+        {"path": "count", "results_total": 10, "logical_reads": 100,
+         "physical_reads": 40},
+        {"path": "count", "results_total": 5, "logical_reads": 50,
+         "physical_reads": 20},
+        {"path": "per_entry", "results_total": 10, "logical_reads": 100,
+         "physical_reads": 40},
+    ],
+    "summary": {"ritree_worst_ops_ratio": 2.5},
+}
+
+JOIN_REPORT = {
+    "scale": "tiny",
+    "rows": [
+        {"strategy": "index-nested-loop", "pairs": 7, "logical_reads": 30,
+         "physical_reads": 12},
+        {"strategy": "sweep", "pairs": 7, "logical_reads": 8,
+         "physical_reads": 8},
+        {"strategy": "auto", "pairs": 7, "logical_reads": 8,
+         "physical_reads": 8},
+        {"strategy": "nested-loop", "pairs": 7, "logical_reads": 0,
+         "physical_reads": 0},
+    ],
+    "summary": {"pairs": 7},
+}
+
+CROSSOVER_REPORT = {
+    "scale": "tiny",
+    "rows": [
+        {"measured": {"index-nested-loop": {"physical_reads": 5},
+                      "sweep": {"physical_reads": 9}}},
+        {"measured": {"index-nested-loop": {"physical_reads": 50},
+                      "sweep": {"physical_reads": 9}}},
+    ],
+    "summary": {"grid_points": 2, "correct_choices": 2,
+                "auto_accuracy": 1.0},
+}
+
+ALL_REPORTS = {
+    "scan-throughput": SCAN_REPORT,
+    "interval-join": JOIN_REPORT,
+    "join-crossover": CROSSOVER_REPORT,
+}
+
+
+def test_extract_metrics_scan_throughput_sums_count_path_only():
+    metrics = trajectory.extract_metrics("scan-throughput", SCAN_REPORT)
+    assert metrics == {
+        "results_total": 15,
+        "logical_reads": 150,
+        "physical_reads": 60,
+        "worst_ops_ratio": 2.5,
+    }
+
+
+def test_extract_metrics_interval_join_covers_all_strategies():
+    metrics = trajectory.extract_metrics("interval-join", JOIN_REPORT)
+    assert metrics["pairs"] == 7
+    assert metrics["index_physical_reads"] == 12
+    assert metrics["sweep_physical_reads"] == 8
+    assert metrics["auto_physical_reads"] == 8
+
+
+def test_extract_metrics_crossover():
+    metrics = trajectory.extract_metrics("join-crossover", CROSSOVER_REPORT)
+    assert metrics == {
+        "grid_points": 2,
+        "correct_choices": 2,
+        "auto_accuracy": 1.0,
+        "index_physical_reads": 55,
+        "sweep_physical_reads": 18,
+    }
+
+
+def test_extract_metrics_unknown_bench():
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        trajectory.extract_metrics("frisbee", {})
+
+
+def test_merge_reports_schema():
+    merged = trajectory.merge_reports(ALL_REPORTS, git_sha="abc123")
+    assert merged["schema"] == "bench-trajectory/v1"
+    assert [r["bench"] for r in merged["rows"]] == sorted(ALL_REPORTS)
+    for row in merged["rows"]:
+        assert set(row) == {"bench", "scale", "metrics", "git_sha"}
+        assert row["git_sha"] == "abc123"
+        assert row["scale"] == "tiny"
+
+
+def test_baseline_roundtrip_is_clean():
+    merged = trajectory.merge_reports(ALL_REPORTS, git_sha="abc123")
+    baseline = trajectory.strip_baseline(merged)
+    assert all("git_sha" not in row for row in baseline["rows"])
+    deltas = trajectory.compare_to_baseline(merged, baseline)
+    assert deltas
+    assert trajectory.regressions(deltas) == []
+    assert all(d["status"] == "ok" for d in deltas)
+
+
+def test_exact_metric_drift_is_a_regression_in_both_directions():
+    merged = trajectory.merge_reports(ALL_REPORTS, git_sha="abc")
+    baseline = trajectory.strip_baseline(merged)
+    for drift in (+1, -1):
+        current = trajectory.merge_reports(ALL_REPORTS, git_sha="def")
+        row = next(r for r in current["rows"]
+                   if r["bench"] == "interval-join")
+        row["metrics"] = dict(row["metrics"])
+        row["metrics"]["pairs"] += drift
+        failures = trajectory.regressions(
+            trajectory.compare_to_baseline(current, baseline))
+        assert [f["metric"] for f in failures] == ["pairs"]
+
+
+def test_at_least_metric_may_only_improve():
+    merged = trajectory.merge_reports(ALL_REPORTS, git_sha="abc")
+    baseline = trajectory.strip_baseline(merged)
+    current = trajectory.merge_reports(ALL_REPORTS, git_sha="def")
+    row = next(r for r in current["rows"] if r["bench"] == "join-crossover")
+    row["metrics"] = dict(row["metrics"], auto_accuracy=0.5)
+    failures = trajectory.regressions(
+        trajectory.compare_to_baseline(current, baseline))
+    assert [f["metric"] for f in failures] == ["auto_accuracy"]
+    # Improvement passes.
+    row["metrics"]["auto_accuracy"] = 1.0
+    row["metrics"]["correct_choices"] = 3
+    assert trajectory.regressions(
+        trajectory.compare_to_baseline(current, baseline)) == []
+
+
+def test_missing_baseline_row_is_not_a_failure():
+    merged = trajectory.merge_reports(ALL_REPORTS, git_sha="abc")
+    baseline = {"rows": []}
+    deltas = trajectory.compare_to_baseline(merged, baseline)
+    assert all(d["status"] == "new" for d in deltas)
+    assert trajectory.regressions(deltas) == []
+
+
+def test_vanished_benchmark_is_a_failure():
+    """Dropping a whole bench from the pipeline must not pass the gate."""
+    merged = trajectory.merge_reports(ALL_REPORTS, git_sha="abc")
+    baseline = trajectory.strip_baseline(merged)
+    partial = trajectory.merge_reports(
+        {"scan-throughput": SCAN_REPORT}, git_sha="def")
+    failures = trajectory.regressions(
+        trajectory.compare_to_baseline(partial, baseline))
+    assert sorted(f["bench"] for f in failures) == \
+        ["interval-join", "join-crossover"]
+    assert all(f["metric"] == "*" and f["status"] == "missing"
+               for f in failures)
+
+
+def test_vanished_metric_is_a_failure():
+    merged = trajectory.merge_reports(ALL_REPORTS, git_sha="abc")
+    baseline = trajectory.strip_baseline(merged)
+    current = trajectory.merge_reports(ALL_REPORTS, git_sha="def")
+    row = next(r for r in current["rows"] if r["bench"] == "scan-throughput")
+    row["metrics"] = {k: v for k, v in row["metrics"].items()
+                      if k != "physical_reads"}
+    failures = trajectory.regressions(
+        trajectory.compare_to_baseline(current, baseline))
+    assert [(f["metric"], f["status"]) for f in failures] == \
+        [("physical_reads", "missing")]
+
+
+def test_render_delta_table_is_readable():
+    merged = trajectory.merge_reports(ALL_REPORTS, git_sha="abc")
+    baseline = trajectory.strip_baseline(merged)
+    table = trajectory.render_delta_table(
+        trajectory.compare_to_baseline(merged, baseline))
+    lines = table.splitlines()
+    assert lines[0].split("|")[0].strip() == "bench"
+    assert set(lines[1]) <= {"-", " ", "|"}
+    assert any("auto_accuracy" in line for line in lines)
+    assert all(len(line) == len(lines[0]) for line in lines[1:])

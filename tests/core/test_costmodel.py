@@ -3,7 +3,15 @@
 import pytest
 
 from repro.core import RITree, RITreeCostModel
+from repro.core.costmodel import (
+    BoundSummary,
+    choose_join_strategy,
+    expected_join_pairs,
+    heap_scan_blocks,
+    index_geometry,
+)
 from repro.workloads import d1, range_queries
+from repro.workloads.joins import expected_pair_count, join_workload
 
 
 @pytest.fixture(scope="module")
@@ -98,3 +106,135 @@ def test_selectivity_field(modelled_tree):
     workload, _, model = modelled_tree
     estimate = model.estimate(0, 2 ** 20 - 1)
     assert 0.9 <= estimate.selectivity <= 1.0
+
+
+# ----------------------------------------------------------------------
+# statistics sources and geometry helpers
+# ----------------------------------------------------------------------
+def test_refresh_from_indexes_matches_table_scan(modelled_tree):
+    """ANALYZE via the composite indexes == ANALYZE via the base table."""
+    _, tree, model = modelled_tree
+    from_indexes = RITreeCostModel(tree, source="indexes")
+    assert from_indexes.summary.count == model.summary.count
+    assert from_indexes.summary.lower_bounds == model.summary.lower_bounds
+    assert from_indexes.summary.upper_bounds == model.summary.upper_bounds
+
+
+def test_invalid_statistics_source_rejected():
+    with pytest.raises(ValueError, match="statistics source"):
+        RITreeCostModel(RITree(), source="moon phase")
+
+
+def test_heap_scan_blocks_matches_engine(modelled_tree):
+    """The sweep's input-scan price mirrors the real heap layout."""
+    from repro.bench.harness import paper_database
+
+    db = paper_database()
+    table = db.create_table("R", ["lower", "upper", "id"])
+    workload = d1(3000, 1500, seed=5)
+    table.bulk_load(workload.records)
+    assert heap_scan_blocks(3000, 3, db.disk.block_size) == table.heap.page_count
+
+
+def test_index_geometry_matches_engine(modelled_tree):
+    _, tree, _ = modelled_tree
+    index = tree.table.index("lowerIndex").tree
+    height, leaf_capacity = index_geometry(
+        tree.interval_count, 3, tree.db.disk.block_size)
+    assert leaf_capacity == index.leaf_capacity
+    assert height == index.height
+
+
+def test_heap_scan_blocks_empty_relation():
+    assert heap_scan_blocks(0, 3) == 0
+
+
+# ----------------------------------------------------------------------
+# join estimation (the planner path)
+# ----------------------------------------------------------------------
+def test_expected_join_pairs_tracks_oracle():
+    workload = join_workload(300, 2000, seed=11)
+    outer, inner = workload.outer.records, workload.inner.records
+    estimate = expected_join_pairs(
+        BoundSummary.from_records(outer), BoundSummary.from_records(inner))
+    true_pairs = expected_pair_count(outer, inner)
+    assert abs(estimate - true_pairs) <= 0.15 * true_pairs + 20
+
+
+def test_join_estimate_fields_and_dict(modelled_tree):
+    workload, tree, model = modelled_tree
+    probes = join_workload(50, 10, seed=2).outer.records
+    estimate = model.estimate_join(probes)
+    assert estimate.outer_n == 50
+    assert estimate.inner_n == tree.interval_count
+    assert estimate.index.strategy == "index-nested-loop"
+    assert estimate.sweep.strategy == "sweep"
+    assert estimate.choice in ("index-nested-loop", "sweep")
+    assert estimate.chosen.strategy == estimate.choice
+    as_dict = estimate.as_dict()
+    assert as_dict["choice"] == estimate.choice
+    assert set(as_dict["index"]) == {
+        "strategy", "logical_reads", "physical_reads", "frame_cost"}
+
+
+def test_crossover_decision_index_favored():
+    """A handful of probes against a big inner relation: probe the index.
+
+    The sweep must scan all of the inner relation (hundreds of blocks);
+    five selective probes touch a few dozen -- the planner must see it.
+    """
+    workload = join_workload(5, 8000, seed=3)
+    estimate = choose_join_strategy(
+        workload.outer.records, workload.inner.records)
+    assert estimate.choice == "index-nested-loop"
+    assert estimate.index.physical_reads < estimate.sweep.physical_reads
+
+
+def test_crossover_decision_sweep_favored():
+    """Probe count comparable to the inner relation: one merge pass wins.
+
+    A thousand probes re-read index leaves over and over; two sequential
+    input scans are bounded by the relations' sizes.
+    """
+    workload = join_workload(1000, 2000, seed=4)
+    estimate = choose_join_strategy(
+        workload.outer.records, workload.inner.records)
+    assert estimate.choice == "sweep"
+    assert estimate.sweep.physical_reads < estimate.index.physical_reads
+
+
+def test_tree_model_and_engine_free_planner_agree(modelled_tree):
+    """Both planner entry points pick the same strategy on one workload."""
+    _, tree, model = modelled_tree
+    inner = [(row[1], row[2], row[3]) for _rowid, row in tree.table.scan()]
+    for outer_n, seed in ((10, 7), (800, 8)):
+        probes = join_workload(outer_n, 10, seed=seed).outer.records
+        via_tree = model.estimate_join(probes)
+        via_records = choose_join_strategy(probes, inner)
+        assert via_tree.choice == via_records.choice
+    # The bound method defaults to the modelled tree as the inner side.
+    probes = join_workload(20, 10, seed=9).outer.records
+    assert model.choose_join_strategy(probes).choice == \
+        model.estimate_join(probes).choice
+
+
+def test_choose_join_strategy_empty_sides():
+    estimate = choose_join_strategy([], [(0, 5, 1)])
+    assert estimate.result_count == 0.0
+    estimate = choose_join_strategy([(0, 5, 1)], [])
+    assert estimate.result_count == 0.0
+    assert estimate.choice in ("index-nested-loop", "sweep")
+
+
+def test_choose_join_strategy_validates_bounds():
+    with pytest.raises(ValueError):
+        choose_join_strategy([(5, 3, 1)], [(0, 5, 1)])
+    with pytest.raises(ValueError):
+        choose_join_strategy([(0, 5, 1)], [(5, 3, 1)])
+
+
+def test_bound_summary_validation():
+    with pytest.raises(ValueError, match="buckets"):
+        BoundSummary([], [], buckets=1)
+    with pytest.raises(ValueError, match="equal lengths"):
+        BoundSummary([1], [], buckets=4)

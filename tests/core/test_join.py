@@ -6,6 +6,7 @@ from repro.bench.harness import run_join_batch
 from repro.core import RITree, TemporalRITree
 from repro.core.join import (
     JOIN_STRATEGIES,
+    AutoJoin,
     IndexNestedLoopJoin,
     NestedLoopJoin,
     SweepJoin,
@@ -15,7 +16,7 @@ from repro.methods import WindowList
 
 from ..conftest import make_intervals
 
-STRATEGIES = ["nested-loop", "sweep", "index"]
+STRATEGIES = ["nested-loop", "sweep", "index", "auto"]
 
 OUTER = [(0, 10, 100), (5, 5, 101), (20, 30, 102), (35, 60, 103)]
 INNER = [(8, 25, 1), (10, 10, 2), (30, 35, 3), (70, 80, 4)]
@@ -61,6 +62,7 @@ def test_strategy_registry_covers_all_names():
         "sweep",
         "index",
         "index-nested-loop",
+        "auto",
     }
 
 
@@ -186,6 +188,110 @@ def test_windowlist_count_and_join_adapter(rng):
     assert wl.join_count(probes) == len(expected)
 
 
+def test_auto_join_records_its_decision(rng):
+    outer = make_intervals(rng, 30, domain=20_000, mean_length=500)
+    inner = [
+        (lo, up, 5000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 60, domain=20_000, mean_length=500)
+        )
+    ]
+    auto = AutoJoin()
+    assert auto.last_decision is None
+    pairs = auto.pairs(outer, inner)
+    assert auto.last_decision is not None
+    decision = auto.last_decision
+    assert decision.choice in ("index-nested-loop", "sweep")
+    assert sorted(pairs) == sorted(NestedLoopJoin().pairs(outer, inner))
+    # Counting re-plans (inputs may have changed between calls).
+    assert auto.count(outer, inner) == len(pairs)
+
+
+def test_auto_join_with_prebuilt_method_consults_its_model(rng):
+    inner = make_intervals(rng, 150, domain=30_000, mean_length=600)
+    probes = [
+        (lo, up, 7000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 10, domain=30_000, mean_length=900)
+        )
+    ]
+    tree = RITree()
+    tree.bulk_load(inner)
+    tree.db.flush()
+    auto = AutoJoin(method=tree)
+    pairs = auto.pairs(probes, inner=[])
+    expected = []
+    for lower, upper, probe_id in probes:
+        expected.extend(
+            (probe_id, interval_id)
+            for interval_id in tree.intersection(lower, upper)
+        )
+    assert sorted(pairs) == sorted(expected)
+    # The decision came from the tree's own (index-sourced) cost model.
+    assert auto.last_decision.inner_n == len(inner)
+
+
+def test_auto_join_sweep_choice_recovers_stored_records(rng):
+    """A prebuilt inner index, planner picks sweep: records are recovered."""
+    inner = make_intervals(rng, 80, domain=10_000, mean_length=400)
+    probes = [
+        (lo, up, 9000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 40, domain=10_000, mean_length=400)
+        )
+    ]
+    tree = RITree()
+    tree.bulk_load(inner)
+    auto = AutoJoin(method=tree)
+    strategy, records = auto._plan(probes, inner=[])
+    if auto.last_decision.choice == "sweep":
+        assert isinstance(strategy, SweepJoin)
+        assert sorted(records) == sorted(inner)
+    else:
+        assert isinstance(strategy, IndexNestedLoopJoin)
+    # Either way the evaluated join is exact.
+    assert sorted(auto.pairs(probes, inner=[])) == sorted(
+        NestedLoopJoin().pairs(probes, inner)
+    )
+
+
+def test_auto_join_prebuilt_method_ignores_inner_argument(rng):
+    """With a prebuilt method, the stored relation is the inner side for
+    BOTH strategies -- a conflicting ``inner`` argument must not leak in."""
+    inner = make_intervals(rng, 60, domain=8000, mean_length=300)
+    decoy = [(0, 8000, 777)]  # would join with everything
+    probes = [
+        (lo, up, 9100 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 30, domain=8000, mean_length=300)
+        )
+    ]
+    tree = RITree()
+    tree.bulk_load(inner)
+    auto = AutoJoin(method=tree)
+    expected = sorted(NestedLoopJoin().pairs(probes, inner))
+    assert sorted(auto.pairs(probes, inner=decoy)) == expected
+    assert auto.count(probes, inner=decoy) == len(expected)
+
+
+def test_ritree_stored_records_roundtrip(rng):
+    records = make_intervals(rng, 50, domain=5000, mean_length=200)
+    tree = RITree()
+    tree.bulk_load(records)
+    assert sorted(tree.stored_records()) == sorted(records)
+
+
+def test_cost_model_is_cached_and_refreshable():
+    tree = RITree()
+    tree.bulk_load([(0, 10, 1), (5, 20, 2)])
+    model = tree.cost_model()
+    assert model is tree.cost_model()
+    assert model.summary.count == 2
+    tree.insert(30, 40, 3)
+    assert tree.cost_model().summary.count == 2  # stale until refreshed
+    assert tree.cost_model(refresh=True).summary.count == 3
+
+
 def test_run_join_batch_reports_join_measurements(rng):
     inner = make_intervals(rng, 250, domain=40_000, mean_length=500)
     probes = [
@@ -203,6 +309,46 @@ def test_run_join_batch_reports_join_measurements(rng):
     assert batch.pairs == len(NestedLoopJoin().pairs(probes, inner))
     assert batch.logical_io > 0
     assert batch.physical_io >= 0
+    assert batch.decision is None
     row = batch.as_row()
     assert row["pairs"] == batch.pairs
     assert row["I/O per pair"] == round(batch.io_per_pair, 4)
+    assert "planner choice" not in row
+
+
+def test_run_join_batch_with_planner_decision(rng):
+    """plan=True rides the cost model's prediction along on the row."""
+    inner = make_intervals(rng, 200, domain=30_000, mean_length=500)
+    probes = [
+        (lo, up, 4000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 12, domain=30_000, mean_length=800)
+        )
+    ]
+    tree = RITree()
+    tree.bulk_load(inner)
+    tree.db.flush()
+    batch = run_join_batch(tree, probes, plan=True)
+    assert batch.decision is not None
+    assert batch.decision["choice"] in ("index-nested-loop", "sweep")
+    assert batch.decision["outer_n"] == len(probes)
+    row = batch.as_row()
+    assert row["planner choice"] == batch.decision["choice"]
+    assert row["predicted physical I/O"] > 0
+    # Planning must not change the measurement itself.
+    unplanned = run_join_batch(tree, probes)
+    assert unplanned.pairs == batch.pairs
+    assert unplanned.logical_io == batch.logical_io
+    assert unplanned.physical_io == batch.physical_io
+
+
+def test_run_join_batch_plan_without_model_is_noop(rng):
+    """Methods without a cost model run planless (decision stays None)."""
+    from repro.methods import WindowList
+
+    records = make_intervals(rng, 100, domain=20_000, mean_length=400)
+    wl = WindowList()
+    wl.bulk_load(records)
+    probes = [(100, 5000, 1), (8000, 9000, 2)]
+    batch = run_join_batch(wl, probes, plan=True)
+    assert batch.decision is None

@@ -10,7 +10,14 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import TemporalRITree
-from repro.core.join import IndexNestedLoopJoin, NestedLoopJoin, SweepJoin
+from repro.core.costmodel import DEFAULT_BUCKETS, choose_join_strategy
+from repro.core.join import (
+    AutoJoin,
+    IndexNestedLoopJoin,
+    NestedLoopJoin,
+    SweepJoin,
+)
+from repro.workloads.joins import expected_pair_count, join_workload
 
 DOMAIN_MAX = 2**20 - 1
 
@@ -89,3 +96,74 @@ def test_temporal_join_matches_oracle_on_effective_bounds(
     index_join = IndexNestedLoopJoin(method=tree)
     assert sorted(index_join.pairs(outer, inner=[])) == expected
     assert index_join.count(outer, inner=[]) == len(expected)
+
+
+def _estimate_error_bound(outer_n, inner_n, buckets):
+    """The stated accuracy of the convolved pair-count estimate.
+
+    Each CDF lookup is off by at most ~2 quantile-bucket masses (one for
+    the boundary rank convention, one for in-bucket interpolation), and
+    the join estimate sums two lookups over the cross product:
+
+        |estimate - truth| <= 4 * n_R * n_S / resolution + 2
+
+    where ``resolution`` is the effective bucket count
+    ``min(inner_n, buckets) - 1`` (small relations keep every value).
+    """
+    resolution = max(1, min(inner_n, buckets) - 1)
+    return 4.0 * outer_n * inner_n / resolution + 2.0
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(record, max_size=60), st.lists(record, max_size=60))
+def test_join_estimate_within_stated_bound(outer_raw, inner_raw):
+    """JoinEstimate.result_count lands within the documented error bound."""
+    outer = _with_ids(outer_raw, 1000)
+    inner = _with_ids(inner_raw, 9000)
+    estimate = choose_join_strategy(outer, inner)
+    truth = expected_pair_count(outer, inner)
+    bound = _estimate_error_bound(len(outer), len(inner), DEFAULT_BUCKETS)
+    assert abs(estimate.result_count - truth) <= bound
+    assert 0.0 <= estimate.result_count <= len(outer) * len(inner)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(20, 150),
+    st.integers(200, 500),
+    st.integers(100, 4000),
+    st.integers(0, 50),
+)
+def test_join_estimate_bound_on_generated_workloads(
+    outer_n, inner_n, inner_d, seed
+):
+    """The bound also holds in the quantile regime (buckets < inner_n)."""
+    workload = join_workload(outer_n, inner_n, inner_d=inner_d, seed=seed)
+    outer, inner = workload.outer.records, workload.inner.records
+    buckets = 16
+    estimate = choose_join_strategy(outer, inner, buckets=buckets)
+    truth = expected_pair_count(outer, inner)
+    assert abs(estimate.result_count - truth) <= \
+        _estimate_error_bound(outer_n, inner_n, buckets)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(record, max_size=40), st.lists(record, max_size=40))
+def test_auto_join_matches_oracle(outer_raw, inner_raw):
+    """Whatever the planner picks, auto returns the exact pair set."""
+    outer = _with_ids(outer_raw, 1000)
+    inner = _with_ids(inner_raw, 9000)
+    expected = sorted(NestedLoopJoin().pairs(outer, inner))
+    auto = AutoJoin()
+    assert sorted(auto.pairs(outer, inner)) == expected
+    assert auto.count(outer, inner) == len(expected)
+    assert auto.last_decision is not None
+    assert auto.last_decision.choice in ("index-nested-loop", "sweep")

@@ -75,3 +75,45 @@ def test_empty_workload_selectivity():
     assert workload.pair_domain == 0
     assert workload.selectivity() == 0.0
     assert workload.expected_pairs() == 0
+
+
+def test_join_grid_cartesian_product():
+    grid = joins.join_grid(
+        outer_ns=[10, 20], inner_ns=[50, 100], inner_ds=[500, 1000, 2000],
+        seed=3,
+    )
+    assert len(grid) == 2 * 2 * 3
+    shapes = [(w.outer.n, w.inner.n, w.inner.duration_param) for w in grid]
+    assert shapes == [
+        (o, i, d) for o in (10, 20) for i in (50, 100)
+        for d in (500, 1000, 2000)
+    ]
+
+
+def test_join_grid_points_are_independent_samples():
+    grid = joins.join_grid(
+        outer_ns=[30], inner_ns=[30], inner_ds=[500, 500], seed=1)
+    # Same parameters at two grid positions, different derived seeds.
+    assert grid[0].inner.records != grid[1].inner.records
+
+
+def test_join_grid_is_deterministic():
+    kwargs = dict(outer_ns=[5, 10], inner_ns=[40], inner_ds=[800], seed=7)
+    first = joins.join_grid(**kwargs)
+    second = joins.join_grid(**kwargs)
+    assert [w.outer.records for w in first] == \
+        [w.outer.records for w in second]
+    assert [w.inner.records for w in first] == \
+        [w.inner.records for w in second]
+
+
+def test_join_grid_respects_distribution_and_outer_duration():
+    grid = joins.join_grid(
+        outer_ns=[25], inner_ns=[25], inner_ds=[100], outer_d=4000,
+        outer_dist="D2", inner_dist="D3", seed=2,
+    )
+    workload = grid[0]
+    assert workload.outer.name.startswith("D2(")
+    assert workload.inner.name.startswith("D3(")
+    assert workload.outer.duration_param == 4000
+    assert workload.inner.duration_param == 100
