@@ -1,8 +1,9 @@
 """Merge benchmark reports into BENCH_PR.json and diff the baselines.
 
 The CLI face of :mod:`repro.bench.trajectory`: CI (the
-``bench-trajectory`` job) runs the scan-throughput, interval-join, and
-join-crossover benchmarks at tiny scale, then invokes this script to
+``bench-trajectory`` job) runs the scan-throughput, interval-join,
+join-crossover, and sql-join benchmarks at tiny scale, then invokes
+this script to
 
 * merge their reports into one ``BENCH_PR.json`` artifact
   (rows of ``{bench, scale, metrics, git_sha}``), and

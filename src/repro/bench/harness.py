@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from ..core.access import AccessMethod, IntervalRecord
+from ..core.access import AccessMethod, IntervalRecord, IntervalStore
 from ..engine.database import Database
 
 QueryInterval = tuple[int, int]
@@ -149,23 +149,27 @@ class JoinBatchResult:
         return row
 
 
-def run_join_batch(method: AccessMethod,
+def run_join_batch(method: IntervalStore,
                    probes: Sequence[IntervalRecord],
                    cold_start: bool = True,
                    count_only: bool = True,
                    plan: bool = False) -> JoinBatchResult:
     """Join ``probes`` against ``method``'s stored intervals, measured.
 
-    The index-nested-loop interval join as the harness sees it: the
-    method holds the inner relation, every probe record drives one
-    intersection scan, and the whole batch's I/O is observed through
+    The index join as the harness sees it: the store holds the inner
+    relation and the whole probe batch runs through
+    :meth:`~repro.core.access.IntervalStore.join_count` /
+    :meth:`~repro.core.access.IntervalStore.join_pairs` (``count_only``
+    selects between them; the default materialises no pair list).
+
+    ``method`` is any :class:`~repro.core.access.IntervalStore`.  For
+    engine-backed methods the batch's I/O is observed through
     :meth:`~repro.engine.database.Database.measure` -- the same counters
     (and, per probe, the same scans) as the Figure 13 query batches.
-    ``count_only`` selects :meth:`~repro.core.access.AccessMethod.
-    join_count` (the harness default, no pair list materialised) over
-    :meth:`~repro.core.access.AccessMethod.join_pairs`.
+    Stores on a foreign engine (the sqlite3 backend) have no such
+    counters; their rows report zero I/O and wall time only.
 
-    With ``plan=True`` the method's cost model (where it has one) prices
+    With ``plan=True`` the store's cost model (where it has one) prices
     the batch *before* the caches are cleared, and the prediction --
     expected pair count, per-strategy logical/physical I/O -- rides along
     on :attr:`JoinBatchResult.decision`, so reports can put predicted and
@@ -177,21 +181,30 @@ def run_join_batch(method: AccessMethod,
         model = method.cost_model()
         if model is not None:
             decision = model.estimate_join(probes).as_dict()
-    if cold_start:
-        method.db.clear_cache()
+    db = getattr(method, "db", None)
+    if cold_start and db is not None:
+        db.clear_cache()
     started = time.perf_counter()
-    with method.db.measure() as delta:
+
+    def evaluate() -> int:
         if count_only:
-            pairs = method.join_count(probes)
-        else:
-            pairs = len(method.join_pairs(probes))
+            return method.join_count(probes)
+        return len(method.join_pairs(probes))
+
+    if db is not None:
+        with db.measure() as delta:
+            pairs = evaluate()
+        physical, logical = delta.physical_reads, delta.logical_reads
+    else:
+        pairs = evaluate()
+        physical = logical = 0
     elapsed = time.perf_counter() - started
     return JoinBatchResult(
         method=method.method_name,
         probes=len(probes),
         pairs=pairs,
-        physical_io=delta.physical_reads,
-        logical_io=delta.logical_reads,
+        physical_io=physical,
+        logical_io=logical,
         response_time=elapsed,
         decision=decision,
     )

@@ -67,6 +67,16 @@ def _interval_join_metrics(report: dict) -> dict:
     }
 
 
+def _sql_join_metrics(report: dict) -> dict:
+    summary = report["summary"]
+    return {
+        "pairs": summary["pairs"],
+        "planner_choice": summary["planner_choice"],
+        "decision_consistent": int(summary["decision_consistent"]),
+        "plan_uses_both_indexes": int(summary["plan_uses_both_indexes"]),
+    }
+
+
 def _join_crossover_metrics(report: dict) -> dict:
     summary = report["summary"]
     measured_index = sum(
@@ -88,6 +98,7 @@ BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "scan-throughput": _scan_throughput_metrics,
     "interval-join": _interval_join_metrics,
     "join-crossover": _join_crossover_metrics,
+    "sql-join": _sql_join_metrics,
 }
 
 

@@ -6,6 +6,9 @@ Public surface:
 * :class:`~repro.core.temporal.TemporalRITree` -- ``now``/``infinity``
   support (Section 4.6);
 * :mod:`~repro.core.topology` -- Allen's 13 relation queries (Section 4.5);
+* :mod:`~repro.core.predicates` -- ``intersects``/``stab``/Allen predicates
+  as first-class objects, compiled per backend through
+  :meth:`~repro.core.access.IntervalStore.query`;
 * :mod:`~repro.core.join` -- interval equi-overlap joins: index-nested-loop
   over the batched scan plan, a Piatov-style plane sweep, and the
   brute-force oracle, all behind one :class:`~repro.core.join.JoinStrategy`
@@ -17,7 +20,7 @@ Public surface:
   competitor methods in :mod:`repro.methods`.
 """
 
-from .access import AccessMethod, IntervalRecord
+from .access import AccessMethod, IntervalRecord, IntervalStore
 from .backbone import (
     MAX_ABS_BOUND,
     BackboneParams,
@@ -34,6 +37,12 @@ from .costmodel import (
     expected_join_pairs,
 )
 from .interval import Interval, validate_interval
+from .predicates import (
+    JOIN_PREDICATES,
+    PREDICATES,
+    IntervalPredicate,
+    get_predicate,
+)
 from .join import (
     JOIN_STRATEGIES,
     AutoJoin,
@@ -69,8 +78,13 @@ __all__ = [
     "FORK_NOW",
     "IndexNestedLoopJoin",
     "Interval",
+    "IntervalPredicate",
     "IntervalRecord",
+    "IntervalStore",
+    "get_predicate",
+    "JOIN_PREDICATES",
     "JOIN_STRATEGIES",
+    "PREDICATES",
     "JoinPair",
     "JoinStrategy",
     "MAX_ABS_BOUND",

@@ -1,10 +1,22 @@
-"""The access-method interface shared by the RI-tree and all competitors.
+"""The interval-store interface shared by every backend in this repo.
 
-Every interval access method in this reproduction -- the RI-tree itself and
-the competitors of Section 2 (Tile Index, IST, MAP21, Window-List) -- exposes
-the same contract so that the benchmark harness (:mod:`repro.bench`) can
-swap them freely, mirroring how the paper runs identical query workloads
-against each technique.
+Two layers live here:
+
+* :class:`IntervalStore` -- the backend-neutral protocol.  Everything a
+  client (the benchmark harness, the join subsystem, the planner, the
+  predicate layer) may ask of an interval collection is declared on this
+  class: updates, the intersection query family, predicate queries,
+  interval joins, planning hooks, and accounting.  It says nothing about
+  *where* the intervals live; the simulated storage engine and the
+  sqlite3 backend of :mod:`repro.sql` both implement it, mirroring the
+  paper's Section 5 claim that the RI-tree "may be easily implemented on
+  top of any relational DBMS".
+* :class:`AccessMethod` -- the simulated-engine base.  Every access
+  method over :mod:`repro.engine` -- the RI-tree itself and the
+  competitors of Section 2 (Tile Index, IST, MAP21, Window-List) --
+  extends this class, which owns the :class:`~repro.engine.database.
+  Database` instance so the harness can swap methods freely and account
+  their I/O on identical counters.
 """
 
 from __future__ import annotations
@@ -14,22 +26,25 @@ from typing import Iterable, Optional, Sequence
 
 from ..engine.database import Database
 
-#: An interval record handed to access methods: (lower, upper, id).
+#: An interval record handed to interval stores: (lower, upper, id).
 IntervalRecord = tuple[int, int, int]
 
 
-class AccessMethod(ABC):
-    """Abstract interval access method over the storage engine.
+class IntervalStore(ABC):
+    """Backend-neutral store of closed integer intervals.
 
-    Subclasses own one or more tables/indexes inside ``self.db`` and
-    implement intersection queries over closed integer intervals.
+    Subclasses persist ``(lower, upper, id)`` records somewhere -- heap
+    tables and B+-trees of the simulated engine, a sqlite3 relation, or
+    anything else -- and answer intersection queries over them.  The
+    default implementations express every richer operation (counting,
+    batching, joins, predicate queries) in terms of the abstract core,
+    so a minimal backend is immediately a complete one; backends with a
+    cheaper native evaluation override the defaults without changing
+    the contract.
     """
 
     #: Short name used in benchmark output rows.
     method_name: str = "abstract"
-
-    def __init__(self, db: Database | None = None) -> None:
-        self.db = db if db is not None else Database()
 
     # ------------------------------------------------------------------
     # updates
@@ -48,9 +63,14 @@ class AccessMethod(ABC):
     def bulk_load(self, intervals: Sequence[IntervalRecord]) -> None:
         """Load many intervals at once.
 
-        The default implementation is an insert loop; methods with a
-        bottom-up build (everything engine-backed here) override it.
+        The default implementation is an insert loop; backends with a
+        bottom-up build or a transactional batch path override it.
         """
+        for lower, upper, interval_id in intervals:
+            self.insert(lower, upper, interval_id)
+
+    def extend(self, intervals: Iterable[IntervalRecord]) -> None:
+        """Insert many intervals one by one (dynamic workload)."""
         for lower, upper, interval_id in intervals:
             self.insert(lower, upper, interval_id)
 
@@ -64,10 +84,11 @@ class AccessMethod(ABC):
     def intersection_count(self, lower: int, upper: int) -> int:
         """Number of intervals intersecting ``[lower, upper]``.
 
-        Same scans, same I/O as :meth:`intersection`; methods with a
-        batched execution pipeline override this to aggregate leaf-slice
-        lengths instead of materialising an id list.  The benchmark
-        harness runs its query batches through this entry point.
+        Same scans, same I/O as :meth:`intersection`; backends with a
+        batched execution pipeline (or a set-oriented engine) override
+        this to aggregate without materialising an id list.  The
+        benchmark harness runs its query batches through this entry
+        point.
         """
         return len(self.intersection(lower, upper))
 
@@ -77,7 +98,8 @@ class AccessMethod(ABC):
 
         A per-query loop over :meth:`intersection`; exists so batch
         drivers (the bench harness, bulk clients) have a single entry
-        point that methods may later specialise.
+        point that backends may specialise -- the sqlite backend answers
+        the whole batch with one set-at-a-time SQL statement.
         """
         return [self.intersection(lower, upper) for lower, upper in queries]
 
@@ -85,18 +107,57 @@ class AccessMethod(ABC):
         """Stabbing query: intervals containing ``point``."""
         return self.intersection(point, point)
 
+    def query(self, predicate, lower: int,
+              upper: Optional[int] = None) -> list[int]:
+        """Ids of stored intervals standing in ``predicate`` to the query.
+
+        ``predicate`` is a name or :class:`~repro.core.predicates.
+        IntervalPredicate` -- ``"intersects"``, ``"stab"``, or one of
+        Allen's thirteen relations -- evaluated with the stored interval
+        as the subject: ``query("before", l, u)`` returns intervals that
+        lie *before* ``[l, u]``; omitting ``upper`` makes it a point
+        query.  ``intersects`` and ``stab`` run every backend's native
+        intersection machinery directly; the relational predicates go
+        through :meth:`_query_relation`, the per-backend compilation
+        hook.
+        """
+        from .predicates import get_predicate
+        pred = get_predicate(predicate)
+        if upper is None:
+            upper = lower
+        if pred.name == "intersects":
+            return self.intersection(lower, upper)
+        if pred.name == "stab":
+            return self.stab(lower)
+        return self._query_relation(pred, lower, upper)
+
+    def _query_relation(self, pred, lower: int, upper: int) -> list[int]:
+        """Compile one Allen-relation predicate to this backend's plan.
+
+        Subclasses override with their native evaluation (scan-plan
+        transform on the simulated engine, WHERE-clause rewrite on
+        sqlite); this default refines :meth:`stored_records` by the pure
+        predicate, which is always correct and never fast.
+        """
+        records = self.stored_records()
+        if records is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} can neither compile predicate "
+                f"{pred.name!r} nor enumerate its records")
+        return pred.filter(records, lower, upper)
+
     # ------------------------------------------------------------------
-    # planning (the Section 5 cost model, where a method provides one)
+    # planning (the Section 5 cost model, where a backend provides one)
     # ------------------------------------------------------------------
     def cost_model(self):
-        """This method's optimizer cost model, or ``None``.
+        """This store's optimizer cost model, or ``None``.
 
-        Methods that keep optimizer statistics (the RI-tree's bound
-        histograms of :mod:`repro.core.costmodel`) override this so
-        planners -- the ``auto`` join strategy, the harness's ``plan``
-        mode -- can price plans without executing them.  The base class
-        has no statistics and returns ``None``, which planners treat as
-        "fall back to record-level estimation".
+        Backends that keep optimizer statistics (the RI-tree's bound
+        histograms of :mod:`repro.core.costmodel`, on either engine)
+        override this so planners -- the ``auto`` join strategy, the
+        harness's ``plan`` mode -- can price plans without executing
+        them.  The base class has no statistics and returns ``None``,
+        which planners treat as "fall back to record-level estimation".
         """
         return None
 
@@ -106,7 +167,7 @@ class AccessMethod(ABC):
         Enables plan switches that abandon this index entirely (the
         planner choosing a sweep over a pre-built inner index needs the
         raw inner relation back).  ``None`` -- the base default -- means
-        the method cannot enumerate its intervals cheaply and callers
+        the store cannot enumerate its intervals cheaply and callers
         must keep probing through it.
         """
         return None
@@ -119,10 +180,12 @@ class AccessMethod(ABC):
         """``(probe_id, stored_id)`` pairs of overlapping intervals.
 
         The index-nested-loop interval join: one intersection probe per
-        outer record against this method's stored (inner) relation.  The
-        default loops :meth:`intersection`; methods with a batched
-        pipeline override it to emit pairs straight from leaf slices.
-        Pairs are duplicate-free because each probe's result is.
+        outer record against this store's (inner) relation.  The
+        default loops :meth:`intersection`; backends with a batched
+        pipeline override it -- the RI-tree emits pairs straight from
+        leaf slices, the sqlite backend evaluates the whole probe
+        relation in one set-at-a-time SQL statement.  Pairs are
+        duplicate-free because each probe's result is.
         """
         pairs: list[tuple[int, int]] = []
         for lower, upper, probe_id in probes:
@@ -133,10 +196,11 @@ class AccessMethod(ABC):
     def join_count(self, probes: Sequence[IntervalRecord]) -> int:
         """Size of :meth:`join_pairs` without materialising the pair list.
 
-        Runs the same per-probe scans through :meth:`intersection_count`,
-        so the I/O trace is identical to :meth:`join_pairs` while batched
-        methods skip building id lists -- the join analogue of the
-        harness's count-only query path.
+        Runs the same per-probe evaluation through
+        :meth:`intersection_count`, so the I/O trace is identical to
+        :meth:`join_pairs` while batched backends skip building id
+        lists -- the join analogue of the harness's count-only query
+        path.
         """
         return sum(self.intersection_count(lower, upper)
                    for lower, upper, _probe_id in probes)
@@ -161,10 +225,16 @@ class AccessMethod(ABC):
             return 0.0
         return self.index_entry_count / self.interval_count
 
-    # ------------------------------------------------------------------
-    # convenience
-    # ------------------------------------------------------------------
-    def extend(self, intervals: Iterable[IntervalRecord]) -> None:
-        """Insert many intervals one by one (dynamic workload)."""
-        for lower, upper, interval_id in intervals:
-            self.insert(lower, upper, interval_id)
+
+class AccessMethod(IntervalStore):
+    """Abstract interval access method over the simulated storage engine.
+
+    Subclasses own one or more tables/indexes inside ``self.db`` and
+    implement intersection queries over closed integer intervals; all
+    I/O flows through the engine's :class:`~repro.engine.stats.IoStats`
+    counters, which is what makes the Section 6 measurements
+    comparable across methods.
+    """
+
+    def __init__(self, db: Database | None = None) -> None:
+        self.db = db if db is not None else Database()

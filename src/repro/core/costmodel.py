@@ -50,6 +50,7 @@ factor (probe locality on bulk-loaded indexes is far better than uniform).
 from __future__ import annotations
 
 import math
+import sqlite3
 from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
@@ -175,6 +176,25 @@ class BoundSummary:
         lowers = sorted(r[0] for r in records)
         uppers = sorted(r[1] for r in records)
         return cls(lowers, uppers, buckets)
+
+    @classmethod
+    def from_boundaries(cls, count: int, lower_bounds: Sequence[int],
+                        upper_bounds: Sequence[int],
+                        buckets: int = DEFAULT_BUCKETS) -> "BoundSummary":
+        """Build a summary from precomputed quantile boundaries.
+
+        For statistics sources that compute the equi-depth boundaries
+        themselves (the sqlite backend's ``NTILE`` aggregation) instead
+        of handing over full sorted value lists.
+        """
+        if buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {buckets}")
+        summary = cls.__new__(cls)
+        summary.count = count
+        summary.buckets = buckets
+        summary.lower_bounds = list(lower_bounds)
+        summary.upper_bounds = list(upper_bounds)
+        return summary
 
     def _equi_depth(self, values: Sequence[int]) -> list[int]:
         """Quantile boundaries q_0..q_B of a sorted value list."""
@@ -436,6 +456,182 @@ def average_transient_entries(backbone: VirtualBackbone,
     return total / len(chosen)
 
 
+@dataclass
+class StoreGeometry:
+    """Physical shape of one backend's indexes, as the planner sees it.
+
+    The strategy cost formulas above are engine-generic in these inputs;
+    a statistics provider realises them either from the live B+-trees of
+    the simulated engine or from sqlite's page counts, so the identical
+    :class:`RITreeCostModel` plans over either backend.
+    """
+
+    height: int
+    leaf_capacity: int
+    leaf_blocks: float
+    internal_blocks: float
+    cache_blocks: int
+    block_size: int
+    table_blocks: int
+
+
+class _EngineTreeStatistics:
+    """Statistics source over an engine-backed :class:`RITree`."""
+
+    sources = ("table", "indexes")
+
+    def __init__(self, tree: RITree) -> None:
+        self.tree = tree
+
+    @property
+    def backbone(self) -> VirtualBackbone:
+        return self.tree.backbone
+
+    def summarize(self, source: str, buckets: int) -> BoundSummary:
+        """Collect both bound distributions from the chosen source.
+
+        ``"table"`` scans the stored relation once; ``"indexes"`` scans
+        the two composite indexes instead and collects their bound
+        columns (entries are ``(node, bound, id)``, so the bound sits at
+        position 1).
+        """
+        if source == "indexes" and self.tree.table.indexes:
+            # Index entries arrive in (node, bound) order; only the bound
+            # column matters here, re-sorted into one global distribution.
+            lowers = [entry[1] for entry in
+                      self.tree.table.index("lowerIndex").tree.scan_all()]
+            uppers = [entry[1] for entry in
+                      self.tree.table.index("upperIndex").tree.scan_all()]
+        else:
+            lowers = []
+            uppers = []
+            for _rowid, row in self.tree.table.scan():
+                lowers.append(row[1])
+                uppers.append(row[2])
+        lowers.sort()
+        uppers.sort()
+        return BoundSummary(lowers, uppers, buckets)
+
+    def geometry(self, count: int) -> StoreGeometry:
+        """Read the realised index shape off the live B+-trees."""
+        index = self.tree.table.indexes["lowerIndex"].tree
+        db = self.tree.db
+        return StoreGeometry(
+            height=index.height,
+            leaf_capacity=index.leaf_capacity,
+            leaf_blocks=2.0 * math.ceil(
+                max(count, 1) / max(1, index.leaf_capacity)),
+            internal_blocks=2.0 * index_internal_blocks(
+                count, index.leaf_capacity, index.internal_capacity),
+            cache_blocks=db.pool.capacity,
+            block_size=db.disk.block_size,
+            table_blocks=self.tree.table.heap.page_count,
+        )
+
+
+class _SQLStoreStatistics:
+    """Statistics source over a sqlite3-backed RI-tree.
+
+    Histograms come from SQL aggregation (one ``NTILE`` window pass per
+    bound column -- the quantile computation runs inside the engine, not
+    in Python), geometry from sqlite's page counts: ``PRAGMA page_size``
+    and ``PRAGMA cache_size`` fix the block model, and the ``dbstat``
+    virtual table supplies real per-index page counts where the build
+    ships it (falling back to the analytic B+-tree layout otherwise).
+    Reserved Section 4.6 fork rows carry sentinel bounds and are
+    excluded from the statistics.
+    """
+
+    sources = ("table", "indexes")
+
+    def __init__(self, store) -> None:
+        self.store = store
+
+    @property
+    def backbone(self) -> VirtualBackbone:
+        return self.store.backbone
+
+    @property
+    def _where(self) -> str:
+        from .temporal import FORK_INF, FORK_NOW
+        return f'"node" NOT IN ({FORK_INF}, {FORK_NOW})'
+
+    def summarize(self, source: str, buckets: int) -> BoundSummary:
+        # Both sources read the same persistent rows on this backend
+        # (sqlite's indexes are covering); the distinction only matters
+        # on the simulated engine.
+        conn, name = self.store.conn, self.store.name
+        count = conn.execute(
+            f'SELECT COUNT(*) FROM {name} WHERE {self._where}'
+        ).fetchone()[0]
+        if count == 0:
+            return BoundSummary([], [], buckets)
+        if count <= buckets:
+            lowers = [row[0] for row in conn.execute(
+                f'SELECT "lower" FROM {name} WHERE {self._where} '
+                f'ORDER BY "lower"')]
+            uppers = [row[0] for row in conn.execute(
+                f'SELECT "upper" FROM {name} WHERE {self._where} '
+                f'ORDER BY "upper"')]
+            return BoundSummary(lowers, uppers, buckets)
+        return BoundSummary.from_boundaries(
+            count,
+            self._quantiles(conn, name, "lower", buckets),
+            self._quantiles(conn, name, "upper", buckets),
+            buckets,
+        )
+
+    def _quantiles(self, conn, name: str, column: str,
+                   buckets: int) -> list[int]:
+        """Equi-depth boundaries q_0..q_B of one bound column, in SQL."""
+        floor = conn.execute(
+            f'SELECT MIN("{column}") FROM {name} WHERE {self._where}'
+        ).fetchone()[0]
+        tiles = conn.execute(
+            f'SELECT MAX("b") FROM (SELECT "{column}" AS "b", '
+            f'NTILE(?) OVER (ORDER BY "{column}") AS "t" '
+            f'FROM {name} WHERE {self._where}) GROUP BY "t" ORDER BY "t"',
+            (buckets,))
+        return [floor] + [row[0] for row in tiles]
+
+    def geometry(self, count: int) -> StoreGeometry:
+        conn, name = self.store.conn, self.store.name
+        page_size = conn.execute("PRAGMA page_size").fetchone()[0]
+        height, leaf_capacity = index_geometry(count, 3, page_size)
+        entry_bytes = _INT_BYTES * 4
+        internal_capacity = max(
+            4, (page_size - PAGE_HEADER_SIZE - 8) // (entry_bytes + 8))
+        internal_blocks = 2.0 * index_internal_blocks(
+            count, leaf_capacity, internal_capacity)
+        leaf_blocks = 2.0 * math.ceil(max(count, 1) / leaf_capacity)
+        table_blocks = heap_scan_blocks(count, 4, page_size)
+        try:
+            pages = dict(conn.execute(
+                "SELECT name, COUNT(*) FROM dbstat "
+                "WHERE name IN (?, ?, ?) GROUP BY name",
+                (name, f"{name}_lowerIndex", f"{name}_upperIndex")))
+        except sqlite3.Error:
+            pages = {}
+        index_pages = (pages.get(f"{name}_lowerIndex", 0)
+                       + pages.get(f"{name}_upperIndex", 0))
+        if index_pages:
+            leaf_blocks = max(float(index_pages) - internal_blocks, 2.0)
+        if pages.get(name):
+            table_blocks = pages[name]
+        cache = conn.execute("PRAGMA cache_size").fetchone()[0]
+        cache_blocks = cache if cache >= 0 \
+            else max(1, (-cache * 1024) // page_size)
+        return StoreGeometry(
+            height=height,
+            leaf_capacity=leaf_capacity,
+            leaf_blocks=leaf_blocks,
+            internal_blocks=internal_blocks,
+            cache_blocks=cache_blocks,
+            block_size=page_size,
+            table_blocks=table_blocks,
+        )
+
+
 class RITreeCostModel:
     """Bound-histogram cost model over a loaded :class:`RITree`.
 
@@ -456,21 +652,50 @@ class RITreeCostModel:
         planner's choice, since a served tree always has them in place.
     """
 
-    def __init__(self, tree: RITree, buckets: int = DEFAULT_BUCKETS,
+    def __init__(self, tree: Optional[RITree] = None,
+                 buckets: int = DEFAULT_BUCKETS,
                  cache_residency: float = 0.9,
-                 source: str = "table") -> None:
+                 source: str = "table",
+                 statistics=None) -> None:
+        if statistics is None:
+            if tree is None:
+                raise ValueError("need a tree or an explicit statistics "
+                                 "source")
+            statistics = _EngineTreeStatistics(tree)
         if buckets < 2:
             raise ValueError(f"need at least 2 buckets, got {buckets}")
         if not 0.0 <= cache_residency <= 1.0:
             raise ValueError(f"cache residency {cache_residency} not in [0,1]")
-        if source not in ("table", "indexes"):
+        if source not in statistics.sources:
             raise ValueError(f"unknown statistics source {source!r}")
-        self.tree = tree
+        self.stats = statistics
+        self.tree = getattr(statistics, "tree", None)
+        #: The modelled store, whichever backend it lives on.
+        self.store = self.tree if self.tree is not None \
+            else getattr(statistics, "store", None)
         self.buckets = buckets
         self.cache_residency = cache_residency
         self.source = source
         self.summary: BoundSummary = BoundSummary([], [], buckets)
         self.refresh()
+
+    @classmethod
+    def from_sql_tree(cls, store, buckets: int = DEFAULT_BUCKETS,
+                      cache_residency: float = 0.9) -> "RITreeCostModel":
+        """Model a :class:`~repro.sql.SQLRITree` -- the planner port.
+
+        The cost model is engine-generic in its inputs; this constructor
+        realises them from sqlite: bound histograms through SQL
+        aggregation (``NTILE`` equi-depth quantiles), index geometry and
+        cache size from sqlite's page counts (``dbstat`` /
+        ``PRAGMA``).  The returned model exposes the identical planning
+        surface (:meth:`estimate`, :meth:`estimate_join`,
+        :meth:`choose_join_strategy`), so the ``auto`` join strategy
+        plans on the sqlite backend exactly as it does on the simulated
+        engine.
+        """
+        return cls(buckets=buckets, cache_residency=cache_residency,
+                   statistics=_SQLStoreStatistics(store))
 
     # ------------------------------------------------------------------
     # statistics maintenance (ANALYZE)
@@ -478,31 +703,16 @@ class RITreeCostModel:
     def refresh(self, source: Optional[str] = None) -> None:
         """Rebuild both bound histograms -- the engine's ``ANALYZE`` pass.
 
-        ``source="table"`` scans the stored relation once;
-        ``source="indexes"`` scans the two composite indexes instead and
-        collects their bound columns (entries are ``(node, bound, id)``,
-        so the bound sits at position 1).  Run after bulk loads or heavy
-        update batches; omitting ``source`` keeps the constructor's.
+        On the simulated engine, ``source="table"`` scans the stored
+        relation once while ``source="indexes"`` reads the bound columns
+        out of the two composite indexes; the sqlite backend aggregates
+        in SQL either way.  Run after bulk loads or heavy update
+        batches; omitting ``source`` keeps the constructor's.
         """
         chosen = source or self.source
-        if chosen == "indexes" and self.tree.table.indexes:
-            # Index entries arrive in (node, bound) order; only the bound
-            # column matters here, re-sorted into one global distribution.
-            lowers = [entry[1] for entry in
-                      self.tree.table.index("lowerIndex").tree.scan_all()]
-            uppers = [entry[1] for entry in
-                      self.tree.table.index("upperIndex").tree.scan_all()]
-            lowers.sort()
-            uppers.sort()
-        else:
-            lowers = []
-            uppers = []
-            for _rowid, row in self.tree.table.scan():
-                lowers.append(row[1])
-                uppers.append(row[2])
-            lowers.sort()
-            uppers.sort()
-        self.summary = BoundSummary(lowers, uppers, self.buckets)
+        if chosen not in self.stats.sources:
+            raise ValueError(f"unknown statistics source {chosen!r}")
+        self.summary = self.stats.summarize(chosen, self.buckets)
 
     @property
     def _count(self) -> int:
@@ -521,14 +731,15 @@ class RITreeCostModel:
         """Full plan estimate for one intersection query."""
         validate_interval(lower, upper)
         result_count = self.estimate_result_count(lower, upper)
-        if self.tree.backbone.is_empty:
+        backbone = self.stats.backbone
+        if backbone.is_empty:
             transient = 0
         else:
             transient = collect_query_nodes(
-                self.tree.backbone, lower, upper).total_entries
-        index = self.tree.table.indexes["lowerIndex"].tree
-        descent = max(1, index.height)
-        per_leaf = max(1, index.leaf_capacity)
+                backbone, lower, upper).total_entries
+        geometry = self.stats.geometry(self.summary.count)
+        descent = max(1, geometry.height)
+        per_leaf = max(1, geometry.leaf_capacity)
         probes = transient
         logical = probes * descent + result_count / per_leaf
         # Upper index levels are shared across probes and mostly cached.
@@ -558,30 +769,24 @@ class RITreeCostModel:
         """
         outer_summary = BoundSummary.from_records(outer, self.buckets)
         pairs = expected_join_pairs(outer_summary, self.summary)
-        avg_transient = average_transient_entries(self.tree.backbone, outer)
-        index = self.tree.table.indexes["lowerIndex"].tree
-        leaf_blocks = 2.0 * math.ceil(
-            max(self.summary.count, 1) / max(1, index.leaf_capacity))
-        internal_blocks = 2.0 * index_internal_blocks(
-            self.summary.count, index.leaf_capacity,
-            index.internal_capacity)
-        db = self.tree.db
+        avg_transient = average_transient_entries(self.stats.backbone, outer)
+        geometry = self.stats.geometry(self.summary.count)
         index_cost = _index_join_cost(
             probes=len(outer),
             avg_transient=avg_transient,
             pairs=pairs,
-            height=index.height,
-            leaf_capacity=index.leaf_capacity,
-            leaf_blocks=leaf_blocks,
-            internal_blocks=internal_blocks,
-            cache_blocks=db.pool.capacity,
+            height=geometry.height,
+            leaf_capacity=geometry.leaf_capacity,
+            leaf_blocks=geometry.leaf_blocks,
+            internal_blocks=geometry.internal_blocks,
+            cache_blocks=geometry.cache_blocks,
             cache_residency=self.cache_residency,
         )
         sweep_cost = _sweep_join_cost(
             outer_n=len(outer),
             inner_n=self.summary.count,
             pairs=pairs,
-            block_size=db.disk.block_size,
+            block_size=geometry.block_size,
         )
         return JoinEstimate(
             outer_n=len(outer),
@@ -603,17 +808,18 @@ class RITreeCostModel:
         """
         if inner is None:
             return self.estimate_join(outer)
+        geometry = self.stats.geometry(self.summary.count)
         return choose_join_strategy(
             outer, inner, buckets=self.buckets,
             cache_residency=self.cache_residency,
-            block_size=self.tree.db.disk.block_size,
-            cache_blocks=self.tree.db.pool.capacity,
+            block_size=geometry.block_size,
+            cache_blocks=geometry.cache_blocks,
         )
 
     @property
     def table_blocks(self) -> int:
         """Base-relation size in blocks (the full-scan alternative cost)."""
-        return self.tree.table.heap.page_count
+        return self.stats.geometry(self.summary.count).table_blocks
 
 
 def choose_join_strategy(

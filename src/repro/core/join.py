@@ -28,7 +28,11 @@ interchangeable strategies:
 All strategies emit the identical duplicate-free pair set
 ``{(r_id, s_id) | r overlaps s}`` over closed integer intervals, where
 ``[a, b]`` and ``[c, d]`` overlap iff ``a <= d and c <= b`` (shared
-endpoints count, as everywhere else in this reproduction).
+endpoints count, as everywhere else in this reproduction).  The sweep
+and nested-loop strategies additionally accept any predicate of
+:mod:`repro.core.predicates` (``interval_join(..., predicate="before")``),
+evaluating Allen-relation joins in the style of Piatov et al.'s
+extended-predicate sweeps.
 
 Example
 -------
@@ -47,13 +51,37 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Optional, Sequence
 
+from bisect import bisect_left, bisect_right
+
 from ..engine.database import Database
 from .access import AccessMethod, IntervalRecord
 from .interval import validate_interval
+from .predicates import IntervalPredicate, get_predicate
 from .ritree import RITree
 
 #: One join result: (outer interval id, inner interval id).
 JoinPair = tuple[int, int]
+
+
+def _resolve_join_predicate(predicate) -> Optional[IntervalPredicate]:
+    """Validate a join predicate; ``None``/``intersects`` mean the default.
+
+    A join pair ``(r, s)`` satisfies predicate ``p`` iff ``p.holds(r_l,
+    r_u, s_l, s_u)`` -- the *outer* record is the subject, so
+    ``predicate="before"`` joins outer intervals to the inner intervals
+    they lie before.
+    """
+    if predicate is None:
+        return None
+    pred = get_predicate(predicate)
+    if pred.name == "stab":
+        raise ValueError(
+            "'stab' relates an interval to a point and cannot serve as a "
+            "join predicate; use a store's stab()/query() instead"
+        )
+    if pred.name == "intersects":
+        return None
+    return pred
 
 
 class JoinStrategy(ABC):
@@ -88,20 +116,31 @@ class JoinStrategy(ABC):
 
 
 class NestedLoopJoin(JoinStrategy):
-    """Brute-force nested loop: the O(|R| * |S|) correctness oracle."""
+    """Brute-force nested loop: the O(|R| * |S|) correctness oracle.
+
+    Accepts any join predicate (``predicate=``, an
+    :class:`~repro.core.predicates.IntervalPredicate` or name): every
+    outer/inner combination is tested against the predicate's defining
+    endpoint formula, with the outer record as the subject.
+    """
 
     strategy_name = "nested-loop"
+
+    def __init__(self, predicate=None) -> None:
+        self.predicate = _resolve_join_predicate(predicate)
 
     def pairs(
         self,
         outer: Sequence[IntervalRecord],
         inner: Sequence[IntervalRecord],
     ) -> list[JoinPair]:
+        holds = self.predicate.holds if self.predicate is not None \
+            else (lambda s, e, l, u: s <= u and e >= l)
         results: list[JoinPair] = []
         for r_lower, r_upper, r_id in outer:
             validate_interval(r_lower, r_upper)
             for s_lower, s_upper, s_id in inner:
-                if r_lower <= s_upper and s_lower <= r_upper:
+                if holds(r_lower, r_upper, s_lower, s_upper):
                     results.append((r_id, s_id))
         return results
 
@@ -117,9 +156,21 @@ class SweepJoin(JoinStrategy):
     gapless (dense arrays, no tombstones) as in Piatov et al.'s
     endpoint-based join.  Each pair is emitted exactly once: at the start
     event of its later-starting tuple (outer first on ties).
+
+    Allen-relation join predicates (``predicate=``) are supported in the
+    style of Piatov et al.'s extended-predicate sweeps: every relation
+    except ``before``/``after`` implies closed-interval overlap, so those
+    pairs are produced by the same single merge pass with the defining
+    endpoint formula applied at emission (active lists then carry full
+    records); ``before``/``after`` pairs are enumerated from the sorted
+    endpoint arrays directly (one prefix of outers ordered by upper bound
+    per inner tuple), with the count computed by bisection alone.
     """
 
     strategy_name = "sweep"
+
+    def __init__(self, predicate=None) -> None:
+        self.predicate = _resolve_join_predicate(predicate)
 
     def pairs(
         self,
@@ -127,7 +178,14 @@ class SweepJoin(JoinStrategy):
         inner: Sequence[IntervalRecord],
     ) -> list[JoinPair]:
         results: list[JoinPair] = []
-        self._sweep(outer, inner, results.append)
+        if self.predicate is None:
+            self._sweep(outer, inner, results.append)
+        elif self.predicate.name in ("before", "after"):
+            self._sorted_disjoint(outer, inner, self.predicate.name,
+                                  results.append)
+        else:
+            self._sweep_refined(outer, inner, self.predicate.holds,
+                                results.append)
         return results
 
     def count(
@@ -135,9 +193,122 @@ class SweepJoin(JoinStrategy):
         outer: Sequence[IntervalRecord],
         inner: Sequence[IntervalRecord],
     ) -> int:
+        if self.predicate is not None \
+                and self.predicate.name in ("before", "after"):
+            return self._count_disjoint(outer, inner, self.predicate.name)
         counter = _PairCounter()
-        self._sweep(outer, inner, counter)
+        if self.predicate is None:
+            self._sweep(outer, inner, counter)
+        else:
+            self._sweep_refined(outer, inner, self.predicate.holds, counter)
         return counter.count
+
+    @staticmethod
+    def _sorted_disjoint(
+        outer: Sequence[IntervalRecord],
+        inner: Sequence[IntervalRecord],
+        relation: str,
+        emit: Callable[[JoinPair], None],
+    ) -> None:
+        """Enumerate before/after pairs from the sorted endpoint arrays.
+
+        ``r before s`` iff ``r.upper < s.lower``: with outers sorted by
+        upper bound, each inner tuple's partners are exactly one prefix,
+        found by bisection -- O(n log n) sort plus O(output) emission.
+        ``after`` mirrors it on the opposite bounds.
+        """
+        for lower, upper, _ in outer:
+            validate_interval(lower, upper)
+        for lower, upper, _ in inner:
+            validate_interval(lower, upper)
+        if relation == "before":
+            by_bound = sorted((upper, r_id) for _, upper, r_id in outer)
+            bounds = [upper for upper, _ in by_bound]
+            for s_lower, _s_upper, s_id in inner:
+                for k in range(bisect_left(bounds, s_lower)):
+                    emit((by_bound[k][1], s_id))
+        else:
+            by_bound = sorted((lower, r_id) for lower, _, r_id in outer)
+            bounds = [lower for lower, _ in by_bound]
+            for _s_lower, s_upper, s_id in inner:
+                for k in range(bisect_right(bounds, s_upper), len(by_bound)):
+                    emit((by_bound[k][1], s_id))
+
+    @staticmethod
+    def _count_disjoint(
+        outer: Sequence[IntervalRecord],
+        inner: Sequence[IntervalRecord],
+        relation: str,
+    ) -> int:
+        """Size of the before/after join by bisection, O((n+m) log n)."""
+        for lower, upper, _ in outer:
+            validate_interval(lower, upper)
+        for lower, upper, _ in inner:
+            validate_interval(lower, upper)
+        if relation == "before":
+            uppers = sorted(upper for _, upper, _ in outer)
+            return sum(bisect_left(uppers, s_lower)
+                       for s_lower, _, _ in inner)
+        lowers = sorted(lower for lower, _, _ in outer)
+        return sum(len(lowers) - bisect_right(lowers, s_upper)
+                   for _, s_upper, _ in inner)
+
+    @staticmethod
+    def _sweep_refined(
+        outer: Sequence[IntervalRecord],
+        inner: Sequence[IntervalRecord],
+        holds: Callable[[int, int, int, int], bool],
+        emit: Callable[[JoinPair], None],
+    ) -> None:
+        """The overlap sweep with a predicate refinement at emission.
+
+        Complete for every Allen relation other than before/after: such a
+        pair shares at least one coordinate, so it overlaps under closed
+        semantics and the standard merge visits it exactly once.  Active
+        lists carry full records (the refinement needs both bounds), kept
+        gapless by the same swap-with-last purge.
+        """
+        for lower, upper, _ in outer:
+            validate_interval(lower, upper)
+        for lower, upper, _ in inner:
+            validate_interval(lower, upper)
+        r_events = sorted(outer)
+        s_events = sorted(inner)
+        n_r, n_s = len(r_events), len(s_events)
+        r_active: list[IntervalRecord] = []
+        s_active: list[IntervalRecord] = []
+        i = j = 0
+        while i < n_r or j < n_s:
+            if j >= n_s or (i < n_r and r_events[i][0] <= s_events[j][0]):
+                record = r_events[i]
+                i += 1
+                lower, upper, r_id = record
+                k = 0
+                while k < len(s_active):
+                    s_lower, s_upper, s_id = s_active[k]
+                    if s_upper < lower:
+                        s_active[k] = s_active[-1]
+                        s_active.pop()
+                    else:
+                        if holds(lower, upper, s_lower, s_upper):
+                            emit((r_id, s_id))
+                        k += 1
+                r_active.append(record)
+            else:
+                record = s_events[j]
+                j += 1
+                lower, upper, s_id = record
+                k = 0
+                while k < len(r_active):
+                    r_lower, r_upper, r_id = r_active[k]
+                    if r_upper < lower:
+                        r_active[k] = r_active[-1]
+                        r_active.pop()
+                    else:
+                        if holds(r_lower, r_upper, lower, upper):
+                            emit((r_id, s_id))
+                        k += 1
+                s_active.append(record)
 
     @staticmethod
     def _sweep(
@@ -361,6 +532,7 @@ def interval_join(
     outer: Sequence[IntervalRecord],
     inner: Sequence[IntervalRecord],
     strategy: str = "sweep",
+    predicate=None,
 ) -> list[JoinPair]:
     """Join two interval relations with a strategy chosen by name.
 
@@ -368,6 +540,14 @@ def interval_join(
     ``"index-nested-loop"``, ``"nested-loop"``, or ``"auto"`` (the
     cost-model planner picking between index and sweep); all return the
     same pair set, differing only in evaluation cost.
+
+    ``predicate`` generalises the join condition beyond overlap: any
+    Allen relation (name or :class:`~repro.core.predicates.
+    IntervalPredicate`), applied with the outer record as the subject --
+    ``predicate="during"`` pairs each outer interval with the inner
+    intervals it lies strictly inside.  Predicate joins are evaluated by
+    the ``sweep`` and ``nested-loop`` strategies; the index strategies
+    keep the intersection semantics their scan plans encode.
     """
     try:
         chosen = JOIN_STRATEGIES[strategy]
@@ -376,4 +556,12 @@ def interval_join(
             f"unknown join strategy {strategy!r}; expected one of "
             f"{sorted(JOIN_STRATEGIES)}"
         ) from None
-    return chosen().pairs(outer, inner)
+    pred = _resolve_join_predicate(predicate)
+    if pred is None:
+        return chosen().pairs(outer, inner)
+    if chosen not in (SweepJoin, NestedLoopJoin):
+        raise ValueError(
+            f"predicate {pred.name!r} requires the 'sweep' or "
+            f"'nested-loop' strategy, not {strategy!r}"
+        )
+    return chosen(predicate=pred).pairs(outer, inner)

@@ -1,0 +1,203 @@
+"""First-class interval query predicates, compiled per backend.
+
+The paper's Section 4.5 observes that beyond the intersection predicate
+"there are 13 more fine-grained temporal relationships between intervals
+... also queries based on these specialized predicates are efficiently
+supported by the Relational Interval Tree".  This module makes that
+family a first-class part of the store API: ``intersects``, ``stab``,
+and Allen's thirteen relations are value objects that every
+:class:`~repro.core.access.IntervalStore` backend compiles to its own
+plan --
+
+* the simulated engine transforms the scan plan through the algorithms
+  of :mod:`repro.core.topology` (path scans for bound-equality
+  relations, candidate-range refinement for the rest);
+* the sqlite backend rewrites the WHERE clause of the literal Figure 9
+  statement: the transient tables are filled for the predicate's
+  *candidate range* and the defining endpoint predicate is appended to
+  both branches (:data:`IntervalPredicate.sql_refine`);
+* any other store falls back to refining its enumerated records with
+  the pure predicate (:meth:`IntervalPredicate.filter`), the oracle the
+  compiled plans are tested against.
+
+Semantics: a predicate relates a *subject* interval ``[s, e]`` (a stored
+record, or the outer record of a join pair) to a *reference* interval
+``[l, u]`` (the query interval, or the inner record).  ``holds(s, e, l,
+u)`` is the defining endpoint formula; for Allen relations on proper
+intervals it agrees with :func:`repro.core.topology.relate`.
+
+The join strategies of :mod:`repro.core.join` accept these predicates
+too (``interval_join(..., predicate="before")``), in the spirit of
+Piatov et al.'s sweeps for extended Allen relation predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from .interval import validate_interval
+
+#: The defining endpoint formula: holds(s, e, l, u).
+PredicateTest = Callable[[int, int, int, int], bool]
+
+#: Candidate-range transform: (l, u, floor, ceiling) -> (lo, hi) or None.
+#: ``floor``/``ceiling`` are the store's smallest lower / largest upper
+#: bound (only ``before``/``after`` consult them); ``None`` means the
+#: result is provably empty without touching the store.
+CandidateRange = Callable[
+    [int, int, Optional[int], Optional[int]], Optional[tuple[int, int]]]
+
+
+@dataclass(frozen=True)
+class IntervalPredicate:
+    """One interval predicate as a backend-independent value object.
+
+    ``holds`` is the ground truth; ``candidates`` maps the query to the
+    intersection range whose result set provably contains every match
+    (so any backend's intersection machinery can produce candidates);
+    ``sql_refine`` is the residual WHERE fragment the sqlite backend
+    appends to the Figure 9 statement (``None`` means the candidates
+    are exact and no refinement is needed).
+    """
+
+    name: str
+    holds: PredicateTest
+    candidates: CandidateRange
+    sql_refine: Optional[str]
+
+    def matches(self, subject: tuple[int, int], reference: tuple[int, int]
+                ) -> bool:
+        """Does ``subject`` stand in this relation to ``reference``?"""
+        s, e = subject
+        l, u = reference
+        return self.holds(s, e, l, u)
+
+    def filter(self, records: Sequence[tuple[int, int, int]],
+               lower: int, upper: int) -> list[int]:
+        """Refine ``(lower, upper, id)`` records by the pure predicate.
+
+        The brute-force evaluation every compiled plan must agree with;
+        also the generic fallback for stores without a native compile.
+        """
+        validate_interval(lower, upper)
+        holds = self.holds
+        return [interval_id for s, e, interval_id in records
+                if holds(s, e, lower, upper)]
+
+
+def _whole_query(l, u, floor, ceiling):
+    return (l, u)
+
+
+def _stab_lower(l, u, floor, ceiling):
+    return (l, l)
+
+
+def _stab_upper(l, u, floor, ceiling):
+    return (u, u)
+
+
+def _strictly_before(l, u, floor, ceiling):
+    if floor is None or floor > l - 1:
+        return None
+    return (floor, l - 1)
+
+
+def _strictly_after(l, u, floor, ceiling):
+    if ceiling is None or u + 1 > ceiling:
+        return None
+    return (u + 1, ceiling)
+
+
+#: The fifteen predicates of the store API.  Candidate-range soundness:
+#: every relation except before/after forces the subject to intersect
+#: the listed range (bound-equality and containment relations pin a
+#: shared coordinate; ``during`` implies intersection with the query
+#: itself), and before/after intersect the data-space envelope clipped
+#: at the query bound -- exactly the transforms
+#: :mod:`repro.core.topology` uses on the simulated engine.
+PREDICATES: dict[str, IntervalPredicate] = {
+    predicate.name: predicate for predicate in (
+        IntervalPredicate(
+            "intersects",
+            lambda s, e, l, u: s <= u and e >= l,
+            _whole_query, None),
+        IntervalPredicate(
+            "stab",
+            lambda s, e, l, u: s <= l and e >= l,
+            _stab_lower, None),
+        IntervalPredicate(
+            "before",
+            lambda s, e, l, u: e < l,
+            _strictly_before, 'i."upper" < :lower'),
+        IntervalPredicate(
+            "after",
+            lambda s, e, l, u: s > u,
+            _strictly_after, 'i."lower" > :upper'),
+        IntervalPredicate(
+            "meets",
+            lambda s, e, l, u: e == l and s < l,
+            _stab_lower, 'i."upper" = :lower AND i."lower" < :lower'),
+        IntervalPredicate(
+            "met_by",
+            lambda s, e, l, u: s == u and e > u,
+            _stab_upper, 'i."lower" = :upper AND i."upper" > :upper'),
+        IntervalPredicate(
+            "overlaps",
+            lambda s, e, l, u: s < l < e < u,
+            _stab_lower,
+            'i."lower" < :lower AND i."upper" > :lower '
+            'AND i."upper" < :upper'),
+        IntervalPredicate(
+            "overlapped_by",
+            lambda s, e, l, u: l < s < u < e,
+            _stab_upper,
+            'i."lower" > :lower AND i."lower" < :upper '
+            'AND i."upper" > :upper'),
+        IntervalPredicate(
+            "during",
+            lambda s, e, l, u: l < s and e < u,
+            _whole_query, 'i."lower" > :lower AND i."upper" < :upper'),
+        IntervalPredicate(
+            "contains",
+            lambda s, e, l, u: s < l and u < e,
+            _stab_lower, 'i."lower" < :lower AND i."upper" > :upper'),
+        IntervalPredicate(
+            "starts",
+            lambda s, e, l, u: s == l and e < u,
+            _stab_lower, 'i."lower" = :lower AND i."upper" < :upper'),
+        IntervalPredicate(
+            "started_by",
+            lambda s, e, l, u: s == l and e > u,
+            _stab_lower, 'i."lower" = :lower AND i."upper" > :upper'),
+        IntervalPredicate(
+            "finishes",
+            lambda s, e, l, u: e == u and s > l,
+            _stab_upper, 'i."upper" = :upper AND i."lower" > :lower'),
+        IntervalPredicate(
+            "finished_by",
+            lambda s, e, l, u: e == u and s < l,
+            _stab_upper, 'i."upper" = :upper AND i."lower" < :lower'),
+        IntervalPredicate(
+            "equals",
+            lambda s, e, l, u: s == l and e == u,
+            _stab_lower, 'i."lower" = :lower AND i."upper" = :upper'),
+    )
+}
+
+#: The predicates meaningful as join predicates (``stab`` relates an
+#: interval to a point, not to another interval).
+JOIN_PREDICATES = tuple(name for name in PREDICATES if name != "stab")
+
+
+def get_predicate(predicate) -> IntervalPredicate:
+    """Resolve a predicate given by name or already as an object."""
+    if isinstance(predicate, IntervalPredicate):
+        return predicate
+    try:
+        return PREDICATES[predicate]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown interval predicate {predicate!r}; expected one of "
+            f"{sorted(PREDICATES)}") from None

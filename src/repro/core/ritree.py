@@ -355,6 +355,18 @@ class RITree(AccessMethod):
         return [(row[1], row[2], row[3])
                 for _rowid, row in self.table.scan()]
 
+    def _query_relation(self, pred, lower: int, upper: int) -> list[int]:
+        """Allen-relation predicates compiled to this engine's scan plans.
+
+        Dispatches to the scan-plan transforms of
+        :mod:`repro.core.topology` (O(h) path scans for the
+        bound-equality relations, candidate-range refinement for the
+        rest) -- the simulated-engine compilation of the shared
+        predicate layer of :mod:`repro.core.predicates`.
+        """
+        from . import topology
+        return topology.query_relation(self, pred.name, lower, upper)
+
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------

@@ -164,6 +164,19 @@ class TemporalRITree(RITree):
             else:
                 yield s, e, interval_id
 
+    def stored_records(self):
+        """As in :class:`RITree`, with sentinel uppers materialised.
+
+        Same convention as :meth:`intersection_records`, so index-free
+        consumers of the enumerated relation (the planner's sweep
+        dispatch) see the effective bounds the reserved-node scans
+        enforce.
+        """
+        return [
+            (s, self._now if e == UPPER_NOW else e, interval_id)
+            for s, e, interval_id in super().stored_records()
+        ]
+
     # ------------------------------------------------------------------
     # query-time hooks (Section 4.6)
     # ------------------------------------------------------------------

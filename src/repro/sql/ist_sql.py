@@ -19,29 +19,37 @@ from . import schema
 class SQLISTree:
     """D-order IST: one composite index (upper, lower), Figure 11 queries."""
 
-    def __init__(self, connection: Optional[sqlite3.Connection] = None,
-                 name: str = "ISTIntervals") -> None:
-        self.conn = connection if connection is not None \
-            else sqlite3.connect(":memory:")
+    def __init__(
+        self,
+        connection: Optional[sqlite3.Connection] = None,
+        name: str = "ISTIntervals",
+    ) -> None:
+        self.conn = (
+            connection if connection is not None else sqlite3.connect(":memory:")
+        )
         self.name = name
         self.conn.execute(
-            f'CREATE TABLE {name} '
-            f'("lower" INTEGER, "upper" INTEGER, "id" INTEGER)')
+            f'CREATE TABLE {name} ("lower" INTEGER, "upper" INTEGER, "id" INTEGER)'
+        )
         self.conn.execute(
-            f'CREATE INDEX {name}_dorder ON {name} ("upper", "lower", "id")')
+            f'CREATE INDEX {name}_dorder ON {name} ("upper", "lower", "id")'
+        )
 
     def insert(self, lower: int, upper: int, interval_id: int) -> None:
         """Single-row insert; the D-order index is maintained by the engine."""
         validate_interval(lower, upper)
         self.conn.execute(
-            f'INSERT INTO {self.name} ("lower", "upper", "id") '
-            f'VALUES (?, ?, ?)', (lower, upper, interval_id))
+            f'INSERT INTO {self.name} ("lower", "upper", "id") VALUES (?, ?, ?)',
+            (lower, upper, interval_id),
+        )
 
     def delete(self, lower: int, upper: int, interval_id: int) -> None:
         """Exact-record delete."""
         cursor = self.conn.execute(
             f'DELETE FROM {self.name} WHERE "lower" = ? AND "upper" = ? '
-            f'AND "id" = ?', (lower, upper, interval_id))
+            f'AND "id" = ?',
+            (lower, upper, interval_id),
+        )
         if cursor.rowcount != 1:
             raise KeyError((lower, upper, interval_id))
 
@@ -50,18 +58,20 @@ class SQLISTree:
         with self.conn:
             self.conn.executemany(
                 f'INSERT INTO {self.name} ("lower", "upper", "id") '
-                f'VALUES (?, ?, ?)', list(intervals))
+                f"VALUES (?, ?, ?)",
+                list(intervals),
+            )
 
     def intersection(self, lower: int, upper: int) -> list[int]:
         """The literal Figure 11 statement."""
         validate_interval(lower, upper)
         cursor = self.conn.execute(
             schema.IST_QUERY_SQL.format(name=self.name),
-            {"lower": lower, "upper": upper})
+            {"lower": lower, "upper": upper},
+        )
         return [row[0] for row in cursor]
 
     @property
     def interval_count(self) -> int:
         """Number of stored intervals."""
-        return self.conn.execute(
-            f"SELECT COUNT(*) FROM {self.name}").fetchone()[0]
+        return self.conn.execute(f"SELECT COUNT(*) FROM {self.name}").fetchone()[0]

@@ -16,6 +16,25 @@ the claim on stdlib :mod:`sqlite3`:
   behind plain ``INSERT`` statements -- the object-relational encapsulation
   the paper describes for Oracle8i's extensible indexing framework.
 
+Beyond the single-query statements, the class implements the full
+backend-neutral :class:`~repro.core.access.IntervalStore` contract, so
+every client of the simulated-engine RI-tree -- the join subsystem, the
+``auto`` planner, the predicate layer, the benchmark harness -- runs
+unchanged on sqlite:
+
+* ``intersection_many`` and the interval-join entry points
+  (``join_pairs`` / ``join_count``) evaluate *set-at-a-time*: the probe
+  relation is loaded into a TEMP table once per batch and joined against
+  the literal Figure 9 form in ONE statement, so sqlite's own optimizer
+  drives the nested-loop plan over the whole batch;
+* ``cost_model`` exposes :meth:`repro.core.costmodel.RITreeCostModel.
+  from_sql_tree` statistics (NTILE histograms, page-count geometry), so
+  the ``auto`` join strategy plans here exactly as on the simulated
+  engine;
+* :meth:`query` compiles the shared interval predicates (``intersects``,
+  ``stab``, Allen's thirteen relations) to a WHERE-clause rewrite of the
+  Figure 9 statement over the predicate's candidate range.
+
 The ``now``/``infinity`` handling of Section 4.6 rides along: reserved fork
 node values are injected into ``rightNodes`` at query time, with *no
 modification of the SQL statement*.
@@ -24,8 +43,9 @@ modification of the SQL statement*.
 from __future__ import annotations
 
 import sqlite3
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
+from ..core.access import IntervalRecord, IntervalStore
 from ..core.backbone import VirtualBackbone
 from ..core.interval import validate_interval
 from ..core.temporal import FORK_INF, FORK_NOW, UPPER_INF, UPPER_NOW
@@ -36,7 +56,7 @@ _PARAM_KEYS = ("offset", "left_root", "right_root", "minstep")
 _NULL = None
 
 
-class SQLRITree:
+class SQLRITree(IntervalStore):
     """RI-tree over a DB-API connection (tested on sqlite3).
 
     Parameters
@@ -57,18 +77,33 @@ class SQLRITree:
     >>> tree.insert(5, 15, interval_id=2)
     >>> sorted(tree.intersection(8, 12))
     [1, 2]
+    >>> tree.intersection_count(8, 12)
+    2
+    >>> sorted(tree.join_pairs([(4, 6, 77)]))
+    [(77, 1), (77, 2)]
     """
 
-    def __init__(self, connection: Optional[sqlite3.Connection] = None,
-                 name: str = "Intervals", attach: bool = False,
-                 now: int = 0) -> None:
-        self.conn = connection if connection is not None \
-            else sqlite3.connect(":memory:")
+    method_name = "SQL-RI-tree"
+
+    def __init__(
+        self,
+        connection: Optional[sqlite3.Connection] = None,
+        name: str = "Intervals",
+        attach: bool = False,
+        now: int = 0,
+    ) -> None:
+        self.conn = (
+            connection if connection is not None else sqlite3.connect(":memory:")
+        )
         self.name = name
         self.backbone = VirtualBackbone()
         self._now = now
         self._has_infinite = False
         self._has_now = False
+        #: Last persisted parameter tuple (the dirty flag: ``_save_params``
+        #: writes the dictionary only when this snapshot goes stale).
+        self._persisted: Optional[tuple] = None
+        self._cost_model = None
         if attach:
             self._load_params()
         else:
@@ -79,37 +114,55 @@ class SQLRITree:
             self._save_params()
         for statement in schema.create_transient_tables():
             self.conn.execute(statement)
+        for statement in schema.create_batch_transient_tables():
+            self.conn.execute(statement)
         self._register_udf()
 
     # ------------------------------------------------------------------
     # data dictionary (Section 5)
     # ------------------------------------------------------------------
+    def _param_values(self) -> tuple:
+        return (
+            self.backbone.offset,
+            self.backbone.left_root,
+            self.backbone.right_root,
+            self.backbone.minstep,
+            int(self._has_infinite),
+            int(self._has_now),
+        )
+
     def _save_params(self) -> None:
-        values = {
-            "offset": self.backbone.offset,
-            "left_root": self.backbone.left_root,
-            "right_root": self.backbone.right_root,
-            "minstep": self.backbone.minstep,
-            "has_infinite": int(self._has_infinite),
-            "has_now": int(self._has_now),
-        }
+        """Persist the O(1) parameter set -- only when it changed.
+
+        Insertions rarely move the backbone parameters (the roots double
+        logarithmically, ``minstep`` only ever shrinks), so writing the
+        dictionary per row would be almost-always-wasted I/O; the dirty
+        check makes parameter persistence O(changes), not O(rows).
+        """
+        values = self._param_values()
+        if values == self._persisted:
+            return
+        keys = _PARAM_KEYS + ("has_infinite", "has_now")
         self.conn.executemany(
             f'INSERT OR REPLACE INTO {self.name}_params ("key", "value") '
-            f'VALUES (?, ?)',
-            list(values.items()))
+            f"VALUES (?, ?)",
+            list(zip(keys, values)),
+        )
+        self._persisted = values
 
     def _load_params(self) -> None:
-        rows = dict(self.conn.execute(
-            f'SELECT "key", "value" FROM {self.name}_params'))
+        rows = dict(
+            self.conn.execute(f'SELECT "key", "value" FROM {self.name}_params')
+        )
         if not rows:
-            raise ValueError(
-                f"no persisted parameters for RI-tree {self.name!r}")
+            raise ValueError(f"no persisted parameters for RI-tree {self.name!r}")
         self.backbone.offset = rows.get("offset")
         self.backbone.left_root = rows.get("left_root") or 0
         self.backbone.right_root = rows.get("right_root") or 0
         self.backbone.minstep = rows.get("minstep")
         self._has_infinite = bool(rows.get("has_infinite"))
         self._has_now = bool(rows.get("has_now"))
+        self._persisted = self._param_values()
 
     # ------------------------------------------------------------------
     # updates (Figures 5 and 6)
@@ -119,8 +172,8 @@ class SQLRITree:
         node = self.backbone.register(lower, upper)
         self.conn.execute(
             schema.INSERT_SQL.format(name=self.name),
-            {"node": node, "lower": lower, "upper": upper,
-             "id": interval_id})
+            {"node": node, "lower": lower, "upper": upper, "id": interval_id},
+        )
         self._save_params()
 
     def delete(self, lower: int, upper: int, interval_id: int) -> None:
@@ -131,22 +184,40 @@ class SQLRITree:
         node = self.backbone.fork_node(lower, upper)
         cursor = self.conn.execute(
             schema.DELETE_SQL.format(name=self.name),
-            {"node": node, "lower": lower, "upper": upper,
-             "id": interval_id})
+            {"node": node, "lower": lower, "upper": upper, "id": interval_id},
+        )
         if cursor.rowcount != 1:
             raise KeyError((lower, upper, interval_id))
 
-    def bulk_load(self, intervals: Iterable[tuple[int, int, int]]) -> None:
+    def bulk_load(self, intervals: Iterable[IntervalRecord]) -> None:
         """Register and insert many intervals inside one transaction."""
         rows = []
         for lower, upper, interval_id in intervals:
             node = self.backbone.register(lower, upper)
-            rows.append({"node": node, "lower": lower, "upper": upper,
-                         "id": interval_id})
-        with self.conn:
-            self.conn.executemany(
-                schema.INSERT_SQL.format(name=self.name), rows)
-        self._save_params()
+            rows.append(
+                {"node": node, "lower": lower, "upper": upper, "id": interval_id}
+            )
+        try:
+            with self.conn:
+                self.conn.executemany(
+                    schema.INSERT_SQL.format(name=self.name), rows
+                )
+                self._save_params()
+        except BaseException:
+            # The transaction rolled back: parameter writes are gone from
+            # disk, so the dirty-flag snapshot must not claim otherwise.
+            self._persisted = None
+            raise
+
+    def extend(self, intervals: Iterable[IntervalRecord]) -> None:
+        """Insert many intervals one by one, inside one transaction."""
+        try:
+            with self.conn:
+                for lower, upper, interval_id in intervals:
+                    self.insert(lower, upper, interval_id)
+        except BaseException:
+            self._persisted = None
+            raise
 
     # ------------------------------------------------------------------
     # temporal records (Section 4.6)
@@ -157,22 +228,21 @@ class SQLRITree:
             self.backbone.offset = lower
         self.conn.execute(
             schema.INSERT_SQL.format(name=self.name),
-            {"node": FORK_INF, "lower": lower, "upper": UPPER_INF,
-             "id": interval_id})
+            {"node": FORK_INF, "lower": lower, "upper": UPPER_INF, "id": interval_id},
+        )
         self._has_infinite = True
         self._save_params()
 
     def insert_until_now(self, lower: int, interval_id: int) -> None:
         """Insert ``[lower, now]`` under the reserved fork node."""
         if lower > self._now:
-            raise ValueError(f"now-relative interval starts after now="
-                             f"{self._now}")
+            raise ValueError(f"now-relative interval starts after now={self._now}")
         if self.backbone.offset is None:
             self.backbone.offset = lower
         self.conn.execute(
             schema.INSERT_SQL.format(name=self.name),
-            {"node": FORK_NOW, "lower": lower, "upper": UPPER_NOW,
-             "id": interval_id})
+            {"node": FORK_NOW, "lower": lower, "upper": UPPER_NOW, "id": interval_id},
+        )
         self._has_now = True
         self._save_params()
 
@@ -191,15 +261,58 @@ class SQLRITree:
     # queries (Figures 8 and 9)
     # ------------------------------------------------------------------
     def intersection(self, lower: int, upper: int) -> list[int]:
-        """Fill the transient tables, run the Figure 9 statement."""
+        """Fill the transient tables, run the Figure 9 statement.
+
+        When the transient collections are provably empty -- an empty
+        backbone with no reserved fork rows -- the result is ``[]``
+        without any transient-table round-trip, not even the ``DELETE``
+        statements.
+        """
         validate_interval(lower, upper)
-        left_count, right_count = self._fill_transient_tables(lower, upper)
-        if left_count + right_count == 0:
+        left, right = self._transient_rows(lower, upper)
+        if not left and not right:
             return []
+        self._write_transient(left, right)
         cursor = self.conn.execute(
             schema.INTERSECTION_SQL.format(name=self.name),
-            {"lower": lower, "upper": upper})
+            {"lower": lower, "upper": upper},
+        )
         return [row[0] for row in cursor]
+
+    def intersection_count(self, lower: int, upper: int) -> int:
+        """Result count of :meth:`intersection`, aggregated in-engine.
+
+        Same transient fill, same two-branch statement, wrapped in
+        ``COUNT(*)`` so no id list crosses the DB-API boundary.
+        """
+        validate_interval(lower, upper)
+        left, right = self._transient_rows(lower, upper)
+        if not left and not right:
+            return 0
+        self._write_transient(left, right)
+        cursor = self.conn.execute(
+            schema.INTERSECTION_COUNT_SQL.format(name=self.name),
+            {"lower": lower, "upper": upper},
+        )
+        return cursor.fetchone()[0]
+
+    def intersection_many(self, queries: Sequence[tuple[int, int]]) -> list[list[int]]:
+        """Answer a whole query batch with one set-at-a-time statement.
+
+        All transient node collections are computed and loaded in ONE
+        fill cycle of the batch TEMP tables, then a single Figure 9 form
+        joined against the probe relation returns ``(qid, id)`` rows for
+        every query at once.
+        """
+        results: list[list[int]] = [[] for _ in queries]
+        if not queries or not self._fill_batch_tables(queries):
+            return results
+        cursor = self.conn.execute(
+            schema.BATCH_INTERSECTION_SQL.format(name=self.name)
+        )
+        for qid, interval_id in cursor:
+            results[qid].append(interval_id)
+        return results
 
     def intersection_preliminary(self, lower: int, upper: int) -> list[int]:
         """The unsimplified three-branch OR query of Figure 8.
@@ -212,27 +325,35 @@ class SQLRITree:
             return []
         # Note: unlike the final form, the BETWEEN branch lives in the SQL
         # itself, so the query must run even with empty transient tables.
-        self._fill_transient_tables(lower, upper, fold_between=False)
+        left, right = self._transient_rows(lower, upper, fold_between=False)
+        self._write_transient(left, right)
         cursor = self.conn.execute(
             schema.PRELIMINARY_INTERSECTION_SQL.format(name=self.name),
-            {"lower": lower, "upper": upper,
-             "lowshift": self.backbone.shift(lower),
-             "upshift": self.backbone.shift(upper)})
+            {
+                "lower": lower,
+                "upper": upper,
+                "lowshift": self.backbone.shift(lower),
+                "upshift": self.backbone.shift(upper),
+            },
+        )
         return [row[0] for row in cursor]
 
-    def stab(self, point: int) -> list[int]:
-        """Stabbing query (degenerate intersection)."""
-        return self.intersection(point, point)
+    def _transient_rows(
+        self,
+        lower: int,
+        upper: int,
+        fold_between: bool = True,
+        include_reserved: bool = True,
+    ) -> tuple[list[tuple[int, int]], list[int]]:
+        """Descend the backbone, compute the leftNodes/rightNodes rows.
 
-    def _fill_transient_tables(self, lower: int, upper: int,
-                               fold_between: bool = True) -> tuple[int, int]:
-        """Descend the backbone, (re)populate leftNodes/rightNodes.
-
-        Returns the two list lengths; for the final query form, both empty
-        means the result is provably empty and the SQL can be skipped.
+        Pure arithmetic -- no SQL is issued; the caller decides whether
+        the collections are worth materialising.  For the final query
+        form, both empty means the result is provably empty and every
+        round-trip can be skipped.
         """
         left: list[tuple[int, int]] = []
-        right: list[tuple[int]] = []
+        right: list[int] = []
         if not self.backbone.is_empty:
             l = self.backbone.shift(lower)
             u = self.backbone.shift(upper)
@@ -241,21 +362,185 @@ class SQLRITree:
                     left.append((node, node))
             for node in self.backbone.walk_toward(u):
                 if node > u:
-                    right.append((node,))
+                    right.append(node)
             if fold_between:
                 left.append((l, u))
         # Section 4.6: reserved fork nodes ride along rightNodes.
-        if self._has_infinite:
-            right.append((FORK_INF,))
-        if self._has_now and lower <= self._now:
-            right.append((FORK_NOW,))
+        if include_reserved:
+            if self._has_infinite:
+                right.append(FORK_INF)
+            if self._has_now and lower <= self._now:
+                right.append(FORK_NOW)
+        return left, right
+
+    def _write_transient(
+        self, left: list[tuple[int, int]], right: list[int]
+    ) -> None:
+        """(Re)populate the single-query transient tables."""
         self.conn.execute("DELETE FROM leftNodes")
         self.conn.execute("DELETE FROM rightNodes")
         self.conn.executemany(
-            'INSERT INTO leftNodes ("min", "max") VALUES (?, ?)', left)
+            'INSERT INTO leftNodes ("min", "max") VALUES (?, ?)', left
+        )
         self.conn.executemany(
-            'INSERT INTO rightNodes ("node") VALUES (?)', right)
-        return len(left), len(right)
+            'INSERT INTO rightNodes ("node") VALUES (?)',
+            [(node,) for node in right],
+        )
+
+    def _fill_batch_tables(self, queries: Sequence[tuple[int, int]]) -> int:
+        """One fill cycle of the batch transient tables for a probe batch.
+
+        Returns the total number of transient node rows; zero means every
+        probe's result is provably empty and the batch statement can be
+        skipped entirely.
+        """
+        probe_rows: list[tuple[int, int, int]] = []
+        left_rows: list[tuple[int, int, int]] = []
+        right_rows: list[tuple[int, int]] = []
+        for qid, (lower, upper) in enumerate(queries):
+            validate_interval(lower, upper)
+            probe_rows.append((qid, lower, upper))
+            left, right = self._transient_rows(lower, upper)
+            left_rows.extend((qid, mn, mx) for mn, mx in left)
+            right_rows.extend((qid, node) for node in right)
+        if not left_rows and not right_rows:
+            return 0
+        self.conn.execute("DELETE FROM batchProbes")
+        self.conn.execute("DELETE FROM batchLeftNodes")
+        self.conn.execute("DELETE FROM batchRightNodes")
+        self.conn.executemany(
+            'INSERT INTO batchProbes ("qid", "lower", "upper") VALUES (?, ?, ?)',
+            probe_rows,
+        )
+        self.conn.executemany(
+            'INSERT INTO batchLeftNodes ("qid", "min", "max") VALUES (?, ?, ?)',
+            left_rows,
+        )
+        self.conn.executemany(
+            'INSERT INTO batchRightNodes ("qid", "node") VALUES (?, ?)',
+            right_rows,
+        )
+        return len(left_rows) + len(right_rows)
+
+    # ------------------------------------------------------------------
+    # joins (set-at-a-time, Section 5 meets the join subsystem)
+    # ------------------------------------------------------------------
+    def join_pairs(self, probes: Sequence[IntervalRecord]) -> list[tuple[int, int]]:
+        """The index-nested-loop interval join as ONE SQL statement.
+
+        The probe relation is loaded into a TEMP table and joined against
+        the literal Figure 9 form; sqlite's optimizer drives the
+        nested-loop plan (probe relation outer, the two Figure 2 indexes
+        inner), so the join is evaluated set-at-a-time instead of one
+        statement per probe.
+        """
+        if not probes:
+            return []
+        ids = [probe_id for _lower, _upper, probe_id in probes]
+        if not self._fill_batch_tables([(l, u) for l, u, _ in probes]):
+            return []
+        cursor = self.conn.execute(
+            schema.BATCH_INTERSECTION_SQL.format(name=self.name)
+        )
+        return [(ids[qid], interval_id) for qid, interval_id in cursor]
+
+    def join_count(self, probes: Sequence[IntervalRecord]) -> int:
+        """Size of :meth:`join_pairs`, aggregated by the engine.
+
+        Identical fill cycle and statement, wrapped in ``COUNT(*)`` --
+        the pair list never leaves sqlite.
+        """
+        if not probes:
+            return 0
+        if not self._fill_batch_tables([(l, u) for l, u, _ in probes]):
+            return 0
+        cursor = self.conn.execute(schema.BATCH_COUNT_SQL.format(name=self.name))
+        return cursor.fetchone()[0]
+
+    def explain_join(self, probes: Sequence[IntervalRecord]) -> list[str]:
+        """The engine's query plan for the set-at-a-time join statement."""
+        self._fill_batch_tables([(l, u) for l, u, _ in probes])
+        cursor = self.conn.execute(
+            "EXPLAIN QUERY PLAN "
+            + schema.BATCH_INTERSECTION_SQL.format(name=self.name)
+        )
+        return [row[-1] for row in cursor]
+
+    # ------------------------------------------------------------------
+    # predicate queries (WHERE-clause rewrite of Figure 9)
+    # ------------------------------------------------------------------
+    def _query_relation(self, pred, lower: int, upper: int) -> list[int]:
+        """Allen-relation predicates as a rewritten Figure 9 statement.
+
+        The transient tables are filled for the predicate's *candidate
+        range* and the predicate's defining endpoint formula is appended
+        to the WHERE clause of both branches -- the sqlite compilation of
+        the shared predicate layer of :mod:`repro.core.predicates`.
+        Reserved Section 4.6 fork rows are excluded from Allen-relation
+        queries (their stored bounds are sentinels).
+        """
+        validate_interval(lower, upper)
+        floor = ceiling = None
+        if pred.name in ("before", "after"):
+            floor, ceiling = self._extent()
+        candidate = pred.candidates(lower, upper, floor, ceiling)
+        if candidate is None:
+            return []
+        clower, cupper = candidate
+        left, right = self._transient_rows(clower, cupper, include_reserved=False)
+        if not left and not right:
+            return []
+        self._write_transient(left, right)
+        cursor = self.conn.execute(
+            schema.predicate_intersection_sql(self.name, pred.sql_refine),
+            {"lower": lower, "upper": upper, "clower": clower, "cupper": cupper},
+        )
+        return [row[0] for row in cursor]
+
+    def _extent(self) -> tuple[Optional[int], Optional[int]]:
+        """Smallest lower / largest upper bound of the finite records."""
+        return self.conn.execute(
+            f'SELECT MIN("lower"), MAX("upper") FROM {self.name} '
+            f'WHERE "node" NOT IN ({FORK_INF}, {FORK_NOW})'
+        ).fetchone()
+
+    # ------------------------------------------------------------------
+    # planning (Section 5: the cost model registered at the optimizer)
+    # ------------------------------------------------------------------
+    def cost_model(self, refresh: bool = False):
+        """Optimizer statistics over this relation, built lazily and cached.
+
+        A :meth:`~repro.core.costmodel.RITreeCostModel.from_sql_tree`
+        model: histograms by SQL aggregation, geometry from sqlite page
+        counts.  The cached model goes stale under updates; pass
+        ``refresh=True`` to re-run the ANALYZE pass.
+        """
+        from ..core.costmodel import RITreeCostModel
+
+        if self._cost_model is None:
+            self._cost_model = RITreeCostModel.from_sql_tree(self)
+        elif refresh:
+            self._cost_model.refresh()
+        return self._cost_model
+
+    def stored_records(self) -> list[IntervalRecord]:
+        """The stored relation as ``(lower, upper, id)`` records.
+
+        Sentinel uppers are materialised as in
+        :meth:`repro.core.temporal.TemporalRITree.intersection_records`:
+        now-relative rows report the *effective* upper bound (the current
+        clock), so an index-free consumer (the planner's sweep dispatch)
+        joins the same pair set as the reserved-node scans; infinite rows
+        keep the ``UPPER_INF`` sentinel, which behaves as +infinity under
+        every overlap test inside the supported data space.
+        """
+        cursor = self.conn.execute(
+            f'SELECT "node", "lower", "upper", "id" FROM {self.name}'
+        )
+        return [
+            (lower, self._now if node == FORK_NOW else upper, interval_id)
+            for node, lower, upper, interval_id in cursor
+        ]
 
     # ------------------------------------------------------------------
     # object-relational wrapping: view + trigger + UDF (Section 5)
@@ -278,14 +563,16 @@ class SQLRITree:
         """
         view = f"{self.name}_iv"
         self.conn.execute(
-            f'CREATE VIEW IF NOT EXISTS {view} AS '
-            f'SELECT "lower", "upper", "id" FROM {self.name}')
+            f"CREATE VIEW IF NOT EXISTS {view} AS "
+            f'SELECT "lower", "upper", "id" FROM {self.name}'
+        )
         self.conn.execute(
-            f'CREATE TRIGGER IF NOT EXISTS {view}_insert '
-            f'INSTEAD OF INSERT ON {view} BEGIN '
+            f"CREATE TRIGGER IF NOT EXISTS {view}_insert "
+            f"INSTEAD OF INSERT ON {view} BEGIN "
             f'INSERT INTO {self.name} ("node", "lower", "upper", "id") '
             f'VALUES (ritree_fork_{self.name}(NEW."lower", NEW."upper"), '
-            f'NEW."lower", NEW."upper", NEW."id"); END')
+            f'NEW."lower", NEW."upper", NEW."id"); END'
+        )
         return view
 
     def sync_params(self) -> None:
@@ -301,11 +588,17 @@ class SQLRITree:
         cursor = self.conn.execute(f"SELECT COUNT(*) FROM {self.name}")
         return cursor.fetchone()[0]
 
+    @property
+    def index_entry_count(self) -> int:
+        """Two index entries per interval (Figure 12: ``2n``)."""
+        return 2 * self.interval_count
+
     def explain_intersection(self, lower: int, upper: int) -> list[str]:
         """The engine's query plan for Figure 9 (cf. the paper's Figure 10)."""
-        self._fill_transient_tables(lower, upper)
+        left, right = self._transient_rows(lower, upper)
+        self._write_transient(left, right)
         cursor = self.conn.execute(
-            "EXPLAIN QUERY PLAN "
-            + schema.INTERSECTION_SQL.format(name=self.name),
-            {"lower": lower, "upper": upper})
+            "EXPLAIN QUERY PLAN " + schema.INTERSECTION_SQL.format(name=self.name),
+            {"lower": lower, "upper": upper},
+        )
         return [row[-1] for row in cursor]

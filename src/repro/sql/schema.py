@@ -11,6 +11,14 @@ indexes", which the index definitions below do.  Section 5 calls for "a
 persistent data dictionary ... to store index specific system parameters
 such as root or minstep"; that is the ``{name}_params`` table.
 
+Beyond the paper's single-query statements, this module carries the
+*set-at-a-time* variants used by the unified store API: the transient
+node tables gain batch twins keyed by a probe id, so a whole probe
+relation (an ``intersection_many`` batch, the outer side of an interval
+join) is answered by ONE statement -- the literal Figure 9 form joined
+against the probe relation, leaving the nested-loop plan to the
+engine's own optimizer.
+
 Column names are double-quoted because ``lower`` and ``upper`` collide with
 SQL function names on some engines.
 """
@@ -21,7 +29,7 @@ from __future__ import annotations
 def create_interval_table(name: str = "Intervals") -> list[str]:
     """DDL statements instantiating an RI-tree relation (paper Figure 2)."""
     return [
-        f'CREATE TABLE {name} '
+        f"CREATE TABLE {name} "
         f'("node" INTEGER, "lower" INTEGER, "upper" INTEGER, "id" INTEGER)',
         f'CREATE INDEX {name}_lowerIndex ON {name} ("node", "lower", "id")',
         f'CREATE INDEX {name}_upperIndex ON {name} ("node", "upper", "id")',
@@ -31,8 +39,7 @@ def create_interval_table(name: str = "Intervals") -> list[str]:
 def create_params_table(name: str = "Intervals") -> list[str]:
     """The persistent data dictionary of Section 5."""
     return [
-        f'CREATE TABLE {name}_params '
-        f'("key" TEXT PRIMARY KEY, "value" INTEGER)',
+        f'CREATE TABLE {name}_params ("key" TEXT PRIMARY KEY, "value" INTEGER)',
     ]
 
 
@@ -44,9 +51,26 @@ def create_transient_tables() -> list[str]:
     They live in the session's temporary space, "causing no I/O effort".
     """
     return [
-        'CREATE TEMP TABLE IF NOT EXISTS leftNodes '
-        '("min" INTEGER, "max" INTEGER)',
+        'CREATE TEMP TABLE IF NOT EXISTS leftNodes ("min" INTEGER, "max" INTEGER)',
         'CREATE TEMP TABLE IF NOT EXISTS rightNodes ("node" INTEGER)',
+    ]
+
+
+def create_batch_transient_tables() -> list[str]:
+    """Batch twins of the transient tables, keyed by a probe id.
+
+    ``batchProbes`` is the probe relation itself (an ``INTEGER PRIMARY
+    KEY`` makes it a rowid lookup inside the join); ``batchLeftNodes`` /
+    ``batchRightNodes`` hold every probe's transient node collections
+    side by side.  One fill cycle, one statement, the whole batch.
+    """
+    return [
+        "CREATE TEMP TABLE IF NOT EXISTS batchProbes "
+        '("qid" INTEGER PRIMARY KEY, "lower" INTEGER, "upper" INTEGER)',
+        "CREATE TEMP TABLE IF NOT EXISTS batchLeftNodes "
+        '("qid" INTEGER, "min" INTEGER, "max" INTEGER)',
+        "CREATE TEMP TABLE IF NOT EXISTS batchRightNodes "
+        '("qid" INTEGER, "node" INTEGER)',
     ]
 
 
@@ -59,6 +83,27 @@ UNION ALL
 SELECT "id" FROM {name} i, rightNodes r
 WHERE i."node" = r."node" AND i."lower" <= :upper
 """
+
+#: Count-only form of the final query (same plan, aggregated in-engine).
+INTERSECTION_COUNT_SQL = "SELECT COUNT(*) FROM (" + INTERSECTION_SQL + ")"
+
+#: The set-at-a-time batch query: Figure 9 joined against the probe
+#: relation.  Each branch pairs a probe's own transient entries with the
+#: probe's bounds, so the engine's optimizer drives one nested-loop plan
+#: over the whole batch instead of Python looping statements.
+BATCH_INTERSECTION_SQL = """
+SELECT q."qid", i."id" FROM {name} i, batchLeftNodes l, batchProbes q
+WHERE l."qid" = q."qid"
+  AND i."node" BETWEEN l."min" AND l."max"
+  AND i."upper" >= q."lower"
+UNION ALL
+SELECT q."qid", i."id" FROM {name} i, batchRightNodes r, batchProbes q
+WHERE r."qid" = q."qid"
+  AND i."node" = r."node" AND i."lower" <= q."upper"
+"""
+
+#: Count-only form of the batch query (the join's ``COUNT(*)``).
+BATCH_COUNT_SQL = "SELECT COUNT(*) FROM (" + BATCH_INTERSECTION_SQL + ")"
 
 #: The preliminary three-branch OR query -- paper Figure 8 (for the ablation
 #: benchmark comparing it with the final form above).
@@ -75,7 +120,7 @@ WHERE EXISTS (SELECT 1 FROM leftNodes l
 #: Single-statement insertion -- paper Figure 5.
 INSERT_SQL = (
     'INSERT INTO {name} ("node", "lower", "upper", "id") '
-    'VALUES (:node, :lower, :upper, :id)'
+    "VALUES (:node, :lower, :upper, :id)"
 )
 
 #: Single-statement deletion (Section 3.3: deletion mirrors insertion).
@@ -89,3 +134,27 @@ IST_QUERY_SQL = """
 SELECT "id" FROM {name} i
 WHERE i."upper" >= :lower AND i."lower" <= :upper
 """
+
+
+def predicate_intersection_sql(name: str, refine: str | None) -> str:
+    """The Figure 9 statement rewritten for a predicate query.
+
+    The transient tables are filled for the predicate's *candidate
+    range* (bound as ``:clower`` / ``:cupper``) and the predicate's
+    defining endpoint formula -- referencing the original query bounds
+    ``:lower`` / ``:upper`` -- is appended to the WHERE clause of both
+    branches.  ``refine=None`` means the candidates are exact (the
+    ``intersects`` / ``stab`` predicates) and the statement degenerates
+    to the literal Figure 9 form.
+    """
+    extra = f"  AND {refine}\n" if refine else ""
+    return (
+        f'SELECT "id" FROM {name} i, leftNodes l\n'
+        f'WHERE i."node" BETWEEN l."min" AND l."max"\n'
+        f'  AND i."upper" >= :clower\n'
+        f"{extra}"
+        f"UNION ALL\n"
+        f'SELECT "id" FROM {name} i, rightNodes r\n'
+        f'WHERE i."node" = r."node" AND i."lower" <= :cupper\n'
+        f"{extra}"
+    )

@@ -18,25 +18,29 @@ from ..methods.tindex import DEFAULT_DOMAIN_BITS
 class SQLTileIndex:
     """Fixed-level tile decomposition over sqlite3."""
 
-    def __init__(self, connection: Optional[sqlite3.Connection] = None,
-                 fixed_level: int = 8,
-                 domain_bits: int = DEFAULT_DOMAIN_BITS,
-                 name: str = "TileEntries") -> None:
+    def __init__(
+        self,
+        connection: Optional[sqlite3.Connection] = None,
+        fixed_level: int = 8,
+        domain_bits: int = DEFAULT_DOMAIN_BITS,
+        name: str = "TileEntries",
+    ) -> None:
         if not 0 <= fixed_level <= domain_bits:
-            raise ValueError(
-                f"fixed_level {fixed_level} outside [0, {domain_bits}]")
-        self.conn = connection if connection is not None \
-            else sqlite3.connect(":memory:")
+            raise ValueError(f"fixed_level {fixed_level} outside [0, {domain_bits}]")
+        self.conn = (
+            connection if connection is not None else sqlite3.connect(":memory:")
+        )
         self.name = name
         self.fixed_level = fixed_level
         self.domain_bits = domain_bits
         self.tile_size = 2 ** (domain_bits - fixed_level)
         self.conn.execute(
             f'CREATE TABLE {name} ("tile" INTEGER, "lower" INTEGER, '
-            f'"upper" INTEGER, "id" INTEGER)')
+            f'"upper" INTEGER, "id" INTEGER)'
+        )
         self.conn.execute(
-            f'CREATE INDEX {name}_tiles ON {name} '
-            f'("tile", "lower", "upper", "id")')
+            f'CREATE INDEX {name}_tiles ON {name} ("tile", "lower", "upper", "id")'
+        )
 
     def _tiles(self, lower: int, upper: int) -> range:
         return range(lower // self.tile_size, upper // self.tile_size + 1)
@@ -46,15 +50,20 @@ class SQLTileIndex:
         validate_interval(lower, upper)
         self.conn.executemany(
             f'INSERT INTO {self.name} ("tile", "lower", "upper", "id") '
-            f'VALUES (?, ?, ?, ?)',
-            [(tile, lower, upper, interval_id)
-             for tile in self._tiles(lower, upper)])
+            f"VALUES (?, ?, ?, ?)",
+            [
+                (tile, lower, upper, interval_id)
+                for tile in self._tiles(lower, upper)
+            ],
+        )
 
     def delete(self, lower: int, upper: int, interval_id: int) -> None:
         """Remove all tile rows of the interval."""
         cursor = self.conn.execute(
             f'DELETE FROM {self.name} WHERE "lower" = ? AND "upper" = ? '
-            f'AND "id" = ?', (lower, upper, interval_id))
+            f'AND "id" = ?',
+            (lower, upper, interval_id),
+        )
         if cursor.rowcount == 0:
             raise KeyError((lower, upper, interval_id))
 
@@ -63,29 +72,37 @@ class SQLTileIndex:
         rows = []
         for lower, upper, interval_id in intervals:
             validate_interval(lower, upper)
-            rows.extend((tile, lower, upper, interval_id)
-                        for tile in self._tiles(lower, upper))
+            rows.extend(
+                (tile, lower, upper, interval_id)
+                for tile in self._tiles(lower, upper)
+            )
         with self.conn:
             self.conn.executemany(
                 f'INSERT INTO {self.name} ("tile", "lower", "upper", "id") '
-                f'VALUES (?, ?, ?, ?)', rows)
+                f"VALUES (?, ?, ?, ?)",
+                rows,
+            )
 
     def intersection(self, lower: int, upper: int) -> list[int]:
         """Indexed tile-range scan + refinement + DISTINCT."""
         validate_interval(lower, upper)
         lower_clip = max(lower, 0)
-        upper_clip = min(upper, 2 ** self.domain_bits - 1)
+        upper_clip = min(upper, 2**self.domain_bits - 1)
         if lower_clip > upper_clip:
             return []
         cursor = self.conn.execute(
             f'SELECT DISTINCT "id" FROM {self.name} '
             f'WHERE "tile" BETWEEN ? AND ? AND "lower" <= ? AND "upper" >= ?',
-            (lower_clip // self.tile_size, upper_clip // self.tile_size,
-             upper, lower))
+            (
+                lower_clip // self.tile_size,
+                upper_clip // self.tile_size,
+                upper,
+                lower,
+            ),
+        )
         return [row[0] for row in cursor]
 
     @property
     def entry_count(self) -> int:
         """Total decomposed tile entries."""
-        return self.conn.execute(
-            f"SELECT COUNT(*) FROM {self.name}").fetchone()[0]
+        return self.conn.execute(f"SELECT COUNT(*) FROM {self.name}").fetchone()[0]

@@ -1,0 +1,195 @@
+"""The predicate layer: one definition, three evaluations, one answer.
+
+Every predicate must produce the identical id (or pair) set through
+
+* the pure endpoint formula over raw records (the oracle),
+* the simulated engine's scan-plan compilation (``RITree.query`` via
+  :mod:`repro.core.topology`),
+* the sqlite backend's WHERE-clause rewrite (``SQLRITree.query``),
+
+and -- for joins -- through the sweep and nested-loop strategies.
+"""
+
+import pytest
+
+from repro.core import JOIN_PREDICATES, PREDICATES, RITree, get_predicate
+from repro.core.join import SweepJoin, interval_join
+from repro.core.topology import ALLEN_RELATIONS, relate
+from repro.methods.windowlist import WindowList
+from repro.sql import SQLRITree
+
+
+def shared_endpoint_records(rng, count=400, points=80, domain=300):
+    """Records clustered on few endpoints, so equality relations fire."""
+    anchors = [rng.randrange(0, domain) for _ in range(points)]
+    records = []
+    for i in range(count):
+        start = rng.choice(anchors)
+        length = rng.choice([1, 2, 5, rng.randrange(1, 60)])
+        records.append((start, start + length, i))
+    return anchors, records
+
+
+def test_registry_is_complete():
+    assert set(PREDICATES) == {"intersects", "stab"} | set(ALLEN_RELATIONS)
+    assert set(JOIN_PREDICATES) == {"intersects"} | set(ALLEN_RELATIONS)
+
+
+def test_get_predicate_resolves_names_and_objects():
+    pred = get_predicate("during")
+    assert pred.name == "during"
+    assert get_predicate(pred) is pred
+    with pytest.raises(ValueError):
+        get_predicate("sideways")
+    with pytest.raises(ValueError):
+        get_predicate(None)
+
+
+def test_holds_agrees_with_the_relate_partition(rng):
+    """On proper intervals the 13 formulas partition exactly as relate()."""
+    for _ in range(2000):
+        s = rng.randrange(0, 100)
+        e = s + rng.randrange(1, 30)
+        l = rng.randrange(0, 100)
+        u = l + rng.randrange(1, 30)
+        relation = relate(s, e, l, u)
+        for name in ALLEN_RELATIONS:
+            assert PREDICATES[name].holds(s, e, l, u) == (relation == name)
+
+
+def test_matches_and_filter():
+    before = get_predicate("before")
+    assert before.matches((0, 5), (6, 10))
+    assert not before.matches((0, 6), (6, 10))
+    records = [(0, 5, 1), (0, 6, 2), (7, 9, 3)]
+    assert before.filter(records, 6, 10) == [1]
+
+
+@pytest.mark.parametrize("name", sorted(PREDICATES))
+def test_backends_match_the_oracle(name, rng):
+    anchors, records = shared_endpoint_records(rng)
+    engine_tree = RITree()
+    engine_tree.bulk_load(records)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(records)
+    pred = PREDICATES[name]
+    for _ in range(40):
+        lower = rng.choice(anchors)
+        upper = lower + rng.choice([1, 2, 5, rng.randrange(1, 60)])
+        if name == "stab":
+            expected = sorted(pred.filter(records, lower, lower))
+            assert sorted(engine_tree.query(name, lower)) == expected
+            assert sorted(sql_tree.query(name, lower)) == expected
+        else:
+            expected = sorted(pred.filter(records, lower, upper))
+            assert sorted(engine_tree.query(name, lower, upper)) == expected
+            assert sorted(sql_tree.query(name, lower, upper)) == expected
+
+
+def test_query_intersects_delegates_to_intersection(rng):
+    _anchors, records = shared_endpoint_records(rng, count=120)
+    for store in (RITree(), SQLRITree()):
+        store.bulk_load(records)
+        assert sorted(store.query("intersects", 50, 90)) == sorted(
+            store.intersection(50, 90)
+        )
+        assert sorted(store.query("stab", 70)) == sorted(store.stab(70))
+
+
+def test_generic_store_falls_back_to_stored_records(rng):
+    """A store without a native compile still answers via enumeration."""
+    _anchors, records = shared_endpoint_records(rng, count=100)
+    store = WindowList()
+    store.bulk_load(records)
+    if store.stored_records() is None:
+        with pytest.raises(NotImplementedError):
+            store.query("during", 10, 80)
+    else:
+        expected = sorted(PREDICATES["during"].filter(records, 10, 80))
+        assert sorted(store.query("during", 10, 80)) == expected
+    # intersects/stab always work through the intersection machinery.
+    assert sorted(store.query("intersects", 10, 80)) == sorted(
+        store.intersection(10, 80)
+    )
+
+
+def test_minimal_store_gets_predicates_for_free(rng):
+    """A bare-bones IntervalStore inherits a working predicate compile."""
+    from repro.core import IntervalStore
+
+    class ListStore(IntervalStore):
+        def __init__(self):
+            self.records = []
+
+        def insert(self, lower, upper, interval_id):
+            self.records.append((lower, upper, interval_id))
+
+        def delete(self, lower, upper, interval_id):
+            self.records.remove((lower, upper, interval_id))
+
+        def intersection(self, lower, upper):
+            return [i for s, e, i in self.records if s <= upper and e >= lower]
+
+        def stored_records(self):
+            return list(self.records)
+
+        @property
+        def interval_count(self):
+            return len(self.records)
+
+        @property
+        def index_entry_count(self):
+            return len(self.records)
+
+    _anchors, records = shared_endpoint_records(rng, count=120)
+    store = ListStore()
+    store.bulk_load(records)
+    reference = RITree()
+    reference.bulk_load(records)
+    for name in ("before", "during", "meets", "equals"):
+        assert sorted(store.query(name, 40, 90)) == sorted(
+            reference.query(name, 40, 90)
+        )
+
+
+@pytest.mark.parametrize("name", sorted(JOIN_PREDICATES))
+def test_join_strategies_match_the_oracle(name, rng):
+    _anchors, records = shared_endpoint_records(rng, count=260)
+    outer = records[:120]
+    inner = [(s, e, 10_000 + i) for s, e, i in records[120:]]
+    pred = PREDICATES[name]
+    expected = sorted(
+        (r[2], s[2])
+        for r in outer
+        for s in inner
+        if pred.holds(r[0], r[1], s[0], s[1])
+    )
+    sweep = sorted(interval_join(outer, inner, "sweep", predicate=name))
+    nested = sorted(interval_join(outer, inner, "nested-loop", predicate=name))
+    assert sweep == expected
+    assert nested == expected
+
+
+@pytest.mark.parametrize(
+    "name", ["before", "after", "during", "meets", "equals"]
+)
+def test_sweep_count_matches_pairs(name, rng):
+    _anchors, records = shared_endpoint_records(rng, count=200)
+    outer = records[:90]
+    inner = [(s, e, 5_000 + i) for s, e, i in records[90:]]
+    strategy = SweepJoin(predicate=name)
+    assert strategy.count(outer, inner) == len(strategy.pairs(outer, inner))
+
+
+def test_predicate_joins_reject_index_strategies():
+    outer = [(0, 10, 1)]
+    inner = [(20, 30, 2)]
+    with pytest.raises(ValueError):
+        interval_join(outer, inner, "index", predicate="before")
+    with pytest.raises(ValueError):
+        interval_join(outer, inner, "auto", predicate="during")
+    with pytest.raises(ValueError):
+        interval_join(outer, inner, "sweep", predicate="stab")
+    # The default predicate is the intersection join on every strategy.
+    assert interval_join(outer, inner, "index", predicate="intersects") == []
+    assert interval_join(outer, inner, "sweep", predicate="before") == [(1, 2)]

@@ -1,0 +1,220 @@
+"""Store-conformance suite: one contract, every backend.
+
+Every :class:`~repro.core.access.IntervalStore` implementation must be
+interchangeable behind the shared API: identical intersection results,
+identical counts, identical batch answers, identical join pair sets --
+whatever engine the intervals live on.  The suite is parameterized over
+the simulated-engine RI-tree and the sqlite3-backed RI-tree and checks
+each against the brute-force oracle, so adding a backend means adding
+one factory line here.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import IntervalStore, RITree
+from repro.core.costmodel import JoinEstimate
+from repro.methods.memory import BruteForceIntervals
+from repro.sql import SQLRITree
+from repro.workloads import join_workload
+
+from ..conftest import make_intervals
+
+STORE_FACTORIES = {
+    "ritree": RITree,
+    "sql-ritree": SQLRITree,
+}
+
+STORE_NAMES = sorted(STORE_FACTORIES)
+
+
+@pytest.fixture(params=STORE_NAMES)
+def store(request):
+    return STORE_FACTORIES[request.param]()
+
+
+def queries_for(rng, count=60, domain=66_000, span=3000):
+    out = []
+    for _ in range(count):
+        lower = rng.randrange(0, domain)
+        out.append((lower, lower + rng.randrange(0, span)))
+    return out
+
+
+def test_both_backends_implement_the_protocol(store):
+    assert isinstance(store, IntervalStore)
+
+
+def test_protocol_requires_core_methods():
+    with pytest.raises(TypeError):
+        IntervalStore()
+
+
+def test_insert_and_intersection_match_oracle(store, rng):
+    records = make_intervals(rng, 400, domain=60_000, mean_length=500)
+    oracle = BruteForceIntervals(records)
+    store.extend(records)
+    assert store.interval_count == len(records)
+    for lower, upper in queries_for(rng):
+        assert sorted(store.intersection(lower, upper)) == sorted(
+            oracle.intersection(lower, upper)
+        )
+
+
+def test_bulk_load_equals_inserts(store, rng):
+    records = make_intervals(rng, 300, domain=40_000, mean_length=400)
+    loaded = type(store)()
+    loaded.bulk_load(records)
+    store.extend(records)
+    for lower, upper in queries_for(rng, count=30, domain=44_000):
+        assert sorted(loaded.intersection(lower, upper)) == sorted(
+            store.intersection(lower, upper)
+        )
+
+
+def test_delete_removes_and_raises(store):
+    store.insert(1, 10, 1)
+    store.insert(1, 10, 2)
+    store.delete(1, 10, 1)
+    assert store.intersection(5, 5) == [2]
+    with pytest.raises(KeyError):
+        store.delete(1, 10, 1)
+    with pytest.raises(KeyError):
+        store.delete(99, 100, 5)
+
+
+def test_count_and_many_are_consistent(store, rng):
+    records = make_intervals(rng, 350, domain=50_000, mean_length=600)
+    store.bulk_load(records)
+    queries = queries_for(rng, count=40, domain=55_000)
+    batched = store.intersection_many(queries)
+    assert len(batched) == len(queries)
+    for (lower, upper), ids in zip(queries, batched):
+        single = store.intersection(lower, upper)
+        assert sorted(ids) == sorted(single)
+        assert store.intersection_count(lower, upper) == len(single)
+
+
+def test_stab_is_degenerate_intersection(store, rng):
+    records = make_intervals(rng, 200, domain=20_000, mean_length=300)
+    store.bulk_load(records)
+    for _ in range(25):
+        point = rng.randrange(0, 22_000)
+        assert sorted(store.stab(point)) == sorted(
+            store.intersection(point, point)
+        )
+
+
+def test_join_pairs_and_count_match_oracle(store, rng):
+    workload = join_workload(
+        outer_n=80, inner_n=500, outer_d=3000, inner_d=600, seed=9
+    )
+    outer, inner = workload.outer.records, workload.inner.records
+    store.bulk_load(inner)
+    expected = sorted(
+        (r_id, s_id)
+        for r_lower, r_upper, r_id in outer
+        for s_lower, s_upper, s_id in inner
+        if r_lower <= s_upper and s_lower <= r_upper
+    )
+    pairs = store.join_pairs(outer)
+    assert sorted(pairs) == expected
+    assert len(pairs) == len(set(pairs))
+    assert store.join_count(outer) == len(expected)
+
+
+def test_stored_records_roundtrip(store, rng):
+    records = make_intervals(rng, 150, domain=10_000, mean_length=200)
+    store.bulk_load(records)
+    assert sorted(store.stored_records()) == sorted(records)
+
+
+def test_accounting(store, rng):
+    records = make_intervals(rng, 120, domain=8_000, mean_length=150)
+    store.bulk_load(records)
+    assert store.interval_count == 120
+    assert store.index_entry_count == 240
+    assert store.redundancy == pytest.approx(2.0)
+
+
+def test_empty_store(store):
+    assert store.intersection(0, 100) == []
+    assert store.intersection_count(0, 100) == 0
+    assert store.intersection_many([(0, 10), (5, 20)]) == [[], []]
+    assert store.join_pairs([(0, 10, 1)]) == []
+    assert store.join_count([(0, 10, 1)]) == 0
+    assert store.interval_count == 0
+    assert store.redundancy == 0.0
+
+
+def test_cost_model_plans_on_every_backend(store, rng):
+    records = make_intervals(rng, 600, domain=50_000, mean_length=400)
+    store.bulk_load(records)
+    model = store.cost_model()
+    assert model is not None
+    probes = make_intervals(rng, 50, domain=50_000, mean_length=800)
+    estimate = model.estimate_join(probes)
+    assert isinstance(estimate, JoinEstimate)
+    assert estimate.choice in ("index-nested-loop", "sweep")
+    assert estimate.inner_n == len(records)
+
+
+record = st.tuples(
+    st.integers(0, 2**20 - 1), st.integers(0, 5000), st.integers(0, 10_000)
+).map(lambda t: (t[0], min(t[0] + t[1], 2**20 - 1), t[2]))
+query = st.tuples(st.integers(0, 2**20 - 1), st.integers(0, 10_000)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+
+
+def unique_ids(records):
+    seen = set()
+    out = []
+    for lower, upper, interval_id in records:
+        if interval_id not in seen:
+            seen.add(interval_id)
+            out.append((lower, upper, interval_id))
+    return out
+
+
+@pytest.mark.parametrize("store_name", STORE_NAMES)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(record, max_size=60), st.lists(query, max_size=5))
+def test_property_store_matches_oracle(store_name, records, queries):
+    records = unique_ids(records)
+    store = STORE_FACTORIES[store_name]()
+    store.bulk_load(records)
+    oracle = BruteForceIntervals(records)
+    batched = store.intersection_many(queries)
+    for (lower, upper), ids in zip(queries, batched):
+        expected = sorted(oracle.intersection(lower, upper))
+        assert sorted(store.intersection(lower, upper)) == expected
+        assert sorted(ids) == expected
+        assert store.intersection_count(lower, upper) == len(expected)
+
+
+@pytest.mark.parametrize("store_name", STORE_NAMES)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(record, max_size=50), st.lists(record, max_size=25))
+def test_property_join_matches_oracle(store_name, inner, outer):
+    inner = unique_ids(inner)
+    outer = unique_ids(outer)
+    store = STORE_FACTORIES[store_name]()
+    store.bulk_load(inner)
+    expected = sorted(
+        (r_id, s_id)
+        for r_lower, r_upper, r_id in outer
+        for s_lower, s_upper, s_id in inner
+        if r_lower <= s_upper and s_lower <= r_upper
+    )
+    assert sorted(store.join_pairs(outer)) == expected
+    assert store.join_count(outer) == len(expected)

@@ -1,0 +1,274 @@
+"""The unified store API on sqlite3: joins, batches, planner, satellites.
+
+The acceptance surface of the protocol split: on randomized two-sided
+workloads the sqlite backend's set-at-a-time SQL join, the sweep over its
+enumerated relation, and the ``auto`` planner must be pair-set-identical
+to the simulated-engine strategies and the counting oracle, with the
+``auto`` dispatch consistent with ``RITreeCostModel.from_sql_tree``
+estimates; plus the update-path economies (dirty-flag parameter
+persistence, the empty-backbone fast path) observed at the statement
+level through sqlite's trace hook.
+"""
+
+import pytest
+
+from repro.core import RITree, RITreeCostModel
+from repro.core.join import AutoJoin, SweepJoin
+from repro.sql import SQLRITree
+from repro.workloads import join_workload
+from repro.workloads.joins import expected_pair_count
+
+from ..conftest import make_intervals
+
+
+def two_sided(seed, outer_n=120, inner_n=900, outer_d=4000, inner_d=700):
+    workload = join_workload(outer_n=outer_n, inner_n=inner_n,
+                             outer_d=outer_d, inner_d=inner_d, seed=seed)
+    return workload.outer.records, workload.inner.records
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_sql_join_matches_engine_and_oracles(seed):
+    outer, inner = two_sided(seed)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(inner)
+    engine_tree = RITree()
+    engine_tree.bulk_load(inner)
+
+    sql_pairs = sql_tree.join_pairs(outer)
+    reference = sorted(sql_pairs)
+    assert len(sql_pairs) == len(set(sql_pairs))
+    assert reference == sorted(engine_tree.join_pairs(outer))
+    assert reference == sorted(SweepJoin().pairs(outer, inner))
+    assert len(reference) == expected_pair_count(outer, inner)
+    assert sql_tree.join_count(outer) == len(reference)
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_auto_on_sql_backend_is_consistent_with_the_planner(seed):
+    outer, inner = two_sided(seed)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(inner)
+    planned = sql_tree.cost_model().estimate_join(outer)
+    auto = AutoJoin(method=sql_tree)
+    pairs = auto.pairs(outer, inner)
+    assert auto.last_decision.choice == planned.choice
+    assert sorted(pairs) == sorted(SweepJoin().pairs(outer, inner))
+    assert auto.count(outer, inner) == len(pairs)
+
+
+def test_planner_decisions_across_regimes():
+    """Pinned workloads on either side of the index/sweep crossover."""
+    outer, inner = two_sided(3, outer_n=5, inner_n=8000,
+                             outer_d=2000, inner_d=1000)
+    few_probes = SQLRITree()
+    few_probes.bulk_load(inner)
+    assert few_probes.cost_model().estimate_join(outer).choice == \
+        "index-nested-loop"
+
+    outer, inner = two_sided(0, outer_n=200, inner_n=2000,
+                             outer_d=2000, inner_d=2000)
+    many_probes = SQLRITree()
+    many_probes.bulk_load(inner)
+    assert many_probes.cost_model().estimate_join(outer).choice == "sweep"
+
+
+def test_from_sql_tree_estimates_track_reality(rng):
+    records = make_intervals(rng, 2000, domain=100_000, mean_length=800)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(records)
+    model = RITreeCostModel.from_sql_tree(sql_tree)
+    assert model.summary.count == len(records)
+    probes = make_intervals(rng, 150, domain=100_000, mean_length=1200)
+    estimate = model.estimate_join(probes)
+    actual = sql_tree.join_count(probes)
+    # Histogram resolution bounds the estimation error; a loose 25%
+    # envelope keeps the test meaningful without pinning the quantiles.
+    assert estimate.result_count == pytest.approx(actual, rel=0.25)
+
+
+def test_from_sql_tree_quantiles_match_python_equidepth(rng):
+    """NTILE boundaries agree with BoundSummary's own quantiles ±1 rank."""
+    records = make_intervals(rng, 1500, domain=50_000, mean_length=500)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(records)
+    model = RITreeCostModel.from_sql_tree(sql_tree)
+    for lower, upper in [(0, 500), (10_000, 12_000), (0, 55_000)]:
+        sql_estimate = model.summary.intersecting(lower, upper)
+        exact = sum(1 for s, e, _ in records if s <= upper and e >= lower)
+        assert sql_estimate == pytest.approx(exact, abs=0.04 * len(records))
+
+
+def test_sql_cost_model_is_cached_and_refreshable():
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load([(i, i + 10, i) for i in range(200)])
+    model = sql_tree.cost_model()
+    assert sql_tree.cost_model() is model
+    assert model.summary.count == 200
+    sql_tree.bulk_load([(5000 + i, 5010 + i, 1000 + i) for i in range(100)])
+    assert sql_tree.cost_model().summary.count == 200  # stale until refresh
+    assert sql_tree.cost_model(refresh=True).summary.count == 300
+
+
+def test_intersection_many_one_fill_cycle(rng):
+    """The batch path answers every query with a single statement pair."""
+    records = make_intervals(rng, 600, domain=40_000, mean_length=500)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(records)
+    queries = []
+    for _ in range(30):
+        lower = rng.randrange(0, 44_000)
+        queries.append((lower, lower + rng.randrange(0, 2500)))
+    statements = []
+    sql_tree.conn.set_trace_callback(statements.append)
+    batched = sql_tree.intersection_many(queries)
+    sql_tree.conn.set_trace_callback(None)
+    selects = [s for s in statements if s.lstrip().startswith("SELECT")]
+    assert len(selects) == 1, selects
+    for (lower, upper), ids in zip(queries, batched):
+        assert sorted(ids) == sorted(sql_tree.intersection(lower, upper))
+
+
+def test_params_written_only_when_changed():
+    """Satellite: per-row inserts persist the dictionary O(changes) times."""
+    sql_tree = SQLRITree()
+    sql_tree.insert(0, 1024, 0)  # fixes offset (one parameter change)
+    statements = []
+    sql_tree.conn.set_trace_callback(statements.append)
+    for i in range(1, 120):
+        sql_tree.insert(0, 1024, i)  # same fork node, parameters stable
+    sql_tree.conn.set_trace_callback(None)
+    param_writes = [s for s in statements if "Intervals_params" in s]
+    assert param_writes == []
+    inserts = [s for s in statements if s.lstrip().startswith("INSERT")]
+    assert len(inserts) == 119
+
+
+def test_params_still_persist_across_reopen_with_dirty_flag(tmp_path):
+    import sqlite3
+
+    path = tmp_path / "dirty.db"
+    conn = sqlite3.connect(path)
+    tree = SQLRITree(conn, name="P")
+    tree.extend([(100, 200, 1), (-50, 20, 2), (5000, 6000, 3)])
+    params = tree.backbone.params()
+    conn.commit()
+    conn.close()
+    reopened = SQLRITree(sqlite3.connect(path), name="P", attach=True)
+    assert reopened.backbone.params() == params
+    assert sorted(reopened.intersection(-100, 10_000)) == [1, 2, 3]
+
+
+def test_empty_tree_queries_issue_no_statements():
+    """Satellite: the empty-backbone fast path skips every round-trip."""
+    sql_tree = SQLRITree()
+    statements = []
+    sql_tree.conn.set_trace_callback(statements.append)
+    assert sql_tree.intersection(0, 1000) == []
+    assert sql_tree.intersection_count(0, 1000) == 0
+    assert sql_tree.intersection_many([(0, 10), (20, 30)]) == [[], []]
+    assert sql_tree.join_count([(0, 10, 1)]) == 0
+    sql_tree.conn.set_trace_callback(None)
+    assert statements == []
+
+
+def test_failed_extend_does_not_poison_param_persistence(tmp_path):
+    """A rolled-back batch must not leave the dirty flag claiming the
+    parameter dictionary is up to date on disk."""
+    import sqlite3
+
+    path = tmp_path / "rollback.db"
+    conn = sqlite3.connect(path)
+    tree = SQLRITree(conn, name="R")
+    conn.commit()
+
+    def exploding():
+        yield (0, 10, 1)
+        yield (100, 2000, 2)  # grows the roots, shrinks minstep
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        tree.extend(exploding())
+    # The transaction rolled back; the next successful insert must
+    # persist the current parameters again (snapshot was invalidated).
+    tree.insert(50, 900, 3)
+    conn.commit()
+    conn.close()
+    reopened = SQLRITree(sqlite3.connect(path), name="R", attach=True)
+    assert sorted(reopened.intersection(0, 10_000)) == [3]
+
+
+def test_stored_records_materialise_temporal_bounds():
+    """Sweep over stored_records must join the same pairs as the
+    reserved-node scans, also for now-relative and infinite rows."""
+    sql_tree = SQLRITree(now=100)
+    sql_tree.insert(0, 30, 3)
+    sql_tree.insert_until_now(5, 1)
+    sql_tree.insert_infinite(50, 2)
+    probes = [(150, 160, 9), (10, 20, 8)]
+    reference = sorted(sql_tree.join_pairs(probes))
+    assert reference == [(8, 1), (8, 3), (9, 2)]
+    assert sorted(SweepJoin().pairs(probes, sql_tree.stored_records())) == \
+        reference
+    records = {i: (s, e) for s, e, i in sql_tree.stored_records()}
+    assert records[1] == (5, 100)  # effective upper = now
+
+    from repro.core import TemporalRITree
+
+    engine_tree = TemporalRITree(now=100)
+    engine_tree.insert(0, 30, 3)
+    engine_tree.insert_until_now(5, 1)
+    engine_tree.insert_infinite(50, 2)
+    assert sorted(engine_tree.stored_records()) == \
+        sorted(sql_tree.stored_records())
+    assert sorted(SweepJoin().pairs(probes, engine_tree.stored_records())) \
+        == reference
+
+
+def test_reserved_fork_rows_still_reach_queries():
+    """The fast path must not skip Section 4.6's reserved rows."""
+    sql_tree = SQLRITree(now=1000)
+    sql_tree.insert_infinite(500, 1)
+    sql_tree.insert_until_now(900, 2)
+    # Backbone is still empty (reserved rows bypass it), but results exist.
+    assert sorted(sql_tree.intersection(950, 960)) == [1, 2]
+    assert sql_tree.intersection_count(950, 960) == 2
+    assert sorted(sql_tree.join_pairs([(950, 960, 77)])) == [(77, 1), (77, 2)]
+
+
+def test_extend_runs_in_one_transaction():
+    sql_tree = SQLRITree()
+    statements = []
+    sql_tree.conn.set_trace_callback(statements.append)
+    sql_tree.extend([(i, i + 5, i) for i in range(50)])
+    sql_tree.conn.set_trace_callback(None)
+    begins = [s for s in statements if s.strip().upper().startswith("BEGIN")]
+    assert len(begins) <= 1
+    assert sql_tree.interval_count == 50
+
+
+def test_harness_join_batch_runs_on_the_sql_backend():
+    """run_join_batch drives any IntervalStore; sqlite rows carry no
+    engine I/O counters but keep the planner decision and pair count."""
+    from repro.bench.harness import run_join_batch
+
+    outer, inner = two_sided(6, outer_n=60, inner_n=400)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(inner)
+    batch = run_join_batch(sql_tree, outer, count_only=True, plan=True)
+    assert batch.method == "SQL-RI-tree"
+    assert batch.probes == len(outer)
+    assert batch.pairs == expected_pair_count(outer, inner)
+    assert batch.physical_io == 0 and batch.logical_io == 0
+    assert batch.decision["choice"] in ("index-nested-loop", "sweep")
+    row = batch.as_row()
+    assert row["planner choice"] == batch.decision["choice"]
+
+
+def test_batch_join_plan_searches_both_indexes(rng):
+    records = make_intervals(rng, 500, domain=30_000, mean_length=400)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(records)
+    plan = "\n".join(sql_tree.explain_join([(100, 2000, 1), (5000, 9000, 2)]))
+    assert "lowerIndex" in plan
+    assert "upperIndex" in plan
