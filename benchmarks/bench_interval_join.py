@@ -202,7 +202,7 @@ def run(scale_name, seed, repeat):
     # estimators may legitimately disagree right at the crossover.
     auto = AutoJoin()
     auto_pairs = auto.count(outer, inner)
-    dispatched = auto.last_decision.choice
+    dispatched = auto.last_dispatch
     dispatched_row = index_row if dispatched == "index-nested-loop" \
         else sweep_row
     report["rows"].append(

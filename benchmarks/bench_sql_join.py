@@ -106,13 +106,16 @@ def run(scale_name, seed):
     started = time.perf_counter()
     auto_pairs = auto.pairs(outer, inner)
     auto_elapsed = time.perf_counter() - started
-    decision_consistent = auto.last_decision.choice == planner.choice
+    # The dispatch must match the planner's published choice AND the
+    # dispatched_to field now reports what actually ran (last_dispatch),
+    # not merely what the planner picked.
+    decision_consistent = auto.last_dispatch == planner.choice
     report["rows"].append(
         {
             "strategy": "auto",
             "pairs": len(auto_pairs),
             "pairs_time_s": auto_elapsed,
-            "dispatched_to": auto.last_decision.choice,
+            "dispatched_to": auto.last_dispatch,
             "predicted": auto.last_decision.as_dict(),
         }
     )

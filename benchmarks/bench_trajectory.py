@@ -2,8 +2,8 @@
 
 The CLI face of :mod:`repro.bench.trajectory`: CI (the
 ``bench-trajectory`` job) runs the scan-throughput, interval-join,
-join-crossover, and sql-join benchmarks at tiny scale, then invokes
-this script to
+join-crossover, sql-join, and predicate-join benchmarks at tiny scale,
+then invokes this script to
 
 * merge their reports into one ``BENCH_PR.json`` artifact
   (rows of ``{bench, scale, metrics, git_sha}``), and

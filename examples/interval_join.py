@@ -56,16 +56,27 @@ def main() -> None:
         f"statement; auto planner chose {auto.last_decision.choice!r}"
     )
 
-    # Allen-relation join predicates ride on the same API.
+    # Allen-relation join predicates ride on the same API -- on every
+    # strategy: the index path probes the predicate's inverse relation
+    # (stored-subject question) and the auto planner prices the
+    # relation's selectivity before dispatching.
     before = interval_join(outer, inner, "sweep", predicate="before")
     during = interval_join(outer, inner, "sweep", predicate="during")
     assert sorted(before) == sorted(
         interval_join(outer, inner, "nested-loop", predicate="before")
     )
+    assert sorted(before) == sorted(
+        interval_join(outer, inner, "index", predicate="before")
+    )
+    auto_pred = AutoJoin(predicate="during")
+    assert sorted(auto_pred.pairs(outer, inner)) == sorted(during)
     print(
         f"predicate joins: {len(before)} 'before' pairs, "
-        f"{len(during)} 'during' pairs"
+        f"{len(during)} 'during' pairs (auto dispatched 'during' to "
+        f"{auto_pred.last_dispatch!r})"
     )
+    assert sorted(sql_tree.join_pairs(outer, predicate="during")) == \
+        sorted(during)
 
     # The index join's I/O is accounted like any Figure 13 query batch.
     tree = RITree()

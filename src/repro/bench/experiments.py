@@ -55,6 +55,10 @@ SCALES: dict[str, dict] = {
         crossover_outer_ns=[5, 20, 80, 320],
         crossover_inner_ns=[2000],
         crossover_inner_ds=[500, 2000],
+        predicate_outer_n=120, predicate_inner_n=1200,
+        predicate_grid_outer_ns=[5, 80],
+        predicate_grid_inner_n=8000,
+        predicate_grid_relations=["before", "during", "met_by"],
     ),
     "small": dict(
         fig12_sizes=[1000, 5000, 20_000, 50_000],
@@ -78,6 +82,11 @@ SCALES: dict[str, dict] = {
         crossover_outer_ns=[5, 10, 20, 40, 80, 160, 320, 640],
         crossover_inner_ns=[4000, 8000],
         crossover_inner_ds=[1000, 2000],
+        predicate_outer_n=400, predicate_inner_n=4000,
+        predicate_grid_outer_ns=[5, 20, 80, 320],
+        predicate_grid_inner_n=8000,
+        predicate_grid_relations=["before", "during", "met_by",
+                                  "overlaps"],
     ),
     "full": dict(
         fig12_sizes=[1000, 10_000, 100_000, 300_000, 1_000_000],
@@ -101,6 +110,11 @@ SCALES: dict[str, dict] = {
         crossover_outer_ns=[5, 10, 20, 40, 80, 160, 320, 640, 1280],
         crossover_inner_ns=[8000, 15_000, 30_000],
         crossover_inner_ds=[500, 2000, 4000],
+        predicate_outer_n=800, predicate_inner_n=8000,
+        predicate_grid_outer_ns=[5, 20, 80, 320, 1280],
+        predicate_grid_inner_n=15_000,
+        predicate_grid_relations=["before", "during", "met_by",
+                                  "overlaps", "equals"],
     ),
 }
 

@@ -122,6 +122,13 @@ class JoinBatchResult:
     #: The planner's prediction (``JoinEstimate.as_dict()``) when the run
     #: was planned (``run_join_batch(..., plan=True)``); ``None`` otherwise.
     decision: Optional[dict] = None
+    #: The evaluation the harness actually drove.  ``run_join_batch``
+    #: always probes the store's own join path (index-nested-loop),
+    #: whatever the planner's ``choice`` says -- surfacing both keeps
+    #: plan rows honest about which join was measured.
+    dispatch: str = "index-nested-loop"
+    #: Join predicate name the batch ran under (None = overlap join).
+    predicate: Optional[str] = None
 
     @property
     def io_per_pair(self) -> float:
@@ -139,11 +146,14 @@ class JoinBatchResult:
             "time [ms]": round(self.response_time * 1000, 3),
             "I/O per pair": round(self.io_per_pair, 4),
         }
+        if self.predicate is not None:
+            row["predicate"] = self.predicate
         if self.decision is not None:
             chosen = self.decision[
                 "index" if self.decision["choice"] == "index-nested-loop"
                 else "sweep"]
             row["planner choice"] = self.decision["choice"]
+            row["dispatched"] = self.dispatch
             row["predicted pairs"] = self.decision["result_count"]
             row["predicted physical I/O"] = chosen["physical_reads"]
         return row
@@ -153,7 +163,8 @@ def run_join_batch(method: IntervalStore,
                    probes: Sequence[IntervalRecord],
                    cold_start: bool = True,
                    count_only: bool = True,
-                   plan: bool = False) -> JoinBatchResult:
+                   plan: bool = False,
+                   predicate=None) -> JoinBatchResult:
     """Join ``probes`` against ``method``'s stored intervals, measured.
 
     The index join as the harness sees it: the store holds the inner
@@ -161,6 +172,8 @@ def run_join_batch(method: IntervalStore,
     :meth:`~repro.core.access.IntervalStore.join_count` /
     :meth:`~repro.core.access.IntervalStore.join_pairs` (``count_only``
     selects between them; the default materialises no pair list).
+    ``predicate`` runs the batch as an Allen-relation predicate join
+    through the same entry points.
 
     ``method`` is any :class:`~repro.core.access.IntervalStore`.  For
     engine-backed methods the batch's I/O is observed through
@@ -176,11 +189,14 @@ def run_join_batch(method: IntervalStore,
     measured cost side by side.  Planning happens outside the measured
     window: the ANALYZE scan is statistics maintenance, not query work.
     """
+    from ..core.predicates import resolve_join_predicate
+
+    pred = resolve_join_predicate(predicate)
     decision = None
     if plan:
         model = method.cost_model()
         if model is not None:
-            decision = model.estimate_join(probes).as_dict()
+            decision = model.estimate_join(probes, predicate=pred).as_dict()
     db = getattr(method, "db", None)
     if cold_start and db is not None:
         db.clear_cache()
@@ -188,8 +204,8 @@ def run_join_batch(method: IntervalStore,
 
     def evaluate() -> int:
         if count_only:
-            return method.join_count(probes)
-        return len(method.join_pairs(probes))
+            return method.join_count(probes, predicate=pred)
+        return len(method.join_pairs(probes, predicate=pred))
 
     if db is not None:
         with db.measure() as delta:
@@ -207,6 +223,7 @@ def run_join_batch(method: IntervalStore,
         logical_io=logical,
         response_time=elapsed,
         decision=decision,
+        predicate=None if pred is None else pred.name,
     )
 
 

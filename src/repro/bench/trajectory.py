@@ -77,6 +77,20 @@ def _sql_join_metrics(report: dict) -> dict:
     }
 
 
+def _predicate_join_metrics(report: dict) -> dict:
+    summary = report["summary"]
+    return {
+        "predicates": summary["predicates"],
+        "pairs_total": summary["pairs_total"],
+        "grid_points": summary["grid_points"],
+        "correct_choices": summary["correct_choices"],
+        "auto_accuracy": round(summary["auto_accuracy"], 3),
+        "index_physical_reads": summary["index_physical_reads"],
+        "sweep_physical_reads": summary["sweep_physical_reads"],
+        "sql_one_statement": int(summary["sql_one_statement"]),
+    }
+
+
 def _join_crossover_metrics(report: dict) -> dict:
     summary = report["summary"]
     measured_index = sum(
@@ -99,6 +113,7 @@ BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "interval-join": _interval_join_metrics,
     "join-crossover": _join_crossover_metrics,
     "sql-join": _sql_join_metrics,
+    "predicate-join": _predicate_join_metrics,
 }
 
 

@@ -25,6 +25,7 @@ from abc import ABC, abstractmethod
 from typing import Iterable, Optional, Sequence
 
 from ..engine.database import Database
+from .interval import validate_interval
 
 #: An interval record handed to interval stores: (lower, upper, id).
 IntervalRecord = tuple[int, int, int]
@@ -92,8 +93,9 @@ class IntervalStore(ABC):
         """
         return len(self.intersection(lower, upper))
 
-    def intersection_many(self, queries: Sequence[tuple[int, int]]
-                          ) -> list[list[int]]:
+    def intersection_many(
+        self, queries: Sequence[tuple[int, int]]
+    ) -> list[list[int]]:
         """Answer a batch of intersection queries in one call.
 
         A per-query loop over :meth:`intersection`; exists so batch
@@ -107,8 +109,9 @@ class IntervalStore(ABC):
         """Stabbing query: intervals containing ``point``."""
         return self.intersection(point, point)
 
-    def query(self, predicate, lower: int,
-              upper: Optional[int] = None) -> list[int]:
+    def query(
+        self, predicate, lower: int, upper: Optional[int] = None
+    ) -> list[int]:
         """Ids of stored intervals standing in ``predicate`` to the query.
 
         ``predicate`` is a name or :class:`~repro.core.predicates.
@@ -175,35 +178,79 @@ class IntervalStore(ABC):
     # ------------------------------------------------------------------
     # joins (probe side of the index-nested-loop interval join)
     # ------------------------------------------------------------------
-    def join_pairs(self, probes: Sequence[IntervalRecord]
-                   ) -> list[tuple[int, int]]:
-        """``(probe_id, stored_id)`` pairs of overlapping intervals.
+    def join_pairs(
+        self, probes: Sequence[IntervalRecord], predicate=None
+    ) -> list[tuple[int, int]]:
+        """``(probe_id, stored_id)`` pairs standing in the join predicate.
 
-        The index-nested-loop interval join: one intersection probe per
-        outer record against this store's (inner) relation.  The
-        default loops :meth:`intersection`; backends with a batched
-        pipeline override it -- the RI-tree emits pairs straight from
-        leaf slices, the sqlite backend evaluates the whole probe
+        The index-nested-loop interval join: one probe per outer record
+        against this store's (inner) relation, with the *probe* as the
+        predicate subject (``predicate="before"`` pairs probes with the
+        stored intervals they lie before; the default is the overlap
+        join).  The default loops :meth:`intersection`; backends with a
+        batched pipeline override it -- the RI-tree emits pairs straight
+        from leaf slices, the sqlite backend evaluates the whole probe
         relation in one set-at-a-time SQL statement.  Pairs are
         duplicate-free because each probe's result is.
+
+        Predicate probes ask the *stored-subject* question, so the loop
+        runs :meth:`query` with the predicate's :attr:`~repro.core.
+        predicates.IntervalPredicate.inverse`; stores that can enumerate
+        their records refine with the direct formula instead, which also
+        pins the boundary conventions of degenerate (point) intervals to
+        the nested-loop oracle's.
         """
+        from .predicates import resolve_join_predicate
+
+        pred = resolve_join_predicate(predicate)
         pairs: list[tuple[int, int]] = []
+        if pred is None:
+            for lower, upper, probe_id in probes:
+                pairs.extend(
+                    (probe_id, interval_id)
+                    for interval_id in self.intersection(lower, upper)
+                )
+            return pairs
+        records = self.stored_records()
+        if records is not None:
+            holds = pred.holds
+            for lower, upper, probe_id in probes:
+                validate_interval(lower, upper)
+                pairs.extend(
+                    (probe_id, interval_id)
+                    for s, e, interval_id in records
+                    if holds(lower, upper, s, e)
+                )
+            return pairs
+        inverse = pred.inverse
         for lower, upper, probe_id in probes:
-            pairs.extend((probe_id, interval_id)
-                         for interval_id in self.intersection(lower, upper))
+            pairs.extend(
+                (probe_id, interval_id)
+                for interval_id in self.query(inverse, lower, upper)
+            )
         return pairs
 
-    def join_count(self, probes: Sequence[IntervalRecord]) -> int:
+    def join_count(
+        self, probes: Sequence[IntervalRecord], predicate=None
+    ) -> int:
         """Size of :meth:`join_pairs` without materialising the pair list.
 
-        Runs the same per-probe evaluation through
-        :meth:`intersection_count`, so the I/O trace is identical to
-        :meth:`join_pairs` while batched backends skip building id
-        lists -- the join analogue of the harness's count-only query
-        path.
+        The default (intersection) join runs the same per-probe
+        evaluation through :meth:`intersection_count`, so the I/O trace
+        is identical to :meth:`join_pairs` while batched backends skip
+        building id lists -- the join analogue of the harness's
+        count-only query path.  Predicate joins count through the same
+        evaluation as :meth:`join_pairs`.
         """
-        return sum(self.intersection_count(lower, upper)
-                   for lower, upper, _probe_id in probes)
+        from .predicates import resolve_join_predicate
+
+        pred = resolve_join_predicate(predicate)
+        if pred is not None:
+            return len(self.join_pairs(probes, pred))
+        return sum(
+            self.intersection_count(lower, upper)
+            for lower, upper, _probe_id in probes
+        )
 
     # ------------------------------------------------------------------
     # accounting (Figure 12's storage metric and general bookkeeping)

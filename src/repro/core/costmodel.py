@@ -61,6 +61,7 @@ from ..engine.storage import DEFAULT_BLOCK_SIZE
 from .access import IntervalRecord
 from .backbone import VirtualBackbone
 from .interval import validate_interval
+from .predicates import get_predicate, resolve_join_predicate
 from .ritree import RITree
 from .transient import collect_query_nodes
 
@@ -98,9 +99,23 @@ INDEX_FRAMES_PER_PROBE = 8.0
 INDEX_FRAMES_PER_SCAN = 4.8
 INDEX_FRAMES_PER_LEAF = 40.0
 
+#: Python frames per fetched candidate record in a predicate join's
+#: leaf-slice refinement: one ``holds`` activation per record (the
+#: listcomp itself runs at C speed).
+INDEX_FRAMES_PER_CANDIDATE = 1.2
 
-def heap_scan_blocks(rows: int, columns: int,
-                     block_size: int = DEFAULT_BLOCK_SIZE) -> int:
+#: Fraction of predicate-join candidate scans landing on a new leaf
+#: block.  Candidate ranges are stabs/prefixes at *per-probe* positions
+#: scattered across the data space, so consecutive scans cluster far
+#: less than one intersection probe's node ranges do
+#: (:data:`SCAN_LEAF_DISTINCT`); calibrated against the measured
+#: predicate-join grid of ``benchmarks/bench_predicate_join.py``.
+PREDICATE_SCAN_LEAF_DISTINCT = 0.4
+
+
+def heap_scan_blocks(
+    rows: int, columns: int, block_size: int = DEFAULT_BLOCK_SIZE
+) -> int:
     """Blocks of a heap file holding ``rows`` fixed-width integer rows.
 
     Mirrors :class:`repro.engine.heap.HeapFile`'s layout: one live flag
@@ -114,8 +129,9 @@ def heap_scan_blocks(rows: int, columns: int,
     return -(-rows // per_page)
 
 
-def index_geometry(entries: int, key_columns: int,
-                   block_size: int = DEFAULT_BLOCK_SIZE) -> tuple[int, int]:
+def index_geometry(
+    entries: int, key_columns: int, block_size: int = DEFAULT_BLOCK_SIZE
+) -> tuple[int, int]:
     """``(height, leaf_capacity)`` of a B+-tree index without building it.
 
     Mirrors :class:`repro.engine.bptree.BPlusTree`'s page layout (key
@@ -135,8 +151,9 @@ def index_geometry(entries: int, key_columns: int,
     return height, leaf_capacity
 
 
-def index_internal_blocks(entries: int, leaf_capacity: int,
-                          internal_capacity: int) -> int:
+def index_internal_blocks(
+    entries: int, leaf_capacity: int, internal_capacity: int
+) -> int:
     """Non-leaf block count of one B+-tree with ``entries`` entries."""
     pages = -(-max(entries, 1) // max(1, leaf_capacity))
     internal = 0
@@ -157,9 +174,12 @@ class BoundSummary:
 
     __slots__ = ("count", "buckets", "lower_bounds", "upper_bounds")
 
-    def __init__(self, sorted_lowers: Sequence[int],
-                 sorted_uppers: Sequence[int],
-                 buckets: int = DEFAULT_BUCKETS) -> None:
+    def __init__(
+        self,
+        sorted_lowers: Sequence[int],
+        sorted_uppers: Sequence[int],
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
         if buckets < 2:
             raise ValueError(f"need at least 2 buckets, got {buckets}")
         if len(sorted_lowers) != len(sorted_uppers):
@@ -170,17 +190,23 @@ class BoundSummary:
         self.upper_bounds = self._equi_depth(sorted_uppers)
 
     @classmethod
-    def from_records(cls, records: Sequence[IntervalRecord],
-                     buckets: int = DEFAULT_BUCKETS) -> "BoundSummary":
+    def from_records(
+        cls, records: Sequence[IntervalRecord],
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> "BoundSummary":
         """Summarise ``(lower, upper, id)`` records (one sorting pass)."""
         lowers = sorted(r[0] for r in records)
         uppers = sorted(r[1] for r in records)
         return cls(lowers, uppers, buckets)
 
     @classmethod
-    def from_boundaries(cls, count: int, lower_bounds: Sequence[int],
-                        upper_bounds: Sequence[int],
-                        buckets: int = DEFAULT_BUCKETS) -> "BoundSummary":
+    def from_boundaries(
+        cls,
+        count: int,
+        lower_bounds: Sequence[int],
+        upper_bounds: Sequence[int],
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> "BoundSummary":
         """Build a summary from precomputed quantile boundaries.
 
         For statistics sources that compute the equi-depth boundaries
@@ -245,8 +271,79 @@ class BoundSummary:
         upper_lt_l = self.count * self.cdf_upper(lower - 1)
         return max(0.0, self.count - lower_gt_u - upper_lt_l)
 
-    def _mean(self, boundaries: list[int],
-              func: Callable[[int], float]) -> float:
+    def point_lower(self, value: int) -> float:
+        """Estimated mass of ``lower == value`` (one quantile-width step)."""
+        return max(0.0, self.cdf_lower(value) - self.cdf_lower(value - 1))
+
+    def point_upper(self, value: int) -> float:
+        """Estimated mass of ``upper == value`` (one quantile-width step)."""
+        return max(0.0, self.cdf_upper(value) - self.cdf_upper(value - 1))
+
+    def relation_count(self, relation: str, lower: int, upper: int) -> float:
+        """Expected intervals standing in ``relation`` to ``[lower, upper]``.
+
+        Per-relation selectivity from the two bound marginals alone:
+
+        * ``before``/``after`` are CDF prefix masses (``#{upper < l}`` /
+          ``#{lower > u}``) -- exact up to histogram resolution;
+        * the equality-pinning relations (``meets``, ``starts``,
+          ``equals``, ...) get quantile-width point masses of the pinned
+          bound.  Their strict side conditions are dropped: on proper
+          intervals they are implied at the pinned bound, and the
+          planner needs order-of-magnitude fidelity, not unbiasedness;
+        * the containment/overlap relations multiply the two marginal
+          masses (an independence approximation) clamped by their
+          candidate-range intersection count, which is an upper bound
+          by construction.
+        """
+        n = self.count
+        if n == 0:
+            return 0.0
+        if relation == "intersects":
+            return self.intersecting(lower, upper)
+        if relation == "stab":
+            return self.intersecting(lower, lower)
+        if relation == "before":
+            return n * self.cdf_upper(lower - 1)
+        if relation == "after":
+            return n * (1.0 - self.cdf_lower(upper))
+        if relation == "meets":
+            return n * self.point_upper(lower)
+        if relation == "met_by":
+            return n * self.point_lower(upper)
+        if relation in ("starts", "started_by"):
+            return n * self.point_lower(lower)
+        if relation in ("finishes", "finished_by"):
+            return n * self.point_upper(upper)
+        if relation == "equals":
+            return n * min(self.point_lower(lower), self.point_upper(upper))
+        if relation == "during":
+            mass = (1.0 - self.cdf_lower(lower)) * self.cdf_upper(upper - 1)
+            return min(n * mass, self.intersecting(lower, upper))
+        if relation == "contains":
+            mass = self.cdf_lower(lower - 1) * (1.0 - self.cdf_upper(upper))
+            return min(n * mass, self.intersecting(lower, lower))
+        if relation == "overlaps":
+            ends_inside = max(
+                0.0, self.cdf_upper(upper - 1) - self.cdf_upper(lower))
+            mass = self.cdf_lower(lower - 1) * ends_inside
+            return min(n * mass, self.intersecting(lower, lower))
+        if relation == "overlapped_by":
+            starts_inside = max(
+                0.0, self.cdf_lower(upper - 1) - self.cdf_lower(lower))
+            mass = starts_inside * (1.0 - self.cdf_upper(upper))
+            return min(n * mass, self.intersecting(upper, upper))
+        raise ValueError(f"unknown relation {relation!r}")
+
+    def extent(self) -> tuple[Optional[int], Optional[int]]:
+        """``(floor, ceiling)``: smallest lower / largest upper boundary."""
+        floor = self.lower_bounds[0] if self.lower_bounds else None
+        ceiling = self.upper_bounds[-1] if self.upper_bounds else None
+        return floor, ceiling
+
+    def _mean(
+        self, boundaries: list[int], func: Callable[[int], float]
+    ) -> float:
         """Bucket-weighted mean of ``func`` over one bound distribution.
 
         Equi-depth boundaries carry equal probability mass per bucket, so
@@ -288,6 +385,64 @@ def expected_join_pairs(outer: BoundSummary, inner: BoundSummary) -> float:
     started = outer.mean_over_uppers(inner.cdf_lower)
     ended = outer.mean_over_lowers(lambda l: inner.cdf_upper(l - 1))
     return max(0.0, outer.count * inner.count * (started - ended))
+
+
+def expected_predicate_pairs(
+    outer: Sequence[IntervalRecord],
+    inner: BoundSummary,
+    pred,
+    sample: int = TRANSIENT_SAMPLE,
+) -> float:
+    """Expected predicate-join pair count from the inner marginals.
+
+    Samples the outer side and averages the inner side's per-relation
+    selectivity of the predicate's *inverse* (the stored record is the
+    subject of each probe's question): before/after reduce to CDF prefix
+    masses, the equality-pinning relations to quantile-width masses --
+    exactly :meth:`BoundSummary.relation_count` per sampled probe.
+    """
+    if not outer or inner.count == 0:
+        return 0.0
+    inverse = pred.inverse.name
+    step = max(1, len(outer) // sample)
+    chosen = outer[::step]
+    total = sum(inner.relation_count(inverse, lower, upper)
+                for lower, upper, _ in chosen)
+    return total / len(chosen) * len(outer)
+
+
+def predicate_probe_statistics(
+    outer: Sequence[IntervalRecord],
+    inner: BoundSummary,
+    backbone: VirtualBackbone,
+    inverse,
+    sample: int = TRANSIENT_SAMPLE,
+) -> tuple[float, float]:
+    """``(avg transient entries, total candidate rows)`` of predicate probes.
+
+    The index path of a predicate join scans the *inverse* relation's
+    candidate range per probe; this prices those scans by sampling the
+    probes: the backbone is walked (pure arithmetic) over each sampled
+    candidate range, and the candidate row count comes from the inner
+    side's intersection identity over the same range.
+    """
+    if not outer or inner.count == 0:
+        return 0.0, 0.0
+    floor, ceiling = inner.extent()
+    step = max(1, len(outer) // sample)
+    chosen = outer[::step]
+    transient = 0.0
+    rows = 0.0
+    for lower, upper, _ in chosen:
+        candidate = inverse.candidates(lower, upper, floor, ceiling)
+        if candidate is None:
+            continue
+        rows += inner.intersecting(candidate[0], candidate[1])
+        if not backbone.is_empty:
+            transient += collect_query_nodes(
+                backbone, candidate[0], candidate[1]).total_entries
+    scale = len(outer) / len(chosen)
+    return transient / len(chosen), rows * scale
 
 
 @dataclass
@@ -356,8 +511,9 @@ class JoinEstimate:
     @property
     def chosen(self) -> JoinStrategyCost:
         """The cost row of the predicted-cheaper strategy."""
-        return self.index if self.choice == self.index.strategy \
-            else self.sweep
+        if self.choice == self.index.strategy:
+            return self.index
+        return self.sweep
 
     def as_dict(self) -> dict:
         """Nested dict for benchmark reports and harness rows."""
@@ -371,10 +527,17 @@ class JoinEstimate:
         }
 
 
-def _index_join_cost(probes: int, avg_transient: float, pairs: float,
-                     height: int, leaf_capacity: int, leaf_blocks: float,
-                     internal_blocks: float, cache_blocks: int,
-                     cache_residency: float) -> JoinStrategyCost:
+def _index_join_cost(
+    probes: int,
+    avg_transient: float,
+    pairs: float,
+    height: int,
+    leaf_capacity: int,
+    leaf_blocks: float,
+    internal_blocks: float,
+    cache_blocks: int,
+    cache_residency: float,
+) -> JoinStrategyCost:
     """Price the index-nested-loop join against an RI-tree.
 
     Logical reads follow Section 4.4 per probe; physical reads split the
@@ -391,22 +554,12 @@ def _index_join_cost(probes: int, avg_transient: float, pairs: float,
     logical = scans * descent + result_leaves
     cold_fraction = 1.0 - cache_residency
     internal = min(scans * (descent - 1) * cold_fraction, internal_blocks)
-    # Yao's function: expected distinct blocks touched by k clustered
-    # accesses over B leaf blocks -- the cold-phase physical reads.
-    blocks = max(1.0, leaf_blocks)
-    k = scans * SCAN_LEAF_DISTINCT + result_leaves
-    distinct = blocks * (1.0 - (1.0 - 1.0 / blocks) ** k)
-    leaf_touches = scans + result_leaves
-    if leaf_blocks <= cache_blocks:
-        # The touched leaves all fit: each is read from disk at most once.
-        leaf_misses = min(leaf_touches, distinct)
-    else:
-        # Steady state beyond the cold phase: every further leaf touch
-        # misses with the LRU residency gap, damped by probe locality.
-        miss_rate = (leaf_blocks - cache_blocks) / leaf_blocks
-        steady = max(0.0, leaf_touches - distinct) * miss_rate \
-            * LEAF_MISS_LOCALITY
-        leaf_misses = min(leaf_touches, distinct + steady)
+    leaf_misses = _lru_block_misses(
+        touches=scans + result_leaves,
+        yao_accesses=scans * SCAN_LEAF_DISTINCT + result_leaves,
+        blocks=leaf_blocks,
+        cache_blocks=cache_blocks,
+    )
     frames = (probes * INDEX_FRAMES_PER_PROBE
               + scans * INDEX_FRAMES_PER_SCAN
               + result_leaves * INDEX_FRAMES_PER_LEAF)
@@ -418,8 +571,84 @@ def _index_join_cost(probes: int, avg_transient: float, pairs: float,
     )
 
 
-def _sweep_join_cost(outer_n: int, inner_n: int, pairs: float,
-                     block_size: int) -> JoinStrategyCost:
+def _lru_block_misses(
+    touches: float, yao_accesses: float, blocks: float, cache_blocks: int
+) -> float:
+    """Two-regime LRU miss estimate over one block set.
+
+    The physical model of :func:`_index_join_cost`, factored for reuse
+    by the predicate join's heap accesses: a Yao distinct-block estimate
+    for the cold phase (``yao_accesses`` clustered accesses over
+    ``blocks``), then -- only when the set outgrows the cache -- a
+    locality-damped steady-state miss rate on the remaining touches.
+    """
+    blocks = max(1.0, blocks)
+    distinct = blocks * (1.0 - (1.0 - 1.0 / blocks) ** max(yao_accesses, 0.0))
+    if blocks <= cache_blocks:
+        return min(touches, distinct)
+    miss_rate = (blocks - cache_blocks) / blocks
+    steady = max(0.0, touches - distinct) * miss_rate * LEAF_MISS_LOCALITY
+    return min(touches, distinct + steady)
+
+
+def _index_predicate_join_cost(
+    probes: int,
+    avg_transient: float,
+    candidate_rows: float,
+    height: int,
+    leaf_capacity: int,
+    leaf_blocks: float,
+    internal_blocks: float,
+    cache_blocks: int,
+    cache_residency: float,
+    table_blocks: int,
+) -> JoinStrategyCost:
+    """Price the index path of a predicate join against an RI-tree.
+
+    The same descent/leaf model as :func:`_index_join_cost`, applied to
+    the *inverse* relation's candidate ranges, plus the refinement's
+    table access by rowid: the candidate rows of one probe are few and
+    scattered (sparse candidate sets pay roughly one heap page per row)
+    or span whole ranges (dense sets saturate the heap) -- a Yao
+    distinct-block estimate over the base relation covers both regimes.
+    """
+    descent = max(1, height)
+    per_leaf = max(1, leaf_capacity)
+    scans = probes * avg_transient
+    candidate_leaves = candidate_rows / per_leaf
+    blocks_t = float(max(table_blocks, 1))
+    heap_touches = blocks_t * (
+        1.0 - (1.0 - 1.0 / blocks_t) ** max(candidate_rows, 0.0))
+    logical = scans * descent + candidate_leaves + heap_touches
+    cold_fraction = 1.0 - cache_residency
+    internal = min(scans * (descent - 1) * cold_fraction, internal_blocks)
+    leaf_misses = _lru_block_misses(
+        touches=scans + candidate_leaves,
+        yao_accesses=scans * PREDICATE_SCAN_LEAF_DISTINCT + candidate_leaves,
+        blocks=leaf_blocks,
+        cache_blocks=cache_blocks,
+    )
+    heap_misses = _lru_block_misses(
+        touches=heap_touches,
+        yao_accesses=heap_touches,
+        blocks=blocks_t,
+        cache_blocks=cache_blocks,
+    )
+    frames = (probes * INDEX_FRAMES_PER_PROBE
+              + scans * INDEX_FRAMES_PER_SCAN
+              + candidate_leaves * INDEX_FRAMES_PER_LEAF
+              + candidate_rows * INDEX_FRAMES_PER_CANDIDATE)
+    return JoinStrategyCost(
+        strategy="index-nested-loop",
+        logical_reads=logical,
+        physical_reads=internal + leaf_misses + heap_misses,
+        frame_cost=frames,
+    )
+
+
+def _sweep_join_cost(
+    outer_n: int, inner_n: int, pairs: float, block_size: int
+) -> JoinStrategyCost:
     """Price the plane sweep: two sequential input scans plus merge work.
 
     The sweep is index-free; its engine I/O is exactly one heap scan per
@@ -439,9 +668,11 @@ def _sweep_join_cost(outer_n: int, inner_n: int, pairs: float,
     )
 
 
-def average_transient_entries(backbone: VirtualBackbone,
-                              probes: Sequence[IntervalRecord],
-                              sample: int = TRANSIENT_SAMPLE) -> float:
+def average_transient_entries(
+    backbone: VirtualBackbone,
+    probes: Sequence[IntervalRecord],
+    sample: int = TRANSIENT_SAMPLE,
+) -> float:
     """Mean transient-entry count of a probe workload, by sampling.
 
     Walks the virtual backbone (pure arithmetic, Section 4.2: "causing no
@@ -581,8 +812,9 @@ class _SQLStoreStatistics:
             buckets,
         )
 
-    def _quantiles(self, conn, name: str, column: str,
-                   buckets: int) -> list[int]:
+    def _quantiles(
+        self, conn, name: str, column: str, buckets: int
+    ) -> list[int]:
         """Equi-depth boundaries q_0..q_B of one bound column, in SQL."""
         floor = conn.execute(
             f'SELECT MIN("{column}") FROM {name} WHERE {self._where}'
@@ -619,8 +851,10 @@ class _SQLStoreStatistics:
         if pages.get(name):
             table_blocks = pages[name]
         cache = conn.execute("PRAGMA cache_size").fetchone()[0]
-        cache_blocks = cache if cache >= 0 \
-            else max(1, (-cache * 1024) // page_size)
+        if cache >= 0:
+            cache_blocks = cache
+        else:
+            cache_blocks = max(1, (-cache * 1024) // page_size)
         return StoreGeometry(
             height=height,
             leaf_capacity=leaf_capacity,
@@ -652,11 +886,14 @@ class RITreeCostModel:
         planner's choice, since a served tree always has them in place.
     """
 
-    def __init__(self, tree: Optional[RITree] = None,
-                 buckets: int = DEFAULT_BUCKETS,
-                 cache_residency: float = 0.9,
-                 source: str = "table",
-                 statistics=None) -> None:
+    def __init__(
+        self,
+        tree: Optional[RITree] = None,
+        buckets: int = DEFAULT_BUCKETS,
+        cache_residency: float = 0.9,
+        source: str = "table",
+        statistics=None,
+    ) -> None:
         if statistics is None:
             if tree is None:
                 raise ValueError("need a tree or an explicit statistics "
@@ -671,8 +908,10 @@ class RITreeCostModel:
         self.stats = statistics
         self.tree = getattr(statistics, "tree", None)
         #: The modelled store, whichever backend it lives on.
-        self.store = self.tree if self.tree is not None \
-            else getattr(statistics, "store", None)
+        if self.tree is not None:
+            self.store = self.tree
+        else:
+            self.store = getattr(statistics, "store", None)
         self.buckets = buckets
         self.cache_residency = cache_residency
         self.source = source
@@ -680,8 +919,10 @@ class RITreeCostModel:
         self.refresh()
 
     @classmethod
-    def from_sql_tree(cls, store, buckets: int = DEFAULT_BUCKETS,
-                      cache_residency: float = 0.9) -> "RITreeCostModel":
+    def from_sql_tree(
+        cls, store, buckets: int = DEFAULT_BUCKETS,
+        cache_residency: float = 0.9,
+    ) -> "RITreeCostModel":
         """Model a :class:`~repro.sql.SQLRITree` -- the planner port.
 
         The cost model is engine-generic in its inputs; this constructor
@@ -756,32 +997,115 @@ class RITreeCostModel:
             physical_reads=physical,
         )
 
+    def estimate_query(
+        self, predicate, lower: int, upper: Optional[int] = None
+    ) -> QueryEstimate:
+        """Plan estimate for one *predicate* query (Section 4.5 pricing).
+
+        ``intersects`` reduces exactly to :meth:`estimate`; ``stab`` is
+        the degenerate point query.  The relational predicates are
+        priced over their *candidate* intersection range -- that is what
+        the compiled plan scans, plus the table access by rowid for the
+        refinement -- while ``result_count``/``selectivity`` report the
+        per-relation selectivity from the bound marginals
+        (:meth:`BoundSummary.relation_count`).
+        """
+        pred = get_predicate(predicate)
+        if upper is None:
+            upper = lower
+        validate_interval(lower, upper)
+        if pred.name == "intersects":
+            return self.estimate(lower, upper)
+        if pred.name == "stab":
+            return self.estimate(lower, lower)
+        result_count = self.summary.relation_count(pred.name, lower, upper)
+        count = self.summary.count
+        floor, ceiling = self.summary.extent()
+        candidate = pred.candidates(lower, upper, floor, ceiling)
+        if candidate is None or count == 0:
+            return QueryEstimate(
+                result_count=0.0, selectivity=0.0, transient_entries=0,
+                index_probes=0, logical_reads=0.0, physical_reads=0.0,
+            )
+        candidate_rows = self.summary.intersecting(candidate[0], candidate[1])
+        backbone = self.stats.backbone
+        if backbone.is_empty:
+            transient = 0
+        else:
+            transient = collect_query_nodes(
+                backbone, candidate[0], candidate[1]).total_entries
+        geometry = self.stats.geometry(count)
+        descent = max(1, geometry.height)
+        per_leaf = max(1, geometry.leaf_capacity)
+        rows_per_block = max(1.0, count / max(geometry.table_blocks, 1))
+        heap_touches = candidate_rows / rows_per_block
+        logical = (transient * descent + candidate_rows / per_leaf
+                   + heap_touches)
+        cold_fraction = 1.0 - self.cache_residency
+        physical = (transient * (1 + (descent - 1) * cold_fraction)
+                    + candidate_rows / per_leaf + heap_touches)
+        return QueryEstimate(
+            result_count=result_count,
+            selectivity=result_count / count,
+            transient_entries=transient,
+            index_probes=transient,
+            logical_reads=logical,
+            physical_reads=physical,
+        )
+
     # ------------------------------------------------------------------
     # join estimation (the planner path)
     # ------------------------------------------------------------------
-    def estimate_join(self, outer: Sequence[IntervalRecord]) -> JoinEstimate:
+    def estimate_join(
+        self, outer: Sequence[IntervalRecord], predicate=None
+    ) -> JoinEstimate:
         """Predict the join of ``outer`` probes against the modelled tree.
 
         The tree's stored relation is the inner side; its histograms (and
         virtual backbone) are already in place, so only the outer side is
         summarised here.  Returns a :class:`JoinEstimate` whose
         :attr:`~JoinEstimate.choice` names the predicted-cheaper strategy.
+
+        A join ``predicate`` prices the predicate join instead: the pair
+        count comes from the per-relation marginals
+        (:func:`expected_predicate_pairs`) and the index strategy is
+        priced over the inverse relation's candidate ranges plus the
+        refinement's table accesses (:func:`predicate_probe_statistics`).
         """
-        outer_summary = BoundSummary.from_records(outer, self.buckets)
-        pairs = expected_join_pairs(outer_summary, self.summary)
-        avg_transient = average_transient_entries(self.stats.backbone, outer)
+        pred = resolve_join_predicate(predicate)
         geometry = self.stats.geometry(self.summary.count)
-        index_cost = _index_join_cost(
-            probes=len(outer),
-            avg_transient=avg_transient,
-            pairs=pairs,
-            height=geometry.height,
-            leaf_capacity=geometry.leaf_capacity,
-            leaf_blocks=geometry.leaf_blocks,
-            internal_blocks=geometry.internal_blocks,
-            cache_blocks=geometry.cache_blocks,
-            cache_residency=self.cache_residency,
-        )
+        if pred is None:
+            outer_summary = BoundSummary.from_records(outer, self.buckets)
+            pairs = expected_join_pairs(outer_summary, self.summary)
+            avg_transient = average_transient_entries(
+                self.stats.backbone, outer)
+            index_cost = _index_join_cost(
+                probes=len(outer),
+                avg_transient=avg_transient,
+                pairs=pairs,
+                height=geometry.height,
+                leaf_capacity=geometry.leaf_capacity,
+                leaf_blocks=geometry.leaf_blocks,
+                internal_blocks=geometry.internal_blocks,
+                cache_blocks=geometry.cache_blocks,
+                cache_residency=self.cache_residency,
+            )
+        else:
+            pairs = expected_predicate_pairs(outer, self.summary, pred)
+            avg_transient, candidate_rows = predicate_probe_statistics(
+                outer, self.summary, self.stats.backbone, pred.inverse)
+            index_cost = _index_predicate_join_cost(
+                probes=len(outer),
+                avg_transient=avg_transient,
+                candidate_rows=candidate_rows,
+                height=geometry.height,
+                leaf_capacity=geometry.leaf_capacity,
+                leaf_blocks=geometry.leaf_blocks,
+                internal_blocks=geometry.internal_blocks,
+                cache_blocks=geometry.cache_blocks,
+                cache_residency=self.cache_residency,
+                table_blocks=geometry.table_blocks,
+            )
         sweep_cost = _sweep_join_cost(
             outer_n=len(outer),
             inner_n=self.summary.count,
@@ -797,8 +1121,11 @@ class RITreeCostModel:
         )
 
     def choose_join_strategy(
-            self, outer: Sequence[IntervalRecord],
-            inner: Optional[Sequence[IntervalRecord]] = None) -> JoinEstimate:
+        self,
+        outer: Sequence[IntervalRecord],
+        inner: Optional[Sequence[IntervalRecord]] = None,
+        predicate=None,
+    ) -> JoinEstimate:
         """Plan the join of ``outer`` against ``inner`` (or the tree).
 
         With ``inner`` omitted the modelled tree's stored relation is the
@@ -807,13 +1134,14 @@ class RITreeCostModel:
         instead, sharing this model's resolution and residency settings.
         """
         if inner is None:
-            return self.estimate_join(outer)
+            return self.estimate_join(outer, predicate=predicate)
         geometry = self.stats.geometry(self.summary.count)
         return choose_join_strategy(
             outer, inner, buckets=self.buckets,
             cache_residency=self.cache_residency,
             block_size=geometry.block_size,
             cache_blocks=geometry.cache_blocks,
+            predicate=predicate,
         )
 
     @property
@@ -823,12 +1151,14 @@ class RITreeCostModel:
 
 
 def choose_join_strategy(
-        outer: Sequence[IntervalRecord],
-        inner: Sequence[IntervalRecord],
-        buckets: int = DEFAULT_BUCKETS,
-        cache_residency: float = 0.9,
-        block_size: int = DEFAULT_BLOCK_SIZE,
-        cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> JoinEstimate:
+    outer: Sequence[IntervalRecord],
+    inner: Sequence[IntervalRecord],
+    buckets: int = DEFAULT_BUCKETS,
+    cache_residency: float = 0.9,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+    predicate=None,
+) -> JoinEstimate:
     """Plan an interval join from raw records, without touching an engine.
 
     The engine-free planner: both sides are summarised into bound
@@ -836,19 +1166,20 @@ def choose_join_strategy(
     records (pure arithmetic -- no relation, no I/O), and the index
     geometry an RI-tree *would* realise under the given block size is
     computed analytically.  Used by the ``auto`` join strategy before it
-    decides whether building/probing an index is worth it at all.
+    decides whether building/probing an index is worth it at all.  A
+    join ``predicate`` plans the predicate join per relation, exactly as
+    :meth:`RITreeCostModel.estimate_join` does on a loaded tree.
     """
+    pred = resolve_join_predicate(predicate)
     for lower, upper, _ in outer:
         validate_interval(lower, upper)
     for lower, upper, _ in inner:
         validate_interval(lower, upper)
     outer_summary = BoundSummary.from_records(outer, buckets)
     inner_summary = BoundSummary.from_records(inner, buckets)
-    pairs = expected_join_pairs(outer_summary, inner_summary)
     backbone = VirtualBackbone()
     for lower, upper, _ in inner:
         backbone.register(lower, upper)
-    avg_transient = average_transient_entries(backbone, outer)
     height, leaf_capacity = index_geometry(len(inner), 3, block_size)
     entry_bytes = _INT_BYTES * 4
     internal_capacity = max(
@@ -856,17 +1187,36 @@ def choose_join_strategy(
     leaf_blocks = 2.0 * math.ceil(max(len(inner), 1) / leaf_capacity)
     internal_blocks = 2.0 * index_internal_blocks(
         len(inner), leaf_capacity, internal_capacity)
-    index_cost = _index_join_cost(
-        probes=len(outer),
-        avg_transient=avg_transient,
-        pairs=pairs,
-        height=height,
-        leaf_capacity=leaf_capacity,
-        leaf_blocks=leaf_blocks,
-        internal_blocks=internal_blocks,
-        cache_blocks=cache_blocks,
-        cache_residency=cache_residency,
-    )
+    if pred is None:
+        pairs = expected_join_pairs(outer_summary, inner_summary)
+        avg_transient = average_transient_entries(backbone, outer)
+        index_cost = _index_join_cost(
+            probes=len(outer),
+            avg_transient=avg_transient,
+            pairs=pairs,
+            height=height,
+            leaf_capacity=leaf_capacity,
+            leaf_blocks=leaf_blocks,
+            internal_blocks=internal_blocks,
+            cache_blocks=cache_blocks,
+            cache_residency=cache_residency,
+        )
+    else:
+        pairs = expected_predicate_pairs(outer, inner_summary, pred)
+        avg_transient, candidate_rows = predicate_probe_statistics(
+            outer, inner_summary, backbone, pred.inverse)
+        index_cost = _index_predicate_join_cost(
+            probes=len(outer),
+            avg_transient=avg_transient,
+            candidate_rows=candidate_rows,
+            height=height,
+            leaf_capacity=leaf_capacity,
+            leaf_blocks=leaf_blocks,
+            internal_blocks=internal_blocks,
+            cache_blocks=cache_blocks,
+            cache_residency=cache_residency,
+            table_blocks=heap_scan_blocks(len(inner), 4, block_size),
+        )
     sweep_cost = _sweep_join_cost(
         outer_n=len(outer),
         inner_n=len(inner),

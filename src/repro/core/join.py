@@ -28,11 +28,14 @@ interchangeable strategies:
 All strategies emit the identical duplicate-free pair set
 ``{(r_id, s_id) | r overlaps s}`` over closed integer intervals, where
 ``[a, b]`` and ``[c, d]`` overlap iff ``a <= d and c <= b`` (shared
-endpoints count, as everywhere else in this reproduction).  The sweep
-and nested-loop strategies additionally accept any predicate of
-:mod:`repro.core.predicates` (``interval_join(..., predicate="before")``),
-evaluating Allen-relation joins in the style of Piatov et al.'s
-extended-predicate sweeps.
+endpoints count, as everywhere else in this reproduction).  Every
+strategy additionally accepts any join predicate of
+:mod:`repro.core.predicates` (``interval_join(..., predicate="before")``):
+the sweep evaluates Allen-relation joins in the style of Piatov et al.'s
+extended-predicate sweeps, the index strategies probe the store with the
+predicate's *inverse* relation (``join_pairs(..., predicate=...)``), and
+``auto`` plans index-vs-sweep per relation through the cost model's
+predicate selectivities.
 
 Example
 -------
@@ -56,32 +59,11 @@ from bisect import bisect_left, bisect_right
 from ..engine.database import Database
 from .access import AccessMethod, IntervalRecord
 from .interval import validate_interval
-from .predicates import IntervalPredicate, get_predicate
+from .predicates import resolve_join_predicate as _resolve_join_predicate
 from .ritree import RITree
 
 #: One join result: (outer interval id, inner interval id).
 JoinPair = tuple[int, int]
-
-
-def _resolve_join_predicate(predicate) -> Optional[IntervalPredicate]:
-    """Validate a join predicate; ``None``/``intersects`` mean the default.
-
-    A join pair ``(r, s)`` satisfies predicate ``p`` iff ``p.holds(r_l,
-    r_u, s_l, s_u)`` -- the *outer* record is the subject, so
-    ``predicate="before"`` joins outer intervals to the inner intervals
-    they lie before.
-    """
-    if predicate is None:
-        return None
-    pred = get_predicate(predicate)
-    if pred.name == "stab":
-        raise ValueError(
-            "'stab' relates an interval to a point and cannot serve as a "
-            "join predicate; use a store's stab()/query() instead"
-        )
-    if pred.name == "intersects":
-        return None
-    return pred
 
 
 class JoinStrategy(ABC):
@@ -388,6 +370,11 @@ class IndexNestedLoopJoin(JoinStrategy):
     :meth:`~repro.core.access.AccessMethod.join_pairs` /
     :meth:`~repro.core.access.AccessMethod.join_count`, which the RI-tree
     specialises to consume whole leaf slices of its batched scan plan.
+
+    Join predicates (``predicate=``) ride the same hooks: the store
+    probes the *inverse* relation's candidate range per outer tuple and
+    refines with the direct formula, so Allen-relation joins share the
+    index path's I/O accounting.
     """
 
     strategy_name = "index-nested-loop"
@@ -396,9 +383,11 @@ class IndexNestedLoopJoin(JoinStrategy):
         self,
         method: Optional[AccessMethod] = None,
         factory: Callable[[Database], AccessMethod] = RITree,
+        predicate=None,
     ) -> None:
         self.method = method
         self.factory = factory
+        self.predicate = _resolve_join_predicate(predicate)
 
     def _inner_method(self, inner: Sequence[IntervalRecord]) -> AccessMethod:
         if self.method is not None:
@@ -413,14 +402,16 @@ class IndexNestedLoopJoin(JoinStrategy):
         outer: Sequence[IntervalRecord],
         inner: Sequence[IntervalRecord],
     ) -> list[JoinPair]:
-        return self._inner_method(inner).join_pairs(outer)
+        return self._inner_method(inner).join_pairs(
+            outer, predicate=self.predicate)
 
     def count(
         self,
         outer: Sequence[IntervalRecord],
         inner: Sequence[IntervalRecord],
     ) -> int:
-        return self._inner_method(inner).join_count(outer)
+        return self._inner_method(inner).join_count(
+            outer, predicate=self.predicate)
 
 
 class AutoJoin(JoinStrategy):
@@ -438,7 +429,14 @@ class AutoJoin(JoinStrategy):
     When a pre-built method stores the inner relation and the planner
     picks the sweep, the inner records are recovered through
     :meth:`~repro.core.access.AccessMethod.stored_records`; methods that
-    cannot enumerate their intervals fall back to the index join.
+    cannot enumerate their intervals fall back to the index join, and
+    :attr:`last_dispatch` records the strategy that actually ran (which
+    on that fallback path differs from ``last_decision.choice``).
+
+    A join ``predicate`` (any Allen relation) is planned per relation --
+    the cost model prices the index path over the inverse relation's
+    candidate ranges against the sweep -- and handed to whichever
+    strategy wins.
     """
 
     strategy_name = "auto"
@@ -447,12 +445,19 @@ class AutoJoin(JoinStrategy):
         self,
         method: Optional[AccessMethod] = None,
         factory: Callable[[Database], AccessMethod] = RITree,
+        predicate=None,
     ) -> None:
         self.method = method
         self.factory = factory
+        self.predicate = _resolve_join_predicate(predicate)
         #: The JoinEstimate backing the most recent dispatch (None until
         #: the first pairs()/count() call).
         self.last_decision = None
+        #: Name of the strategy the most recent evaluation actually ran.
+        #: Equals ``last_decision.choice`` except on the
+        #: cannot-enumerate fallback, where the planner's sweep pick
+        #: degrades to index-nested-loop.
+        self.last_dispatch: Optional[str] = None
 
     def decide(self, outer, inner):
         """Plan the join and return the planner's cost estimate."""
@@ -478,27 +483,43 @@ class AutoJoin(JoinStrategy):
         if self.method is not None:
             model = self.method.cost_model()
             if model is not None:
-                estimate = model.estimate_join(outer)
+                estimate = model.estimate_join(
+                    outer, predicate=self.predicate)
             else:
                 stored = self.method.stored_records()
                 estimate = choose_join_strategy(
-                    outer, inner if stored is None else stored
+                    outer, inner if stored is None else stored,
+                    predicate=self.predicate,
                 )
         else:
-            estimate = choose_join_strategy(outer, inner)
+            estimate = choose_join_strategy(
+                outer, inner, predicate=self.predicate)
         self.last_decision = estimate
+        strategy: JoinStrategy
+        records = inner
         if estimate.choice == SweepJoin.strategy_name:
             if self.method is None:
-                return SweepJoin(), inner
-            if stored is None:
-                stored = self.method.stored_records()
-            if stored is not None:
-                return SweepJoin(), stored
-            # The method cannot enumerate its intervals: keep probing it.
-        return (
-            IndexNestedLoopJoin(method=self.method, factory=self.factory),
-            inner,
-        )
+                strategy = SweepJoin(predicate=self.predicate)
+            else:
+                if stored is None:
+                    stored = self.method.stored_records()
+                if stored is not None:
+                    strategy = SweepJoin(predicate=self.predicate)
+                    records = stored
+                else:
+                    # The method cannot enumerate its intervals: keep
+                    # probing it, and report the dispatch truthfully.
+                    strategy = IndexNestedLoopJoin(
+                        method=self.method, factory=self.factory,
+                        predicate=self.predicate,
+                    )
+        else:
+            strategy = IndexNestedLoopJoin(
+                method=self.method, factory=self.factory,
+                predicate=self.predicate,
+            )
+        self.last_dispatch = strategy.strategy_name
+        return strategy, records
 
     def pairs(
         self,
@@ -527,6 +548,12 @@ JOIN_STRATEGIES: dict[str, Callable[[], JoinStrategy]] = {
     "index": IndexNestedLoopJoin,
 }
 
+#: Canonical strategy names for user-facing messages: one entry per
+#: distinct strategy, aliases deduplicated.
+STRATEGY_NAMES: tuple[str, ...] = tuple(sorted(
+    {cls.strategy_name for cls in JOIN_STRATEGIES.values()}
+))
+
 
 def interval_join(
     outer: Sequence[IntervalRecord],
@@ -545,23 +572,20 @@ def interval_join(
     Allen relation (name or :class:`~repro.core.predicates.
     IntervalPredicate`), applied with the outer record as the subject --
     ``predicate="during"`` pairs each outer interval with the inner
-    intervals it lies strictly inside.  Predicate joins are evaluated by
-    the ``sweep`` and ``nested-loop`` strategies; the index strategies
-    keep the intersection semantics their scan plans encode.
+    intervals it lies strictly inside.  Every strategy evaluates every
+    join predicate: the sweep by extended-predicate merge, the index
+    strategies by probing the inverse relation's candidate ranges, and
+    ``auto`` by planning index-vs-sweep per relation.
     """
     try:
         chosen = JOIN_STRATEGIES[strategy]
     except KeyError:
         raise ValueError(
             f"unknown join strategy {strategy!r}; expected one of "
-            f"{sorted(JOIN_STRATEGIES)}"
+            f"{list(STRATEGY_NAMES)} (or the 'index' alias for "
+            f"'index-nested-loop')"
         ) from None
     pred = _resolve_join_predicate(predicate)
     if pred is None:
         return chosen().pairs(outer, inner)
-    if chosen not in (SweepJoin, NestedLoopJoin):
-        raise ValueError(
-            f"predicate {pred.name!r} requires the 'sweep' or "
-            f"'nested-loop' strategy, not {strategy!r}"
-        )
     return chosen(predicate=pred).pairs(outer, inner)

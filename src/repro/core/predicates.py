@@ -28,7 +28,17 @@ intervals it agrees with :func:`repro.core.topology.relate`.
 
 The join strategies of :mod:`repro.core.join` accept these predicates
 too (``interval_join(..., predicate="before")``), in the spirit of
-Piatov et al.'s sweeps for extended Allen relation predicates.
+Piatov et al.'s sweeps for extended Allen relation predicates.  For the
+*index* strategies, every predicate also knows its :attr:`~
+IntervalPredicate.inverse` relation (before/after, meets/met_by,
+overlaps/overlapped_by, during/contains, starts/started_by,
+finishes/finished_by; intersects and equals are self-inverse): probing a
+store per outer tuple asks the *stored-subject* question, so the probe's
+candidate range is the inverse relation's.  On proper intervals the
+inverse identity ``p.holds(a, b, c, d) == p.inverse.holds(c, d, a, b)``
+is exact (Allen's algebra); degenerate (point) intervals may break the
+symmetry at shared endpoints, which is why the compiled join plans scan
+the inverse's *candidate range* but refine with the direct formula.
 """
 
 from __future__ import annotations
@@ -58,13 +68,28 @@ class IntervalPredicate:
     (so any backend's intersection machinery can produce candidates);
     ``sql_refine`` is the residual WHERE fragment the sqlite backend
     appends to the Figure 9 statement (``None`` means the candidates
-    are exact and no refinement is needed).
+    are exact and no refinement is needed); ``inverse_name`` names the
+    relation with subject and reference swapped (``None`` for ``stab``,
+    which relates an interval to a point).
     """
 
     name: str
     holds: PredicateTest
     candidates: CandidateRange
     sql_refine: Optional[str]
+    inverse_name: Optional[str] = None
+
+    @property
+    def inverse(self) -> "IntervalPredicate":
+        """The subject-swapped relation: ``a p b`` iff ``b p.inverse a``.
+
+        Exact on proper intervals; a join plan probing a store per outer
+        tuple scans the inverse's candidate range (the stored record is
+        the subject there) and refines with the direct formula.
+        """
+        if self.inverse_name is None:
+            raise ValueError(f"predicate {self.name!r} has no inverse")
+        return PREDICATES[self.inverse_name]
 
     def matches(self, subject: tuple[int, int], reference: tuple[int, int]
                 ) -> bool:
@@ -122,67 +147,78 @@ PREDICATES: dict[str, IntervalPredicate] = {
         IntervalPredicate(
             "intersects",
             lambda s, e, l, u: s <= u and e >= l,
-            _whole_query, None),
+            _whole_query, None, "intersects"),
         IntervalPredicate(
             "stab",
             lambda s, e, l, u: s <= l and e >= l,
-            _stab_lower, None),
+            _stab_lower, None, None),
         IntervalPredicate(
             "before",
             lambda s, e, l, u: e < l,
-            _strictly_before, 'i."upper" < :lower'),
+            _strictly_before, 'i."upper" < :lower', "after"),
         IntervalPredicate(
             "after",
             lambda s, e, l, u: s > u,
-            _strictly_after, 'i."lower" > :upper'),
+            _strictly_after, 'i."lower" > :upper', "before"),
         IntervalPredicate(
             "meets",
             lambda s, e, l, u: e == l and s < l,
-            _stab_lower, 'i."upper" = :lower AND i."lower" < :lower'),
+            _stab_lower, 'i."upper" = :lower AND i."lower" < :lower',
+            "met_by"),
         IntervalPredicate(
             "met_by",
             lambda s, e, l, u: s == u and e > u,
-            _stab_upper, 'i."lower" = :upper AND i."upper" > :upper'),
+            _stab_upper, 'i."lower" = :upper AND i."upper" > :upper',
+            "meets"),
         IntervalPredicate(
             "overlaps",
             lambda s, e, l, u: s < l < e < u,
             _stab_lower,
             'i."lower" < :lower AND i."upper" > :lower '
-            'AND i."upper" < :upper'),
+            'AND i."upper" < :upper',
+            "overlapped_by"),
         IntervalPredicate(
             "overlapped_by",
             lambda s, e, l, u: l < s < u < e,
             _stab_upper,
             'i."lower" > :lower AND i."lower" < :upper '
-            'AND i."upper" > :upper'),
+            'AND i."upper" > :upper',
+            "overlaps"),
         IntervalPredicate(
             "during",
             lambda s, e, l, u: l < s and e < u,
-            _whole_query, 'i."lower" > :lower AND i."upper" < :upper'),
+            _whole_query, 'i."lower" > :lower AND i."upper" < :upper',
+            "contains"),
         IntervalPredicate(
             "contains",
             lambda s, e, l, u: s < l and u < e,
-            _stab_lower, 'i."lower" < :lower AND i."upper" > :upper'),
+            _stab_lower, 'i."lower" < :lower AND i."upper" > :upper',
+            "during"),
         IntervalPredicate(
             "starts",
             lambda s, e, l, u: s == l and e < u,
-            _stab_lower, 'i."lower" = :lower AND i."upper" < :upper'),
+            _stab_lower, 'i."lower" = :lower AND i."upper" < :upper',
+            "started_by"),
         IntervalPredicate(
             "started_by",
             lambda s, e, l, u: s == l and e > u,
-            _stab_lower, 'i."lower" = :lower AND i."upper" > :upper'),
+            _stab_lower, 'i."lower" = :lower AND i."upper" > :upper',
+            "starts"),
         IntervalPredicate(
             "finishes",
             lambda s, e, l, u: e == u and s > l,
-            _stab_upper, 'i."upper" = :upper AND i."lower" > :lower'),
+            _stab_upper, 'i."upper" = :upper AND i."lower" > :lower',
+            "finished_by"),
         IntervalPredicate(
             "finished_by",
             lambda s, e, l, u: e == u and s < l,
-            _stab_upper, 'i."upper" = :upper AND i."lower" < :lower'),
+            _stab_upper, 'i."upper" = :upper AND i."lower" < :lower',
+            "finishes"),
         IntervalPredicate(
             "equals",
             lambda s, e, l, u: s == l and e == u,
-            _stab_lower, 'i."lower" = :lower AND i."upper" = :upper'),
+            _stab_lower, 'i."lower" = :lower AND i."upper" = :upper',
+            "equals"),
     )
 }
 
@@ -201,3 +237,26 @@ def get_predicate(predicate) -> IntervalPredicate:
         raise ValueError(
             f"unknown interval predicate {predicate!r}; expected one of "
             f"{sorted(PREDICATES)}") from None
+
+
+def resolve_join_predicate(predicate) -> Optional[IntervalPredicate]:
+    """Validate a join predicate; ``None``/``intersects`` mean the default.
+
+    A join pair ``(r, s)`` satisfies predicate ``p`` iff ``p.holds(r_l,
+    r_u, s_l, s_u)`` -- the *outer* record is the subject, so
+    ``predicate="before"`` joins outer intervals to the inner intervals
+    they lie before.  Shared by every join entry point (the strategies
+    of :mod:`repro.core.join`, ``join_pairs``/``join_count`` on the
+    stores, the cost model's join estimators).
+    """
+    if predicate is None:
+        return None
+    pred = get_predicate(predicate)
+    if pred.name == "stab":
+        raise ValueError(
+            "'stab' relates an interval to a point and cannot serve as a "
+            "join predicate; use a store's stab()/query() instead"
+        )
+    if pred.name == "intersects":
+        return None
+    return pred

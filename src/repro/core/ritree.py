@@ -26,8 +26,9 @@ from ..engine.bptree import coalesce_ranges
 from ..engine.database import Database
 from ..engine.serial import pad_high, pad_low
 from .access import AccessMethod, IntervalRecord
-from .backbone import VirtualBackbone
+from .backbone import MAX_ABS_BOUND, VirtualBackbone
 from .interval import validate_interval
+from .predicates import resolve_join_predicate
 from .transient import QueryNodes, collect_query_nodes
 
 #: A compiled scan range: (lo, hi) bounds padded to full index arity.
@@ -73,10 +74,13 @@ class RITree(AccessMethod):
 
     method_name = "RI-tree"
 
-    def __init__(self, db: Optional[Database] = None,
-                 name: str = "Intervals",
-                 backbone: Optional[VirtualBackbone] = None,
-                 coalesce_scans: bool = False) -> None:
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        name: str = "Intervals",
+        backbone: Optional[VirtualBackbone] = None,
+        coalesce_scans: bool = False,
+    ) -> None:
         super().__init__(db)
         self.backbone = backbone if backbone is not None else VirtualBackbone()
         self.coalesce_scans = coalesce_scans
@@ -201,8 +205,9 @@ class RITree(AccessMethod):
             self._collect_extra_right_nodes(lower, upper))
         return query_nodes
 
-    def _plan(self, lower: int, upper: int
-              ) -> Optional[tuple[list[ScanRange], list[ScanRange]]]:
+    def _plan(
+        self, lower: int, upper: int
+    ) -> Optional[tuple[list[ScanRange], list[ScanRange]]]:
         """Compile the transient collections into per-index scan ranges.
 
         Returns ``(upperIndex ranges, lowerIndex ranges)`` -- branches 1
@@ -233,8 +238,9 @@ class RITree(AccessMethod):
             lower_ranges = coalesce_ranges(lower_ranges, arity)
         return upper_ranges, lower_ranges
 
-    def _query_batches(self, lower: int,
-                       upper: int) -> Iterator[list[tuple[int, ...]]]:
+    def _query_batches(
+        self, lower: int, upper: int
+    ) -> Iterator[list[tuple[int, ...]]]:
         """Execute the scan plan, yielding index-entry batches (leaf slices).
 
         Both indexes store ``(node, bound, id, rowid)`` entries, so every
@@ -286,45 +292,125 @@ class RITree(AccessMethod):
                     "lowerIndex", (node,), (node, upper)):
                 yield entry[2]
 
-    def join_pairs(self, probes: Sequence[IntervalRecord]
-                   ) -> list[tuple[int, int]]:
+    def join_pairs(
+        self, probes: Sequence[IntervalRecord], predicate=None
+    ) -> list[tuple[int, int]]:
         """Batched index-nested-loop join probe (overrides the base loop).
 
-        Each probe compiles to the same Figure 10 scan plan as a Figure 13
-        query -- identical page requests, identical I/O accounting -- but
-        pairs are emitted per leaf slice in one pass instead of going
-        through an intermediate id list per probe.  ``join_count`` (the
-        count-only analogue) is inherited: the base implementation already
-        dispatches to the batched :meth:`intersection_count`.
+        Each intersection probe compiles to the same Figure 10 scan plan
+        as a Figure 13 query -- identical page requests, identical I/O
+        accounting -- but pairs are emitted per leaf slice in one pass
+        instead of going through an intermediate id list per probe.
+        ``join_count`` (the count-only analogue) dispatches to the
+        batched :meth:`intersection_count`.
+
+        A join ``predicate`` compiles per probe to the scan plan of the
+        *inverse* relation's candidate range (probing asks the
+        stored-subject question) and refines whole leaf slices of
+        fetched records with the predicate's direct formula -- the
+        frames-per-pair economics of the batched pipeline, extended to
+        every Allen relation.
         """
+        pred = resolve_join_predicate(predicate)
         pairs: list[tuple[int, int]] = []
         extend = pairs.extend
+        if pred is None:
+            for lower, upper, probe_id in probes:
+                validate_interval(lower, upper)
+                for batch in self._query_batches(lower, upper):
+                    extend((probe_id, entry[2]) for entry in batch)
+            return pairs
+        inverse = pred.inverse
+        holds = pred.holds
         for lower, upper, probe_id in probes:
             validate_interval(lower, upper)
-            for batch in self._query_batches(lower, upper):
-                extend((probe_id, entry[2]) for entry in batch)
+            for batch in self._candidate_batches(inverse, lower, upper):
+                extend((probe_id, interval_id)
+                       for s, e, interval_id in batch
+                       if holds(lower, upper, s, e))
         return pairs
 
-    def intersection_records(self, lower: int,
-                             upper: int) -> Iterator[tuple[int, int, int]]:
+    def join_count(
+        self, probes: Sequence[IntervalRecord], predicate=None
+    ) -> int:
+        """Size of :meth:`join_pairs`; predicate counts refine per slice."""
+        pred = resolve_join_predicate(predicate)
+        if pred is None:
+            return super().join_count(probes)
+        inverse = pred.inverse
+        holds = pred.holds
+        total = 0
+        for lower, upper, _probe_id in probes:
+            validate_interval(lower, upper)
+            for batch in self._candidate_batches(inverse, lower, upper):
+                total += sum(1 for s, e, _ in batch
+                             if holds(lower, upper, s, e))
+        return total
+
+    def _candidate_extent(self) -> tuple[Optional[int], Optional[int]]:
+        """``(floor, ceiling)`` for before/after candidate ranges.
+
+        The ceiling is clamped to the legal data space around the offset
+        so a sentinel upper bound (Section 4.6's ``UPPER_INF``) cannot
+        push the BETWEEN fold of a candidate scan plan across the
+        reserved fork-node values.
+        """
+        floor, ceiling = self._min_lower, self._max_upper
+        if ceiling is not None and self.backbone.offset is not None:
+            ceiling = min(ceiling, self.backbone.offset + MAX_ABS_BOUND)
+        return floor, ceiling
+
+    def _candidate_batches(
+        self, inverse, lower: int, upper: int
+    ) -> Iterator[list[tuple[int, int, int]]]:
+        """Record batches over the inverse relation's candidate range.
+
+        The candidate range provably contains every stored interval
+        standing in the inverse relation to ``[lower, upper]`` -- and
+        therefore every stored interval the *probe* stands in the direct
+        relation to; the caller refines each slice with the direct
+        formula.
+        """
+        floor = ceiling = None
+        if inverse.name in ("before", "after"):
+            floor, ceiling = self._candidate_extent()
+        candidate = inverse.candidates(lower, upper, floor, ceiling)
+        if candidate is None:
+            return
+        yield from self._record_batches(candidate[0], candidate[1])
+
+    def _record_batches(
+        self, lower: int, upper: int
+    ) -> Iterator[list[tuple[int, int, int]]]:
+        """Leaf-slice batches materialised to ``(lower, upper, id)``.
+
+        Each index entry carries only one interval bound, so the other
+        one is fetched from the base table by rowid -- the classical
+        "table access by index rowid" step, batched per leaf slice
+        through :meth:`~repro.engine.table.Table.fetch_many` (rowids
+        within one slice are page-clustered, so same-page runs share one
+        page request).  :class:`~repro.core.temporal.TemporalRITree`
+        overrides this to materialise effective now-relative bounds.
+        """
+        fetch_many = self.table.fetch_many
+        for batch in self._query_batches(lower, upper):
+            rows = fetch_many([entry[3] for entry in batch])
+            yield [(row[1], row[2], row[3]) for row in rows]
+
+    def intersection_records(
+        self, lower: int, upper: int
+    ) -> Iterator[tuple[int, int, int]]:
         """Like :meth:`intersection`, but yields ``(lower, upper, id)``.
 
-        Each index entry carries only one interval bound, so the other one
-        is fetched from the base table by rowid -- the classical "table
-        access by index rowid" step, batched per leaf slice through
-        :meth:`~repro.engine.table.Table.fetch_many` (rowids within one
-        slice are page-clustered, so same-page runs share one page
-        request).  Used by the topological queries of Section 4.5, which
-        refine on both bounds.
+        One :meth:`_record_batches` pass flattened to records; used by
+        the topological queries of Section 4.5, which refine on both
+        bounds.
         """
         validate_interval(lower, upper)
         if self.backbone.is_empty:
             return
-        fetch_many = self.table.fetch_many
-        for batch in self._query_batches(lower, upper):
-            rows = fetch_many([entry[3] for entry in batch])
-            for row in rows:
-                yield row[1], row[2], row[3]
+        for batch in self._record_batches(lower, upper):
+            yield from batch
 
     # ------------------------------------------------------------------
     # planning (Section 5)
@@ -405,7 +491,8 @@ class RITree(AccessMethod):
     # extension hook (used by repro.core.temporal)
     # ------------------------------------------------------------------
     def add_right_node_hook(
-            self, hook: Callable[[int, int], Optional[int]]) -> None:
+        self, hook: Callable[[int, int], Optional[int]]
+    ) -> None:
         """Register a query-time hook returning an extra rightNodes entry.
 
         The hook receives the raw query bounds and returns a *shifted* node
@@ -414,20 +501,23 @@ class RITree(AccessMethod):
         """
         self._extra_right_nodes.append(hook)
 
-    def _collect_extra_right_nodes(self, lower: int,
-                                   upper: int) -> Iterator[int]:
+    def _collect_extra_right_nodes(
+        self, lower: int, upper: int
+    ) -> Iterator[int]:
         for hook in self._extra_right_nodes:
             node = hook(lower, upper)
             if node is not None:
                 yield node
 
-    def _store_at_node(self, node: int, lower: int, upper: int,
-                       interval_id: int) -> None:
+    def _store_at_node(
+        self, node: int, lower: int, upper: int, interval_id: int
+    ) -> None:
         """Store a row at an explicit (reserved) fork node -- Section 4.6."""
         self.table.insert((node, lower, upper, interval_id))
 
-    def _delete_at_node(self, node: int, lower: int,
-                        interval_id: int) -> None:
+    def _delete_at_node(
+        self, node: int, lower: int, interval_id: int
+    ) -> None:
         """Delete a row stored at an explicit fork node."""
         key = (node, lower, interval_id)
         for entry in self.table.index_scan("lowerIndex", key, key):

@@ -151,18 +151,20 @@ class TemporalRITree(RITree):
     # ------------------------------------------------------------------
     # record materialisation
     # ------------------------------------------------------------------
-    def intersection_records(self, lower, upper):
+    def _record_batches(self, lower, upper):
         """As in :class:`RITree`, with sentinel uppers materialised.
 
         Now-relative records report their *effective* upper bound (the
         current clock); infinite records keep the ``UPPER_INF`` sentinel,
         which behaves as +infinity under every topological predicate.
+        Covers every record-batch consumer at once: the topological
+        queries (``intersection_records``) and the leaf-slice refinement
+        of predicate joins (``join_pairs(..., predicate=...)``).
         """
-        for s, e, interval_id in super().intersection_records(lower, upper):
-            if e == UPPER_NOW:
-                yield s, self._now, interval_id
-            else:
-                yield s, e, interval_id
+        now = self._now
+        for batch in super()._record_batches(lower, upper):
+            yield [(s, now if e == UPPER_NOW else e, interval_id)
+                   for s, e, interval_id in batch]
 
     def stored_records(self):
         """As in :class:`RITree`, with sentinel uppers materialised.

@@ -114,7 +114,7 @@ def _refined(records: Iterator[tuple[int, int, int]],
 def before(tree: RITree, l: int, u: int) -> list[int]:
     """``e < l``: intervals ending strictly before the query starts."""
     validate_interval(l, u)
-    floor = tree.min_lower
+    floor, _ceiling = tree._candidate_extent()
     if floor is None or floor > l - 1:
         return []
     return _refined(tree.intersection_records(floor, l - 1),
@@ -122,9 +122,16 @@ def before(tree: RITree, l: int, u: int) -> list[int]:
 
 
 def after(tree: RITree, l: int, u: int) -> list[int]:
-    """``s > u``: intervals starting strictly after the query ends."""
+    """``s > u``: intervals starting strictly after the query ends.
+
+    The candidate ceiling comes from the tree's *clamped* extent: a
+    Section 4.6 sentinel upper (``UPPER_INF``) must not stretch the scan
+    plan's BETWEEN fold across the reserved fork-node values, or
+    reserved rows would be returned twice (once by the node-range scan,
+    once by the reserved rightNodes entry).
+    """
     validate_interval(l, u)
-    ceiling = tree.max_upper
+    _floor, ceiling = tree._candidate_extent()
     if ceiling is None or u + 1 > ceiling:
         return []
     return _refined(tree.intersection_records(u + 1, ceiling),

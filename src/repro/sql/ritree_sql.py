@@ -48,6 +48,7 @@ from typing import Iterable, Optional, Sequence
 from ..core.access import IntervalRecord, IntervalStore
 from ..core.backbone import VirtualBackbone
 from ..core.interval import validate_interval
+from ..core.predicates import resolve_join_predicate
 from ..core.temporal import FORK_INF, FORK_NOW, UPPER_INF, UPPER_NOW
 from . import schema
 
@@ -422,10 +423,63 @@ class SQLRITree(IntervalStore):
         )
         return len(left_rows) + len(right_rows)
 
+    def _fill_predicate_batch_tables(
+        self, probes: Sequence[IntervalRecord], inverse
+    ) -> int:
+        """Fill cycle for a predicate-join probe batch.
+
+        Per probe, the transient node collections are computed for the
+        *inverse* relation's candidate range (probing asks the
+        stored-subject question) and the probe row carries both the
+        candidate bounds (scanned by the Figure 9 branches) and the
+        original probe bounds (consumed by the refinement fragment).
+        Reserved Section 4.6 fork rows ride along their rightNodes
+        entries and are refined on *effective* bounds, exactly as in the
+        single-query predicate path.  Returns the total transient row
+        count; zero means every probe's result is provably empty.
+        """
+        floor = ceiling = None
+        if inverse.name in ("before", "after"):
+            floor, ceiling = self._candidate_extent()
+        probe_rows: list[tuple] = []
+        left_rows: list[tuple[int, int, int]] = []
+        right_rows: list[tuple[int, int]] = []
+        for qid, (lower, upper, _probe_id) in enumerate(probes):
+            validate_interval(lower, upper)
+            candidate = inverse.candidates(lower, upper, floor, ceiling)
+            if candidate is None:
+                continue
+            clower, cupper = candidate
+            probe_rows.append((qid, clower, cupper, lower, upper))
+            left, right = self._transient_rows(clower, cupper)
+            left_rows.extend((qid, mn, mx) for mn, mx in left)
+            right_rows.extend((qid, node) for node in right)
+        if not left_rows and not right_rows:
+            return 0
+        self.conn.execute("DELETE FROM batchProbes")
+        self.conn.execute("DELETE FROM batchLeftNodes")
+        self.conn.execute("DELETE FROM batchRightNodes")
+        self.conn.executemany(
+            'INSERT INTO batchProbes ("qid", "lower", "upper", "plower", '
+            '"pupper") VALUES (?, ?, ?, ?, ?)',
+            probe_rows,
+        )
+        self.conn.executemany(
+            'INSERT INTO batchLeftNodes ("qid", "min", "max") VALUES (?, ?, ?)',
+            left_rows,
+        )
+        self.conn.executemany(
+            'INSERT INTO batchRightNodes ("qid", "node") VALUES (?, ?)',
+            right_rows,
+        )
+        return len(left_rows) + len(right_rows)
+
     # ------------------------------------------------------------------
     # joins (set-at-a-time, Section 5 meets the join subsystem)
     # ------------------------------------------------------------------
-    def join_pairs(self, probes: Sequence[IntervalRecord]) -> list[tuple[int, int]]:
+    def join_pairs(
+        self, probes: Sequence[IntervalRecord], predicate=None
+    ) -> list[tuple[int, int]]:
         """The index-nested-loop interval join as ONE SQL statement.
 
         The probe relation is loaded into a TEMP table and joined against
@@ -433,37 +487,74 @@ class SQLRITree(IntervalStore):
         nested-loop plan (probe relation outer, the two Figure 2 indexes
         inner), so the join is evaluated set-at-a-time instead of one
         statement per probe.
+
+        A join ``predicate`` keeps the one-statement shape: the per-probe
+        candidate ranges of the *inverse* relation fill the transient
+        tables and the subject-swapped refinement fragment rides along in
+        both branches (:func:`repro.sql.schema.
+        predicate_batch_intersection_sql`).  Reserved Section 4.6 rows
+        participate with their effective bounds, as in predicate
+        queries.
         """
+        pred = resolve_join_predicate(predicate)
         if not probes:
             return []
         ids = [probe_id for _lower, _upper, probe_id in probes]
-        if not self._fill_batch_tables([(l, u) for l, u, _ in probes]):
-            return []
-        cursor = self.conn.execute(
-            schema.BATCH_INTERSECTION_SQL.format(name=self.name)
-        )
+        if pred is None:
+            if not self._fill_batch_tables([(l, u) for l, u, _ in probes]):
+                return []
+            statement = schema.BATCH_INTERSECTION_SQL.format(name=self.name)
+            cursor = self.conn.execute(statement)
+        else:
+            if not self._fill_predicate_batch_tables(probes, pred.inverse):
+                return []
+            statement = schema.predicate_batch_intersection_sql(
+                self.name, pred.sql_refine
+            )
+            cursor = self.conn.execute(statement, {"now": self._now})
         return [(ids[qid], interval_id) for qid, interval_id in cursor]
 
-    def join_count(self, probes: Sequence[IntervalRecord]) -> int:
+    def join_count(
+        self, probes: Sequence[IntervalRecord], predicate=None
+    ) -> int:
         """Size of :meth:`join_pairs`, aggregated by the engine.
 
         Identical fill cycle and statement, wrapped in ``COUNT(*)`` --
         the pair list never leaves sqlite.
         """
+        pred = resolve_join_predicate(predicate)
         if not probes:
             return 0
-        if not self._fill_batch_tables([(l, u) for l, u, _ in probes]):
-            return 0
-        cursor = self.conn.execute(schema.BATCH_COUNT_SQL.format(name=self.name))
+        if pred is None:
+            if not self._fill_batch_tables([(l, u) for l, u, _ in probes]):
+                return 0
+            statement = schema.BATCH_COUNT_SQL.format(name=self.name)
+            cursor = self.conn.execute(statement)
+        else:
+            if not self._fill_predicate_batch_tables(probes, pred.inverse):
+                return 0
+            statement = schema.predicate_batch_count_sql(
+                self.name, pred.sql_refine
+            )
+            cursor = self.conn.execute(statement, {"now": self._now})
         return cursor.fetchone()[0]
 
-    def explain_join(self, probes: Sequence[IntervalRecord]) -> list[str]:
+    def explain_join(
+        self, probes: Sequence[IntervalRecord], predicate=None
+    ) -> list[str]:
         """The engine's query plan for the set-at-a-time join statement."""
-        self._fill_batch_tables([(l, u) for l, u, _ in probes])
-        cursor = self.conn.execute(
-            "EXPLAIN QUERY PLAN "
-            + schema.BATCH_INTERSECTION_SQL.format(name=self.name)
-        )
+        pred = resolve_join_predicate(predicate)
+        if pred is None:
+            self._fill_batch_tables([(l, u) for l, u, _ in probes])
+            statement = schema.BATCH_INTERSECTION_SQL.format(name=self.name)
+            params = {}
+        else:
+            self._fill_predicate_batch_tables(probes, pred.inverse)
+            statement = schema.predicate_batch_intersection_sql(
+                self.name, pred.sql_refine
+            )
+            params = {"now": self._now}
+        cursor = self.conn.execute("EXPLAIN QUERY PLAN " + statement, params)
         return [row[-1] for row in cursor]
 
     # ------------------------------------------------------------------
@@ -476,33 +567,54 @@ class SQLRITree(IntervalStore):
         range* and the predicate's defining endpoint formula is appended
         to the WHERE clause of both branches -- the sqlite compilation of
         the shared predicate layer of :mod:`repro.core.predicates`.
-        Reserved Section 4.6 fork rows are excluded from Allen-relation
-        queries (their stored bounds are sentinels).
+        Reserved Section 4.6 fork rows participate with their
+        *effective* bounds: the refinement reads the stored upper
+        through :data:`repro.sql.schema.EFFECTIVE_UPPER` (now-relative
+        rows against the clock, infinite rows via the ``UPPER_INF``
+        sentinel), exactly as the simulated engine materialises them.
         """
         validate_interval(lower, upper)
         floor = ceiling = None
         if pred.name in ("before", "after"):
-            floor, ceiling = self._extent()
+            floor, ceiling = self._candidate_extent()
         candidate = pred.candidates(lower, upper, floor, ceiling)
         if candidate is None:
             return []
         clower, cupper = candidate
-        left, right = self._transient_rows(clower, cupper, include_reserved=False)
+        left, right = self._transient_rows(clower, cupper)
         if not left and not right:
             return []
         self._write_transient(left, right)
         cursor = self.conn.execute(
             schema.predicate_intersection_sql(self.name, pred.sql_refine),
-            {"lower": lower, "upper": upper, "clower": clower, "cupper": cupper},
+            {
+                "lower": lower,
+                "upper": upper,
+                "clower": clower,
+                "cupper": cupper,
+                "now": self._now,
+            },
         )
         return [row[0] for row in cursor]
 
-    def _extent(self) -> tuple[Optional[int], Optional[int]]:
-        """Smallest lower / largest upper bound of the finite records."""
-        return self.conn.execute(
-            f'SELECT MIN("lower"), MAX("upper") FROM {self.name} '
-            f'WHERE "node" NOT IN ({FORK_INF}, {FORK_NOW})'
+    def _candidate_extent(self) -> tuple[Optional[int], Optional[int]]:
+        """``(floor, ceiling)`` for before/after candidate ranges.
+
+        The floor is the smallest stored lower bound (reserved rows
+        carry real lowers); the ceiling must cover every coordinate the
+        candidate scans have to reach -- the largest finite upper, the
+        largest reserved-row lower, and the clock for now-relative
+        rows.  Sentinel uppers never enter, so the scan plan's BETWEEN
+        fold stays clear of the reserved fork-node values.
+        """
+        floor, ceiling = self.conn.execute(
+            f'SELECT MIN("lower"), '
+            f'MAX(CASE WHEN "node" IN ({FORK_INF}, {FORK_NOW}) '
+            f'THEN "lower" ELSE "upper" END) FROM {self.name}'
         ).fetchone()
+        if self._has_now and ceiling is not None:
+            ceiling = max(ceiling, self._now)
+        return floor, ceiling
 
     # ------------------------------------------------------------------
     # planning (Section 5: the cost model registered at the optimizer)

@@ -25,6 +25,17 @@ SQL function names on some engines.
 
 from __future__ import annotations
 
+from ..core.temporal import FORK_NOW
+
+#: The stored row's *effective* upper bound: now-relative rows (reserved
+#: fork node of Section 4.6) grow with the clock, so predicate
+#: refinements read their upper bound from the ``:now`` parameter; the
+#: ``UPPER_INF`` sentinel of infinite rows already behaves as +infinity
+#: under every endpoint comparison inside the supported data space.
+EFFECTIVE_UPPER = (
+    f'(CASE WHEN i."node" = {FORK_NOW} THEN :now ELSE i."upper" END)'
+)
+
 
 def create_interval_table(name: str = "Intervals") -> list[str]:
     """DDL statements instantiating an RI-tree relation (paper Figure 2)."""
@@ -63,10 +74,17 @@ def create_batch_transient_tables() -> list[str]:
     KEY`` makes it a rowid lookup inside the join); ``batchLeftNodes`` /
     ``batchRightNodes`` hold every probe's transient node collections
     side by side.  One fill cycle, one statement, the whole batch.
+
+    ``lower``/``upper`` are the bounds the Figure 9 branches scan -- the
+    probe's own bounds for the intersection join, the *candidate range*
+    of the inverse relation for a predicate join; ``plower``/``pupper``
+    carry the probe's original bounds for the predicate refinement (NULL
+    and unused on the intersection path).
     """
     return [
         "CREATE TEMP TABLE IF NOT EXISTS batchProbes "
-        '("qid" INTEGER PRIMARY KEY, "lower" INTEGER, "upper" INTEGER)',
+        '("qid" INTEGER PRIMARY KEY, "lower" INTEGER, "upper" INTEGER, '
+        '"plower" INTEGER, "pupper" INTEGER)',
         "CREATE TEMP TABLE IF NOT EXISTS batchLeftNodes "
         '("qid" INTEGER, "min" INTEGER, "max" INTEGER)',
         "CREATE TEMP TABLE IF NOT EXISTS batchRightNodes "
@@ -136,6 +154,76 @@ WHERE i."upper" >= :lower AND i."lower" <= :upper
 """
 
 
+def join_refine_fragment(refine: str) -> str:
+    """Subject-swap a predicate's WHERE fragment for the batch join.
+
+    ``sql_refine`` states the predicate with the *stored* row as the
+    subject and the query parameters as the reference.  In a predicate
+    join the **probe** is the subject, so the roles swap: the probe's
+    original bounds (``q."plower"`` / ``q."pupper"``) take the stored
+    columns' places and the stored columns take the parameters' --
+    yielding the predicate's *direct* formula over the pair, which keeps
+    degenerate (point) intervals on the nested-loop oracle's boundary
+    conventions (the inverse formula may disagree there).
+
+    Every swapped column reference is wrapped in sqlite's unary ``+`` so
+    the refinement stays a *residual* filter: left bare, the optimizer
+    chases a refinement equality into an AUTOMATIC COVERING INDEX (a
+    per-statement scan-and-build) or inverts the join order into a full
+    scan of the interval relation, instead of driving the plan through
+    the two Figure 2 indexes via the transient node collections.  The
+    stored upper bound reads through :data:`EFFECTIVE_UPPER`, so
+    now-relative rows (Section 4.6) refine against the clock (the
+    ``:now`` parameter), exactly as the simulated engine's leaf-slice
+    refinement materialises them.
+    """
+    return (
+        refine.replace('i."lower"', '\x00PL\x00')
+        .replace('i."upper"', '\x00PU\x00')
+        .replace(":lower", '+i."lower"')
+        .replace(":upper", "+" + EFFECTIVE_UPPER)
+        .replace('\x00PL\x00', '+q."plower"')
+        .replace('\x00PU\x00', '+q."pupper"')
+    )
+
+
+def predicate_batch_intersection_sql(name: str, refine: str) -> str:
+    """The set-at-a-time batch statement for a predicate join.
+
+    The literal Figure 9 form joined against the probe relation, exactly
+    as :data:`BATCH_INTERSECTION_SQL`, except that the per-probe
+    ``lower``/``upper`` columns now hold the inverse relation's
+    *candidate range* and the subject-swapped refinement fragment
+    (:func:`join_refine_fragment`) is appended to both branches.  Still
+    ONE statement for the whole probe batch, still driven through both
+    Figure 2 indexes by the engine's own optimizer.
+    """
+    extra = f"  AND {join_refine_fragment(refine)}\n"
+    return (
+        f'SELECT q."qid", i."id" FROM {name} i, batchLeftNodes l, '
+        f"batchProbes q\n"
+        f'WHERE l."qid" = q."qid"\n'
+        f'  AND i."node" BETWEEN l."min" AND l."max"\n'
+        f'  AND i."upper" >= q."lower"\n'
+        f"{extra}"
+        f"UNION ALL\n"
+        f'SELECT q."qid", i."id" FROM {name} i, batchRightNodes r, '
+        f"batchProbes q\n"
+        f'WHERE r."qid" = q."qid"\n'
+        f'  AND i."node" = r."node" AND i."lower" <= q."upper"\n'
+        f"{extra}"
+    )
+
+
+def predicate_batch_count_sql(name: str, refine: str) -> str:
+    """Count-only form of the predicate batch join (same plan)."""
+    return (
+        "SELECT COUNT(*) FROM ("
+        + predicate_batch_intersection_sql(name, refine)
+        + ")"
+    )
+
+
 def predicate_intersection_sql(name: str, refine: str | None) -> str:
     """The Figure 9 statement rewritten for a predicate query.
 
@@ -143,10 +231,14 @@ def predicate_intersection_sql(name: str, refine: str | None) -> str:
     range* (bound as ``:clower`` / ``:cupper``) and the predicate's
     defining endpoint formula -- referencing the original query bounds
     ``:lower`` / ``:upper`` -- is appended to the WHERE clause of both
-    branches.  ``refine=None`` means the candidates are exact (the
-    ``intersects`` / ``stab`` predicates) and the statement degenerates
-    to the literal Figure 9 form.
+    branches, with the stored upper bound read through
+    :data:`EFFECTIVE_UPPER` so reserved Section 4.6 rows participate
+    with their effective bounds.  ``refine=None`` means the candidates
+    are exact (the ``intersects`` / ``stab`` predicates) and the
+    statement degenerates to the literal Figure 9 form.
     """
+    if refine:
+        refine = refine.replace('i."upper"', EFFECTIVE_UPPER)
     extra = f"  AND {refine}\n" if refine else ""
     return (
         f'SELECT "id" FROM {name} i, leftNodes l\n'

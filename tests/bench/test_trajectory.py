@@ -44,6 +44,18 @@ CROSSOVER_REPORT = {
                 "auto_accuracy": 1.0},
 }
 
+PREDICATE_REPORT = {
+    "scale": "tiny",
+    "parity_rows": [],
+    "grid_rows": [],
+    "summary": {
+        "predicates": 14, "pairs_total": 321, "grid_points": 6,
+        "correct_choices": 6, "auto_accuracy": 1.0,
+        "index_physical_reads": 100, "sweep_physical_reads": 40,
+        "sql_one_statement": True, "sql_plans_clean": True,
+    },
+}
+
 ALL_REPORTS = {
     "scan-throughput": SCAN_REPORT,
     "interval-join": JOIN_REPORT,
@@ -78,6 +90,23 @@ def test_extract_metrics_crossover():
         "index_physical_reads": 55,
         "sweep_physical_reads": 18,
     }
+
+
+def test_extract_metrics_predicate_join():
+    metrics = trajectory.extract_metrics("predicate-join", PREDICATE_REPORT)
+    assert metrics == {
+        "predicates": 14,
+        "pairs_total": 321,
+        "grid_points": 6,
+        "correct_choices": 6,
+        "auto_accuracy": 1.0,
+        "index_physical_reads": 100,
+        "sweep_physical_reads": 40,
+        "sql_one_statement": 1,
+    }
+    # accuracy metrics ratchet (AT_LEAST), counters stay exact
+    assert trajectory.METRIC_RULES["auto_accuracy"] == trajectory.AT_LEAST
+    assert "pairs_total" not in trajectory.METRIC_RULES
 
 
 def test_extract_metrics_unknown_bench():

@@ -238,3 +238,118 @@ def test_bound_summary_validation():
         BoundSummary([], [], buckets=1)
     with pytest.raises(ValueError, match="equal lengths"):
         BoundSummary([1], [], buckets=4)
+
+
+# ----------------------------------------------------------------------
+# predicate selectivity (Section 4.5 meets the Section 5 cost model)
+# ----------------------------------------------------------------------
+def test_relation_count_prefix_masses_track_exact_counts(modelled_tree):
+    """before/after are CDF prefix masses: near-exact at histogram
+    resolution on a generated workload."""
+    workload, _tree, model = modelled_tree
+    records = workload.records
+    n = len(records)
+    for lower, upper in [(50_000, 60_000), (200_000, 400_000),
+                         (700_000, 700_500)]:
+        exact_before = sum(1 for s, e, _ in records if e < lower)
+        exact_after = sum(1 for s, e, _ in records if s > upper)
+        est_before = model.summary.relation_count("before", lower, upper)
+        est_after = model.summary.relation_count("after", lower, upper)
+        assert est_before == pytest.approx(exact_before, abs=0.03 * n)
+        assert est_after == pytest.approx(exact_after, abs=0.03 * n)
+
+
+def test_relation_count_containment_clamped_by_candidates(modelled_tree):
+    """Containment/overlap estimates never exceed their candidate sets."""
+    _workload, _tree, model = modelled_tree
+    summary = model.summary
+    for lower, upper in [(100_000, 130_000), (0, 1_000_000)]:
+        assert summary.relation_count("during", lower, upper) <= \
+            summary.intersecting(lower, upper)
+        assert summary.relation_count("contains", lower, upper) <= \
+            summary.intersecting(lower, lower)
+        assert summary.relation_count("overlaps", lower, upper) <= \
+            summary.intersecting(lower, lower)
+        assert summary.relation_count("overlapped_by", lower, upper) <= \
+            summary.intersecting(upper, upper)
+
+
+def test_relation_count_covers_every_predicate(modelled_tree):
+    _workload, _tree, model = modelled_tree
+    from repro.core.predicates import PREDICATES
+
+    for name in PREDICATES:
+        value = model.summary.relation_count(name, 100_000, 130_000)
+        assert 0.0 <= value <= model.summary.count, name
+    with pytest.raises(ValueError, match="unknown relation"):
+        model.summary.relation_count("sideways", 0, 1)
+
+
+def test_estimate_query_intersects_reduces_to_estimate(modelled_tree):
+    _workload, _tree, model = modelled_tree
+    via_pred = model.estimate_query("intersects", 100_000, 140_000)
+    direct = model.estimate(100_000, 140_000)
+    assert via_pred == direct
+
+
+def test_estimate_query_prices_relational_predicates(modelled_tree):
+    """query('during', ...) is priced: candidate scan + refinement fetch."""
+    workload, tree, model = modelled_tree
+    records = workload.records
+    estimate = model.estimate_query("during", 100_000, 160_000)
+    exact = sum(1 for s, e, _ in records if 100_000 < s and e < 160_000)
+    n = len(records)
+    assert estimate.result_count == pytest.approx(exact, abs=0.05 * n)
+    assert estimate.logical_reads > 0
+    assert estimate.physical_reads > 0
+    # The candidate range of 'before' spans a data-space prefix, so its
+    # plan must be priced far above an equality-pinning relation's.
+    wide = model.estimate_query("before", 900_000, 901_000)
+    narrow = model.estimate_query("equals", 100_000, 102_000)
+    assert wide.logical_reads > narrow.logical_reads
+    # An empty candidate range prices to zero I/O.
+    empty = model.estimate_query("before", 0, 10)
+    assert empty.logical_reads == 0.0 and empty.result_count == 0.0
+
+
+def test_predicate_join_estimates_track_truth():
+    """The convolved predicate pair estimates land near the oracle for
+    the prefix-mass relations and stay sane for the rest."""
+    from repro.core.join import NestedLoopJoin
+
+    workload = join_workload(120, 3000, seed=7)
+    outer, inner = workload.outer.records, workload.inner.records
+    for pred in ("before", "after"):
+        estimate = choose_join_strategy(outer, inner, predicate=pred)
+        truth = len(NestedLoopJoin(predicate=pred).pairs(outer, inner))
+        assert estimate.result_count == pytest.approx(
+            truth, rel=0.1, abs=0.02 * len(outer) * len(inner)
+        ), pred
+    for pred in ("during", "overlaps", "meets", "equals"):
+        estimate = choose_join_strategy(outer, inner, predicate=pred)
+        assert 0.0 <= estimate.result_count <= len(outer) * len(inner)
+        assert estimate.index.physical_reads > 0
+        assert estimate.sweep.physical_reads > 0
+
+
+def test_predicate_join_decisions_pinned_regimes():
+    """Few probes with narrow candidates -> index; bulk disjoint
+    relations over a large inner side -> sweep."""
+    few = join_workload(5, 8000, seed=2)
+    estimate = choose_join_strategy(
+        few.outer.records, few.inner.records, predicate="during")
+    assert estimate.choice == "index-nested-loop"
+    many = join_workload(320, 4000, seed=2)
+    estimate = choose_join_strategy(
+        many.outer.records, many.inner.records, predicate="before")
+    assert estimate.choice == "sweep"
+
+
+def test_tree_model_and_engine_free_predicate_planner_agree(modelled_tree):
+    workload, _tree, model = modelled_tree
+    inner = workload.records
+    probes = join_workload(40, 10, seed=5).outer.records
+    for pred in ("before", "during", "meets"):
+        via_tree = model.estimate_join(probes, predicate=pred)
+        via_records = choose_join_strategy(probes, inner, predicate=pred)
+        assert via_tree.choice == via_records.choice, pred

@@ -56,6 +56,20 @@ def test_unknown_strategy_raises():
         interval_join(OUTER, INNER, strategy="hash")
 
 
+def test_unknown_strategy_message_dedupes_aliases():
+    """The 'index' alias must not masquerade as a distinct strategy."""
+    from repro.core.join import STRATEGY_NAMES
+
+    assert STRATEGY_NAMES == (
+        "auto", "index-nested-loop", "nested-loop", "sweep",
+    )
+    with pytest.raises(ValueError) as exc:
+        interval_join(OUTER, INNER, strategy="hash")
+    message = str(exc.value)
+    assert str(list(STRATEGY_NAMES)) in message
+    assert "alias" in message
+
+
 def test_strategy_registry_covers_all_names():
     assert set(JOIN_STRATEGIES) == {
         "nested-loop",
@@ -231,6 +245,80 @@ def test_auto_join_with_prebuilt_method_consults_its_model(rng):
     assert auto.last_decision.inner_n == len(inner)
 
 
+class _OpaqueOverlapStore:
+    """An IntervalStore that can answer probes but not enumerate itself."""
+
+    def __new__(cls, records):
+        from repro.core import IntervalStore
+
+        class Opaque(IntervalStore):
+            method_name = "opaque"
+
+            def __init__(self):
+                self._records = list(records)
+
+            def insert(self, lower, upper, interval_id):
+                self._records.append((lower, upper, interval_id))
+
+            def delete(self, lower, upper, interval_id):
+                self._records.remove((lower, upper, interval_id))
+
+            def intersection(self, lower, upper):
+                return [i for s, e, i in self._records
+                        if s <= upper and e >= lower]
+
+            @property
+            def interval_count(self):
+                return len(self._records)
+
+            @property
+            def index_entry_count(self):
+                return len(self._records)
+
+        return Opaque()
+
+
+def test_auto_join_reports_dispatch_on_cannot_enumerate_fallback():
+    """Satellite bugfix: when the planner picks sweep but the method
+    cannot enumerate its records, the join degrades to index-nested-loop
+    -- and last_dispatch must say so while last_decision keeps the
+    planner's (sweep) verdict."""
+    from repro.workloads import join_workload
+    from repro.workloads.joins import expected_pair_count
+
+    # The pinned sweep-favored crossover workload (cf. test_costmodel).
+    workload = join_workload(1000, 2000, seed=4)
+    outer, inner = workload.outer.records, workload.inner.records
+    store = _OpaqueOverlapStore(inner)
+    assert store.cost_model() is None
+    assert store.stored_records() is None
+    auto = AutoJoin(method=store)
+    assert auto.last_dispatch is None
+    count = auto.count(outer, inner)
+    assert auto.last_decision.choice == "sweep"
+    assert auto.last_dispatch == "index-nested-loop"
+    assert count == expected_pair_count(outer, inner)
+
+
+def test_auto_join_dispatch_matches_choice_when_enumerable(rng):
+    """On every non-fallback path the two fields agree."""
+    outer = make_intervals(rng, 40, domain=10_000, mean_length=300)
+    inner = [
+        (lo, up, 5000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 60, domain=10_000, mean_length=300)
+        )
+    ]
+    auto = AutoJoin()
+    auto.pairs(outer, inner)
+    assert auto.last_dispatch == auto.last_decision.choice
+    tree = RITree()
+    tree.bulk_load(inner)
+    prebuilt = AutoJoin(method=tree)
+    prebuilt.pairs(outer, inner=[])
+    assert prebuilt.last_dispatch == prebuilt.last_decision.choice
+
+
 def test_auto_join_sweep_choice_recovers_stored_records(rng):
     """A prebuilt inner index, planner picks sweep: records are recovered."""
     inner = make_intervals(rng, 80, domain=10_000, mean_length=400)
@@ -352,3 +440,38 @@ def test_run_join_batch_plan_without_model_is_noop(rng):
     probes = [(100, 5000, 1), (8000, 9000, 2)]
     batch = run_join_batch(wl, probes, plan=True)
     assert batch.decision is None
+
+
+def test_run_join_batch_runs_predicate_joins(rng):
+    """The harness drives predicate joins and surfaces plan + dispatch."""
+    from repro.core.join import NestedLoopJoin as Oracle
+
+    inner = make_intervals(rng, 200, domain=30_000, mean_length=500)
+    probes = [
+        (lo, up, 6000 + i)
+        for i, (lo, up, _) in enumerate(
+            make_intervals(rng, 15, domain=30_000, mean_length=800)
+        )
+    ]
+    tree = RITree()
+    tree.bulk_load(inner)
+    tree.db.flush()
+    batch = run_join_batch(tree, probes, predicate="during", plan=True)
+    assert batch.pairs == len(
+        Oracle(predicate="during").pairs(probes, inner)
+    )
+    assert batch.predicate == "during"
+    assert batch.logical_io > 0
+    assert batch.decision["choice"] in ("index-nested-loop", "sweep")
+    row = batch.as_row()
+    assert row["predicate"] == "during"
+    # The harness always measures the store's own (index) join path;
+    # the row says so next to the planner's choice.
+    assert row["dispatched"] == "index-nested-loop"
+    assert row["planner choice"] == batch.decision["choice"]
+    # Pair path agrees with count path under a predicate.
+    pairs_batch = run_join_batch(
+        tree, probes, predicate="during", count_only=False
+    )
+    assert pairs_batch.pairs == batch.pairs
+    assert pairs_batch.logical_io == batch.logical_io

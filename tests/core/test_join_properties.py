@@ -9,7 +9,7 @@ an oracle running on the materialised effective bounds.
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import TemporalRITree
+from repro.core import RITree, TemporalRITree
 from repro.core.costmodel import DEFAULT_BUCKETS, choose_join_strategy
 from repro.core.join import (
     AutoJoin,
@@ -17,9 +17,19 @@ from repro.core.join import (
     NestedLoopJoin,
     SweepJoin,
 )
+from repro.core.predicates import JOIN_PREDICATES
+from repro.core.temporal import UPPER_INF
 from repro.workloads.joins import expected_pair_count, join_workload
 
 DOMAIN_MAX = 2**20 - 1
+
+#: Small shared-endpoint records: point intervals and shared bounds
+#: arise with real probability, the degenerate cases Allen inverses are
+#: most sensitive to.
+dense_record = st.tuples(
+    st.integers(0, 40),
+    st.integers(0, 10),
+).map(lambda t: (t[0], t[0] + t[1]))
 
 #: Finite records: points (length 0) arise with real probability.
 record = st.tuples(
@@ -96,6 +106,91 @@ def test_temporal_join_matches_oracle_on_effective_bounds(
     index_join = IndexNestedLoopJoin(method=tree)
     assert sorted(index_join.pairs(outer, inner=[])) == expected
     assert index_join.count(outer, inner=[]) == len(expected)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(dense_record, max_size=25), st.lists(dense_record, max_size=25))
+def test_all_strategies_match_oracle_on_every_join_predicate(
+    outer_raw, inner_raw
+):
+    """Tentpole property: 4 strategies x 14 predicates, identical sets.
+
+    Random workloads with point intervals and shared endpoints; the
+    nested-loop oracle (direct formula, outer subject) is ground truth.
+    One RI-tree serves every predicate's index probes; auto plans with
+    the tree's own cost model.
+    """
+    outer = _with_ids(outer_raw, 1000)
+    inner = _with_ids(inner_raw, 9000)
+    tree = RITree()
+    tree.bulk_load(inner)
+    for name in JOIN_PREDICATES:
+        expected = sorted(NestedLoopJoin(predicate=name).pairs(outer, inner))
+        assert sorted(SweepJoin(predicate=name).pairs(outer, inner)) == \
+            expected, name
+        assert sorted(tree.join_pairs(outer, predicate=name)) == \
+            expected, name
+        assert tree.join_count(outer, predicate=name) == len(expected), name
+        auto = AutoJoin(method=tree, predicate=name)
+        assert sorted(auto.pairs(outer, inner=[])) == expected, name
+        assert auto.last_dispatch == auto.last_decision.choice
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.lists(dense_record, max_size=20),
+    st.lists(st.integers(0, 40), max_size=6),
+    st.lists(st.integers(0, 30), max_size=6),
+    st.lists(dense_record, max_size=15),
+    st.integers(30, 60),
+)
+def test_predicate_joins_handle_temporal_sentinels(
+    inner_raw, infinite_lowers, now_lowers, outer_raw, now
+):
+    """now/infinity rows join correctly under every predicate.
+
+    The inner side is a TemporalRITree holding finite, ``[s, oo)`` and
+    ``[s, now]`` intervals; the oracle and the sweep run on the
+    effective-bound relation (``now`` materialised to the clock,
+    infinity as the ``UPPER_INF`` sentinel -- exactly what
+    ``stored_records`` reports).  The index path must agree through the
+    reserved-node scans and the leaf-slice refinement.
+    """
+    tree = TemporalRITree(now=now)
+    effective = []
+    next_id = 9000
+    for lower, upper in inner_raw:
+        tree.insert(lower, upper, interval_id=next_id)
+        effective.append((lower, upper, next_id))
+        next_id += 1
+    for lower in infinite_lowers:
+        tree.insert_infinite(lower, interval_id=next_id)
+        effective.append((lower, UPPER_INF, next_id))
+        next_id += 1
+    for lower in now_lowers:
+        tree.insert_until_now(lower, interval_id=next_id)
+        effective.append((lower, now, next_id))
+        next_id += 1
+
+    outer = _with_ids(outer_raw, 1000)
+    assert sorted(tree.stored_records()) == sorted(effective)
+    for name in JOIN_PREDICATES:
+        expected = sorted(
+            NestedLoopJoin(predicate=name).pairs(outer, effective))
+        assert sorted(
+            SweepJoin(predicate=name).pairs(outer, tree.stored_records())
+        ) == expected, name
+        assert sorted(tree.join_pairs(outer, predicate=name)) == \
+            expected, name
+        assert tree.join_count(outer, predicate=name) == len(expected), name
 
 
 def _estimate_error_bound(outer_n, inner_n, buckets):

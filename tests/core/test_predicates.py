@@ -35,6 +35,63 @@ def test_registry_is_complete():
     assert set(JOIN_PREDICATES) == {"intersects"} | set(ALLEN_RELATIONS)
 
 
+#: The pinned inverse table of the tentpole: subject-swap per relation.
+EXPECTED_INVERSES = {
+    "intersects": "intersects",
+    "before": "after",
+    "after": "before",
+    "meets": "met_by",
+    "met_by": "meets",
+    "overlaps": "overlapped_by",
+    "overlapped_by": "overlaps",
+    "during": "contains",
+    "contains": "during",
+    "starts": "started_by",
+    "started_by": "starts",
+    "finishes": "finished_by",
+    "finished_by": "finishes",
+    "equals": "equals",
+}
+
+
+def test_inverse_table_is_pinned_and_involutive():
+    for name, inverse_name in EXPECTED_INVERSES.items():
+        pred = PREDICATES[name]
+        assert pred.inverse_name == inverse_name
+        assert pred.inverse is PREDICATES[inverse_name]
+        assert pred.inverse.inverse is pred
+    with pytest.raises(ValueError, match="no inverse"):
+        PREDICATES["stab"].inverse
+
+
+def test_inverse_identity_exhaustive_on_proper_intervals():
+    """p.holds(a, b, c, d) == p.inverse.holds(c, d, a, b), exhaustively.
+
+    Exact for every proper-interval pair over a small domain -- Allen's
+    algebra.  Degenerate (point) intervals may break the symmetry at
+    shared endpoints, which is why the compiled join plans refine with
+    the direct formula; pin one such asymmetry so the caveat stays real.
+    """
+    domain = range(7)
+    for name in JOIN_PREDICATES:
+        pred = PREDICATES[name]
+        inverse = pred.inverse
+        for a in domain:
+            for b in domain:
+                if a >= b:
+                    continue
+                for c in domain:
+                    for d in domain:
+                        if c >= d:
+                            continue
+                        assert pred.holds(a, b, c, d) == \
+                            inverse.holds(c, d, a, b), (name, a, b, c, d)
+    # The documented degenerate asymmetry: a point meeting an interval.
+    meets, met_by = PREDICATES["meets"], PREDICATES["met_by"]
+    assert not meets.holds(5, 5, 5, 9)
+    assert met_by.holds(5, 9, 5, 5)
+
+
 def test_get_predicate_resolves_names_and_objects():
     pred = get_predicate("during")
     assert pred.name == "during"
@@ -154,6 +211,7 @@ def test_minimal_store_gets_predicates_for_free(rng):
 
 @pytest.mark.parametrize("name", sorted(JOIN_PREDICATES))
 def test_join_strategies_match_the_oracle(name, rng):
+    """All FOUR strategies emit the pure-formula pair set per predicate."""
     _anchors, records = shared_endpoint_records(rng, count=260)
     outer = records[:120]
     inner = [(s, e, 10_000 + i) for s, e, i in records[120:]]
@@ -164,10 +222,121 @@ def test_join_strategies_match_the_oracle(name, rng):
         for s in inner
         if pred.holds(r[0], r[1], s[0], s[1])
     )
-    sweep = sorted(interval_join(outer, inner, "sweep", predicate=name))
-    nested = sorted(interval_join(outer, inner, "nested-loop", predicate=name))
-    assert sweep == expected
-    assert nested == expected
+    for strategy in ("sweep", "nested-loop", "index", "auto"):
+        got = sorted(interval_join(outer, inner, strategy, predicate=name))
+        assert got == expected, (strategy, name)
+
+
+@pytest.mark.parametrize("name", sorted(JOIN_PREDICATES))
+def test_store_join_hooks_take_predicates(name, rng):
+    """join_pairs/join_count accept predicates on both backends."""
+    _anchors, records = shared_endpoint_records(rng, count=220)
+    inner = records[:140]
+    probes = [(s, e, 20_000 + i) for s, e, i in records[140:]]
+    pred = PREDICATES[name]
+    expected = sorted(
+        (r[2], s[2])
+        for r in probes
+        for s in inner
+        if pred.holds(r[0], r[1], s[0], s[1])
+    )
+    engine_tree = RITree()
+    engine_tree.bulk_load(inner)
+    sql_tree = SQLRITree()
+    sql_tree.bulk_load(inner)
+    for store in (engine_tree, sql_tree):
+        assert sorted(store.join_pairs(probes, predicate=name)) == expected
+        assert store.join_count(probes, predicate=name) == len(expected)
+
+
+class _ListStore:
+    """Minimal enumerable IntervalStore for default-path tests."""
+
+    def __new__(cls):
+        from repro.core import IntervalStore
+
+        class ListStore(IntervalStore):
+            def __init__(self):
+                self.records = []
+
+            def insert(self, lower, upper, interval_id):
+                self.records.append((lower, upper, interval_id))
+
+            def delete(self, lower, upper, interval_id):
+                self.records.remove((lower, upper, interval_id))
+
+            def intersection(self, lower, upper):
+                return [i for s, e, i in self.records
+                        if s <= upper and e >= lower]
+
+            def stored_records(self):
+                return list(self.records)
+
+            @property
+            def interval_count(self):
+                return len(self.records)
+
+            @property
+            def index_entry_count(self):
+                return len(self.records)
+
+        return ListStore()
+
+
+def test_generic_store_predicate_join_refines_enumerated_records(rng):
+    """The IntervalStore default: enumeration + direct-formula refine.
+
+    Exact also on degenerate (point) intervals, because the enumerable
+    branch applies the predicate's direct formula.
+    """
+    _anchors, records = shared_endpoint_records(rng, count=160)
+    inner = records[:100] + [(7, 7, 900), (50, 50, 901)]
+    probes = [(s, e, 30_000 + i) for s, e, i in records[100:]]
+    probes += [(0, 7, 31_000), (50, 50, 31_001)]
+    store = _ListStore()
+    store.bulk_load(inner)
+    for name in ("before", "during", "meets", "equals", "met_by"):
+        pred = PREDICATES[name]
+        expected = sorted(
+            (r[2], s[2])
+            for r in probes
+            for s in inner
+            if pred.holds(r[0], r[1], s[0], s[1])
+        )
+        assert sorted(store.join_pairs(probes, predicate=name)) == expected
+        assert store.join_count(probes, predicate=name) == len(expected)
+
+
+def test_opaque_store_predicate_join_loops_inverse_queries(rng):
+    """Without enumeration, the default loops query() with the inverse."""
+    _anchors, records = shared_endpoint_records(rng, count=140)
+    inner = records[:90]
+    probes = [(s, e, 40_000 + i) for s, e, i in records[90:]]
+    store = _ListStore()
+    store.bulk_load(inner)
+    hidden = store.stored_records()
+
+    queried = []
+
+    class Opaque(type(store)):
+        def stored_records(self):
+            return None
+
+        def _query_relation(self, pred, lower, upper):
+            queried.append(pred.name)
+            return pred.filter(hidden, lower, upper)
+
+    opaque = Opaque()
+    opaque.bulk_load(inner)
+    # Proper intervals only here: the inverse-query path is exact on them.
+    pairs = opaque.join_pairs(probes, predicate="before")
+    expected = sorted(
+        (r[2], s[2]) for r in probes for s in inner if r[1] < s[0]
+    )
+    assert sorted(pairs) == expected
+    # The store was probed with the INVERSE relation (stored-subject).
+    assert set(queried) == {"after"}
+    assert opaque.join_count(probes, predicate="before") == len(expected)
 
 
 @pytest.mark.parametrize(
@@ -181,15 +350,17 @@ def test_sweep_count_matches_pairs(name, rng):
     assert strategy.count(outer, inner) == len(strategy.pairs(outer, inner))
 
 
-def test_predicate_joins_reject_index_strategies():
+def test_predicate_joins_run_on_every_strategy():
+    """The index strategies take predicates too (inverse through
+    join_pairs); only 'stab' is rejected -- it is not a join predicate."""
     outer = [(0, 10, 1)]
     inner = [(20, 30, 2)]
-    with pytest.raises(ValueError):
-        interval_join(outer, inner, "index", predicate="before")
-    with pytest.raises(ValueError):
-        interval_join(outer, inner, "auto", predicate="during")
-    with pytest.raises(ValueError):
-        interval_join(outer, inner, "sweep", predicate="stab")
+    for strategy in ("sweep", "nested-loop", "index", "auto"):
+        assert interval_join(outer, inner, strategy,
+                             predicate="before") == [(1, 2)]
+        assert interval_join(outer, inner, strategy,
+                             predicate="during") == []
+        with pytest.raises(ValueError, match="stab"):
+            interval_join(outer, inner, strategy, predicate="stab")
     # The default predicate is the intersection join on every strategy.
     assert interval_join(outer, inner, "index", predicate="intersects") == []
-    assert interval_join(outer, inner, "sweep", predicate="before") == [(1, 2)]
