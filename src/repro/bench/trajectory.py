@@ -107,6 +107,19 @@ def _join_crossover_metrics(report: dict) -> dict:
     }
 
 
+def _recovery_metrics(report: dict) -> dict:
+    summary = report["summary"]
+    return {
+        "crash_points": summary["crash_points"],
+        "recovered_clean": summary["recovered_clean"],
+        "all_recovered": summary["all_recovered"],
+        "replayed_ops": summary["replayed_ops"],
+        "wal_writes": summary["wal_writes"],
+        "wal_reads": summary["wal_reads"],
+        "records": summary["records"],
+    }
+
+
 #: Benchmark name -> metrics extractor over its JSON report.
 BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "scan-throughput": _scan_throughput_metrics,
@@ -114,6 +127,7 @@ BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "join-crossover": _join_crossover_metrics,
     "sql-join": _sql_join_metrics,
     "predicate-join": _predicate_join_metrics,
+    "recovery": _recovery_metrics,
 }
 
 

@@ -26,6 +26,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..engine.database import Database
 from .interval import validate_interval
+from .verify import VerificationReport
 
 #: An interval record handed to interval stores: (lower, upper, id).
 IntervalRecord = tuple[int, int, int]
@@ -251,6 +252,53 @@ class IntervalStore(ABC):
             self.intersection_count(lower, upper)
             for lower, upper, _probe_id in probes
         )
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(self) -> VerificationReport:
+        """Check this store's structural invariants.
+
+        Returns a :class:`~repro.core.verify.VerificationReport` listing
+        every check that ran and every violation found -- backends extend
+        :meth:`_verify_into` with their structural validators (B+-tree
+        invariants and fork-node consistency on the simulated engine,
+        ``PRAGMA integrity_check`` and index presence on sqlite).  The
+        report is truthy when the store is intact.
+        """
+        report = VerificationReport(
+            store=getattr(self, "name", type(self).__name__),
+            backend=self.method_name,
+        )
+        self._verify_into(report)
+        return report
+
+    def _verify_into(self, report: VerificationReport) -> None:
+        """Backend-neutral checks; subclasses extend and call ``super()``."""
+        report.add_check("interval-count")
+        if self.interval_count < 0:
+            report.add_issue(
+                "negative-count",
+                f"interval_count is {self.interval_count}",
+            )
+        records = self.stored_records()
+        if records is not None:
+            report.add_check("record-count")
+            if len(records) != self.interval_count:
+                report.add_issue(
+                    "record-count-mismatch",
+                    f"stored_records() returned {len(records)} records "
+                    f"but interval_count is {self.interval_count}",
+                )
+            report.add_check("record-bounds")
+            for lower, upper, interval_id in records:
+                if lower > upper:
+                    report.add_issue(
+                        "inverted-interval",
+                        f"record ({lower}, {upper}, {interval_id}) has "
+                        "lower > upper",
+                        {"id": interval_id},
+                    )
 
     # ------------------------------------------------------------------
     # accounting (Figure 12's storage metric and general bookkeeping)

@@ -24,12 +24,14 @@ from typing import Callable, Iterator, Optional, Sequence
 
 from ..engine.bptree import coalesce_ranges
 from ..engine.database import Database
+from ..engine.errors import SchemaError
 from ..engine.serial import pad_high, pad_low
 from .access import AccessMethod, IntervalRecord
 from .backbone import MAX_ABS_BOUND, VirtualBackbone
 from .interval import validate_interval
 from .predicates import resolve_join_predicate
 from .transient import QueryNodes, collect_query_nodes
+from .verify import VerificationReport, verify_engine_tree
 
 #: A compiled scan range: (lo, hi) bounds padded to full index arity.
 ScanRange = tuple[tuple[int, ...], tuple[int, ...]]
@@ -84,9 +86,19 @@ class RITree(AccessMethod):
         super().__init__(db)
         self.backbone = backbone if backbone is not None else VirtualBackbone()
         self.coalesce_scans = coalesce_scans
-        self.table = self.db.create_table(name, ["node", "lower", "upper", "id"])
-        self.table.create_index("lowerIndex", ["node", "lower", "id"])
-        self.table.create_index("upperIndex", ["node", "upper", "id"])
+        self.name = name
+        # The DDL is one atomic WAL batch: a crash between the table and
+        # its indexes can never leave a half-created relation on recovery.
+        with self.db.atomic():
+            self.table = self.db.create_table(
+                name, ["node", "lower", "upper", "id"]
+            )
+            self.table.create_index("lowerIndex", ["node", "lower", "id"])
+            self.table.create_index("upperIndex", ["node", "upper", "id"])
+        self._bind_runtime_state()
+
+    def _bind_runtime_state(self) -> None:
+        """Volatile (non-schema) state shared by ``__init__`` and attach."""
         # Direct B+-tree handles for the query executor: the scan plan is
         # executed against the trees, bypassing the per-scan catalog lookup.
         self._lower_tree = self.table.index("lowerIndex").tree
@@ -102,6 +114,63 @@ class RITree(AccessMethod):
         self._cost_model = None
 
     # ------------------------------------------------------------------
+    # durability (attach after recovery, metadata logging)
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, db: Database, name: str = "Intervals") -> "RITree":
+        """Bind a store object to an existing relation (post-recovery).
+
+        :meth:`~repro.engine.database.Database.recover` rebuilds tables
+        and indexes from the WAL, but the store-level state -- backbone
+        parameters, data-space envelope, the temporal clock -- lives in
+        the ``meta`` records the mutators log.  ``attach`` restores that
+        state from :meth:`~repro.engine.database.Database.store_meta` and
+        returns a fully operational store over the recovered relation.
+        """
+        if not db.has_table(name):
+            raise SchemaError(f"cannot attach {cls.__name__}: no table {name}")
+        store = cls.__new__(cls)
+        store._init_attached(db, name, db.store_meta(name))
+        return store
+
+    def _init_attached(
+        self, db: Database, name: str, meta: Optional[dict]
+    ) -> None:
+        AccessMethod.__init__(self, db)
+        self.backbone = VirtualBackbone()
+        self.coalesce_scans = False
+        self.name = name
+        self.table = db.table(name)
+        self._bind_runtime_state()
+        if meta:
+            self._restore_meta(meta)
+
+    def _restore_meta(self, meta: dict) -> None:
+        self.backbone.offset = meta.get("offset")
+        self.backbone.left_root = meta.get("left_root", 0)
+        self.backbone.right_root = meta.get("right_root", 0)
+        self.backbone.minstep = meta.get("minstep")
+        self._min_lower = meta.get("min_lower")
+        self._max_upper = meta.get("max_upper")
+        self.coalesce_scans = bool(meta.get("coalesce_scans", False))
+
+    def _durable_meta(self) -> dict:
+        """The store state a WAL ``meta`` record must carry to reattach."""
+        return {
+            "kind": "ritree",
+            "offset": self.backbone.offset,
+            "left_root": self.backbone.left_root,
+            "right_root": self.backbone.right_root,
+            "minstep": self.backbone.minstep,
+            "min_lower": self._min_lower,
+            "max_upper": self._max_upper,
+            "coalesce_scans": self.coalesce_scans,
+        }
+
+    def _log_meta(self) -> None:
+        self.db.log_meta(self.name, self._durable_meta())
+
+    # ------------------------------------------------------------------
     # updates (Section 3.3 / Figure 6)
     # ------------------------------------------------------------------
     def insert(self, lower: int, upper: int, interval_id: int) -> None:
@@ -111,8 +180,10 @@ class RITree(AccessMethod):
         insert maintains both composite indexes.
         """
         node = self.backbone.register(lower, upper)
-        self.table.insert((node, lower, upper, interval_id))
-        self._note_bounds(lower, upper)
+        with self.db.atomic():
+            self.table.insert((node, lower, upper, interval_id))
+            self._note_bounds(lower, upper)
+            self._log_meta()
 
     def delete(self, lower: int, upper: int, interval_id: int) -> None:
         """Delete the exact record ``(lower, upper, interval_id)``.
@@ -131,7 +202,9 @@ class RITree(AccessMethod):
             # The lowerIndex key omits the upper bound; confirm it on the
             # base row so deleting (l, u, id) cannot remove (l, u', id).
             if self.table.fetch(rowid)[2] == upper:
-                self.table.delete(rowid)
+                with self.db.atomic():
+                    self.table.delete(rowid)
+                    self._log_meta()
                 return
         raise KeyError((lower, upper, interval_id))
 
@@ -142,7 +215,19 @@ class RITree(AccessMethod):
             node = self.backbone.register(lower, upper)
             rows.append((node, lower, upper, interval_id))
             self._note_bounds(lower, upper)
-        self.table.bulk_load(rows)
+        with self.db.atomic():
+            self.table.bulk_load(rows)
+            self._log_meta()
+
+    def extend(self, intervals) -> None:
+        """Insert many intervals as *one* atomic batch (one group commit).
+
+        A crash anywhere inside the batch rolls the whole extension back:
+        recovery restores the pre-batch store, never a partial one.
+        """
+        with self.db.atomic():
+            for lower, upper, interval_id in intervals:
+                self.insert(lower, upper, interval_id)
 
     # ------------------------------------------------------------------
     # queries (Section 4 / Figures 9 and 10)
@@ -452,6 +537,98 @@ class RITree(AccessMethod):
         """
         from . import topology
         return topology.query_relation(self, pred.name, lower, upper)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def _verify_into(self, report: VerificationReport) -> None:
+        """Structural validators for the engine-backed RI-tree.
+
+        Checks, in order: both composite B+-trees' structural invariants
+        (key order, fill factors, leaf chain), index/heap entry counts,
+        per-row index membership and Figure 6 fork-node consistency, and
+        the sanity of the Section 3.4 backbone parameters.
+        """
+        super()._verify_into(report)
+        verify_engine_tree(report, self._lower_tree, "lowerIndex")
+        verify_engine_tree(report, self._upper_tree, "upperIndex")
+        rows = list(self.table.scan())
+        report.add_check("index-entry-count")
+        for label, tree in (
+            ("lowerIndex", self._lower_tree),
+            ("upperIndex", self._upper_tree),
+        ):
+            if len(tree) != len(rows):
+                report.add_issue(
+                    "index-entry-count",
+                    f"{label} holds {len(tree)} entries for "
+                    f"{len(rows)} heap rows",
+                    {"index": label},
+                )
+        report.add_check("index-heap-consistency")
+        report.add_check("fork-node")
+        for rowid, (node, lower, upper, interval_id) in rows:
+            if not self._lower_tree.contains((node, lower, interval_id, rowid)):
+                report.add_issue(
+                    "missing-index-entry",
+                    f"heap row {rowid} has no lowerIndex entry",
+                    {"index": "lowerIndex", "rowid": rowid},
+                )
+            if not self._upper_tree.contains((node, upper, interval_id, rowid)):
+                report.add_issue(
+                    "missing-index-entry",
+                    f"heap row {rowid} has no upperIndex entry",
+                    {"index": "upperIndex", "rowid": rowid},
+                )
+            self._verify_row(report, rowid, node, lower, upper, interval_id)
+        report.add_check("backbone-params")
+        backbone = self.backbone
+        if backbone.left_root > 0 or backbone.right_root < 0:
+            report.add_issue(
+                "backbone-roots",
+                f"roots ({backbone.left_root}, {backbone.right_root}) are "
+                "not on their sides of the global root",
+            )
+        for root in (backbone.left_root, backbone.right_root):
+            if root and abs(root) & (abs(root) - 1):
+                report.add_issue(
+                    "backbone-roots",
+                    f"root {root} is not a power of two",
+                )
+        if rows and backbone.offset is None:
+            report.add_issue(
+                "missing-offset",
+                f"{len(rows)} stored rows but the backbone has no offset",
+            )
+
+    def _verify_row(
+        self,
+        report: VerificationReport,
+        rowid: int,
+        node: int,
+        lower: int,
+        upper: int,
+        interval_id: int,
+    ) -> None:
+        """Per-row validator; the temporal subclass allows reserved rows."""
+        if self.backbone.is_empty:
+            return  # missing-offset already reported
+        try:
+            expected = self.backbone.fork_node(lower, upper)
+        except ValueError as exc:
+            report.add_issue(
+                "fork-node-unreachable",
+                f"heap row {rowid}: {exc}",
+                {"rowid": rowid},
+            )
+            return
+        if node != expected:
+            report.add_issue(
+                "fork-node-mismatch",
+                f"heap row {rowid} stored at node {node}, Figure 6 "
+                f"computes {expected} for ({lower}, {upper})",
+                {"rowid": rowid, "node": node, "expected": expected},
+            )
 
     # ------------------------------------------------------------------
     # accounting

@@ -28,6 +28,7 @@ from typing import Optional
 from ..engine.database import Database
 from .interval import validate_interval
 from .ritree import RITree
+from .verify import VerificationReport
 
 #: Reserved fork node for intervals ending at infinity ("MAXINT").
 FORK_INF = 2 ** 50
@@ -77,6 +78,33 @@ class TemporalRITree(RITree):
         self.add_right_node_hook(self._now_node)
 
     # ------------------------------------------------------------------
+    # durability (attach after recovery, metadata logging)
+    # ------------------------------------------------------------------
+    def _init_attached(self, db, name, meta):
+        self._now = 0
+        self._infinite_count = 0
+        self._now_count = 0
+        super()._init_attached(db, name, meta)
+        self.add_right_node_hook(self._infinity_node)
+        self.add_right_node_hook(self._now_node)
+
+    def _restore_meta(self, meta: dict) -> None:
+        super()._restore_meta(meta)
+        self._now = meta.get("now", 0)
+        self._infinite_count = meta.get("infinite_count", 0)
+        self._now_count = meta.get("now_count", 0)
+
+    def _durable_meta(self) -> dict:
+        meta = super()._durable_meta()
+        meta.update(
+            kind="temporal",
+            now=self._now,
+            infinite_count=self._infinite_count,
+            now_count=self._now_count,
+        )
+        return meta
+
+    # ------------------------------------------------------------------
     # the clock
     # ------------------------------------------------------------------
     @property
@@ -85,11 +113,18 @@ class TemporalRITree(RITree):
         return self._now
 
     def advance_to(self, timestamp: int) -> None:
-        """Move the clock forward; time never runs backwards."""
+        """Move the clock forward; time never runs backwards.
+
+        The tick mutates no relation, but it *is* durable state: the
+        effective upper bound of every now-relative interval depends on
+        it, so the new clock is logged as a store-metadata record.
+        """
         if timestamp < self._now:
             raise ValueError(
                 f"clock moves forward only: {timestamp} < now={self._now}")
-        self._now = timestamp
+        with self.db.atomic():
+            self._now = timestamp
+            self._log_meta()
 
     # ------------------------------------------------------------------
     # updates for special intervals
@@ -97,9 +132,11 @@ class TemporalRITree(RITree):
     def insert_infinite(self, lower: int, interval_id: int) -> None:
         """Insert the open-ended interval ``[lower, infinity)``."""
         self._ensure_offset(lower)
-        self._store_at_node(FORK_INF, lower, UPPER_INF, interval_id)
-        self._note_bounds(lower, UPPER_INF)
-        self._infinite_count += 1
+        with self.db.atomic():
+            self._store_at_node(FORK_INF, lower, UPPER_INF, interval_id)
+            self._note_bounds(lower, UPPER_INF)
+            self._infinite_count += 1
+            self._log_meta()
 
     def insert_until_now(self, lower: int, interval_id: int) -> None:
         """Insert the now-relative interval ``[lower, now]``.
@@ -112,28 +149,36 @@ class TemporalRITree(RITree):
                 f"now-relative interval starts at {lower}, after now="
                 f"{self._now}")
         self._ensure_offset(lower)
-        self._store_at_node(FORK_NOW, lower, UPPER_NOW, interval_id)
-        self._note_bounds(lower, lower)
-        self._now_count += 1
+        with self.db.atomic():
+            self._store_at_node(FORK_NOW, lower, UPPER_NOW, interval_id)
+            self._note_bounds(lower, lower)
+            self._now_count += 1
+            self._log_meta()
 
     def delete_infinite(self, lower: int, interval_id: int) -> None:
         """Delete an infinite interval by its lower bound and id."""
-        self._delete_at_node(FORK_INF, lower, interval_id)
-        self._infinite_count -= 1
+        with self.db.atomic():
+            self._delete_at_node(FORK_INF, lower, interval_id)
+            self._infinite_count -= 1
+            self._log_meta()
 
     def delete_until_now(self, lower: int, interval_id: int) -> None:
         """Delete a now-relative interval by its lower bound and id."""
-        self._delete_at_node(FORK_NOW, lower, interval_id)
-        self._now_count -= 1
+        with self.db.atomic():
+            self._delete_at_node(FORK_NOW, lower, interval_id)
+            self._now_count -= 1
+            self._log_meta()
 
     def close_now_interval(self, lower: int, interval_id: int,
                            upper: int) -> None:
         """Terminate ``[lower, now]`` at a fixed ``upper`` (e.g. logical
         deletion in a valid-time table): the record is re-registered as an
-        ordinary finite interval."""
+        ordinary finite interval.  Delete and re-insert commit as one
+        atomic batch -- a crash in between cannot lose the record."""
         validate_interval(lower, upper)
-        self.delete_until_now(lower, interval_id)
-        self.insert(lower, upper, interval_id)
+        with self.db.atomic():
+            self.delete_until_now(lower, interval_id)
+            self.insert(lower, upper, interval_id)
 
     # ------------------------------------------------------------------
     # accounting
@@ -147,6 +192,68 @@ class TemporalRITree(RITree):
     def now_relative_count(self) -> int:
         """Number of stored ``[s, now]`` intervals."""
         return self._now_count
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def _verify_into(self, report: VerificationReport) -> None:
+        """As in :class:`RITree`, plus the Section 4.6 reserved rows."""
+        super()._verify_into(report)
+        report.add_check("reserved-rows")
+        stored_inf = stored_now = 0
+        for _rowid, (node, _lower, _upper, _iid) in self.table.scan():
+            if node == FORK_INF:
+                stored_inf += 1
+            elif node == FORK_NOW:
+                stored_now += 1
+        if stored_inf != self._infinite_count:
+            report.add_issue(
+                "reserved-count-mismatch",
+                f"{stored_inf} rows at FORK_INF but infinite_count is "
+                f"{self._infinite_count}",
+            )
+        if stored_now != self._now_count:
+            report.add_issue(
+                "reserved-count-mismatch",
+                f"{stored_now} rows at FORK_NOW but now_relative_count is "
+                f"{self._now_count}",
+            )
+
+    def _verify_row(self, report, rowid, node, lower, upper, interval_id):
+        if node == FORK_INF:
+            if upper != UPPER_INF:
+                report.add_issue(
+                    "reserved-row-upper",
+                    f"row {rowid} at FORK_INF stores upper {upper}, "
+                    f"expected the UPPER_INF sentinel",
+                    {"rowid": rowid},
+                )
+            return
+        if node == FORK_NOW:
+            if upper != UPPER_NOW:
+                report.add_issue(
+                    "reserved-row-upper",
+                    f"row {rowid} at FORK_NOW stores upper {upper}, "
+                    f"expected the UPPER_NOW sentinel",
+                    {"rowid": rowid},
+                )
+            if lower > self._now:
+                report.add_issue(
+                    "now-row-after-clock",
+                    f"now-relative row {rowid} starts at {lower}, after "
+                    f"now={self._now}",
+                    {"rowid": rowid},
+                )
+            return
+        if upper in (UPPER_INF, UPPER_NOW):
+            report.add_issue(
+                "sentinel-on-regular-node",
+                f"row {rowid} at ordinary node {node} stores a reserved "
+                f"sentinel upper bound",
+                {"rowid": rowid},
+            )
+            return
+        super()._verify_row(report, rowid, node, lower, upper, interval_id)
 
     # ------------------------------------------------------------------
     # record materialisation

@@ -13,6 +13,13 @@ Typical use::
     t = db.create_table("Intervals", ["node", "lower", "upper", "id"])
     t.create_index("lowerIndex", ["node", "lower"])
     t.create_index("upperIndex", ["node", "upper"])
+
+For durability experiments, attach a write-ahead log and a fault injector::
+
+    from repro.engine import Database, FaultInjector
+
+    injector = FaultInjector(seed=7).crash_at_write_point(3)
+    db = Database(wal=True, injector=injector)
 """
 
 from .bptree import BPlusTree, DuplicateEntryError
@@ -23,14 +30,25 @@ from .errors import (
     BufferError_,
     EngineError,
     KeyNotFoundError,
+    PermanentIOError,
+    RecoveryError,
+    RetryExhaustedError,
     SchemaError,
     SerializationError,
+    SimulatedCrash,
+    TornPageError,
+    TransientError,
+    TransientIOError,
+    WalError,
 )
+from .faults import FaultInjector
 from .heap import HeapFile
+from .retry import RetryPolicy, default_classify
 from .serial import INT_MAX, INT_MIN, IntTupleCodec
 from .stats import IoSnapshot, IoStats, measure
 from .storage import DEFAULT_BLOCK_SIZE, DiskManager
 from .table import IndexDef, Table
+from .wal import WriteAheadLog
 
 __all__ = [
     "BPlusTree",
@@ -41,15 +59,27 @@ __all__ = [
     "DiskManager",
     "DuplicateEntryError",
     "EngineError",
+    "FaultInjector",
     "HeapFile",
     "IndexDef",
     "IntTupleCodec",
     "IoSnapshot",
     "IoStats",
     "KeyNotFoundError",
+    "PermanentIOError",
+    "RecoveryError",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "SchemaError",
     "SerializationError",
+    "SimulatedCrash",
     "Table",
+    "TornPageError",
+    "TransientError",
+    "TransientIOError",
+    "WalError",
+    "WriteAheadLog",
+    "default_classify",
     "measure",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_CACHE_BLOCKS",

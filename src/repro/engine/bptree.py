@@ -66,8 +66,11 @@ class LeafPage:
 
     __slots__ = ("entries", "next_leaf")
 
-    def __init__(self, entries: Optional[list[tuple[int, ...]]] = None,
-                 next_leaf: int = NO_BLOCK) -> None:
+    def __init__(
+        self,
+        entries: Optional[list[tuple[int, ...]]] = None,
+        next_leaf: int = NO_BLOCK,
+    ) -> None:
         self.entries: list[tuple[int, ...]] = entries if entries is not None else []
         self.next_leaf = next_leaf
 
@@ -79,7 +82,9 @@ class LeafPage:
     def from_bytes_with(cls, codec: IntTupleCodec, data: bytes) -> "LeafPage":
         page_type, count, aux = unpack_header(data)
         if page_type != PAGE_LEAF:
-            raise SerializationError(f"expected leaf page, found type {page_type}")
+            raise SerializationError(
+                f"expected leaf page, found type {page_type}"
+            )
         entries = codec.unpack_many(data[PAGE_HEADER_SIZE:], count)
         return cls(entries, aux)
 
@@ -95,8 +100,11 @@ class InternalPage:
 
     _CHILD_CODEC = IntTupleCodec(1)
 
-    def __init__(self, keys: Optional[list[tuple[int, ...]]] = None,
-                 children: Optional[list[int]] = None) -> None:
+    def __init__(
+        self,
+        keys: Optional[list[tuple[int, ...]]] = None,
+        children: Optional[list[int]] = None,
+    ) -> None:
         self.keys: list[tuple[int, ...]] = keys if keys is not None else []
         self.children: list[int] = children if children is not None else []
 
@@ -110,10 +118,12 @@ class InternalPage:
         page_type, count, _aux = unpack_header(data)
         if page_type != PAGE_INTERNAL:
             raise SerializationError(
-                f"expected internal page, found type {page_type}")
+                f"expected internal page, found type {page_type}"
+            )
         offset = PAGE_HEADER_SIZE
-        children = [c for (c,) in
-                    cls._CHILD_CODEC.unpack_many(data[offset:], count + 1)]
+        children = [
+            c for (c,) in cls._CHILD_CODEC.unpack_many(data[offset:], count + 1)
+        ]
         offset += (count + 1) * 8
         keys = codec.unpack_many(data[offset:], count)
         return cls(keys, children)
@@ -147,9 +157,9 @@ def next_key(key: tuple[int, ...]) -> Optional[tuple[int, ...]]:
     return None
 
 
-def coalesce_ranges(ranges: Sequence[tuple[Sequence[int], Sequence[int]]],
-                    arity: int
-                    ) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+def coalesce_ranges(
+    ranges: Sequence[tuple[Sequence[int], Sequence[int]]], arity: int
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
     """Merge inclusive scan ranges that touch in key space.
 
     ``ranges`` holds ``(lo_prefix, hi_prefix)`` pairs as accepted by
@@ -219,12 +229,11 @@ class BPlusTree:
         block_size = pool.disk.block_size
         self.leaf_capacity = (block_size - PAGE_HEADER_SIZE) // self.codec.entry_size
         # An internal page with k keys stores k + 1 child pointers of 8 bytes.
-        self.internal_capacity = (
-            (block_size - PAGE_HEADER_SIZE - 8) // (self.codec.entry_size + 8)
+        self.internal_capacity = (block_size - PAGE_HEADER_SIZE - 8) // (
+            self.codec.entry_size + 8
         )
         if self.leaf_capacity < 4 or self.internal_capacity < 4:
-            raise SchemaError(
-                f"block size {block_size} too small for arity {arity}")
+            raise SchemaError(f"block size {block_size} too small for arity {arity}")
         self._min_leaf = max(1, self.leaf_capacity // 3)
         self._min_internal_keys = max(1, self.internal_capacity // 3)
         # One pre-bound fast-path reader per tree: the loader closure is
@@ -246,8 +255,7 @@ class BPlusTree:
         if page_type == PAGE_LEAF:
             return _Bound(LeafPage.from_bytes_with(self.codec, data), self.codec)
         if page_type == PAGE_INTERNAL:
-            return _Bound(InternalPage.from_bytes_with(self.codec, data),
-                          self.codec)
+            return _Bound(InternalPage.from_bytes_with(self.codec, data), self.codec)
         raise SerializationError(f"unknown page type {page_type}")
 
     def _get(self, block_id: int):
@@ -309,9 +317,9 @@ class BPlusTree:
                 return node_id
             node_id = node.children[bisect_right(node.keys, lo)]
 
-    def scan_batches(self, lo_prefix: Sequence[int] = (),
-                     hi_prefix: Sequence[int] = ()
-                     ) -> Iterator[list[tuple[int, ...]]]:
+    def scan_batches(
+        self, lo_prefix: Sequence[int] = (), hi_prefix: Sequence[int] = ()
+    ) -> Iterator[list[tuple[int, ...]]]:
         """Yield the range ``lo_prefix <= e <= hi_prefix`` as leaf slices.
 
         The batched form of :meth:`scan_range`: each yielded list is the
@@ -326,11 +334,13 @@ class BPlusTree:
         fresh copy, so consumer pauses survive eviction and concurrent
         tree mutation exactly as with the per-entry scan's snapshots.
         """
-        return self.scan_batches_padded(pad_low(lo_prefix, self.arity),
-                                        pad_high(hi_prefix, self.arity))
+        return self.scan_batches_padded(
+            pad_low(lo_prefix, self.arity), pad_high(hi_prefix, self.arity)
+        )
 
-    def scan_batches_padded(self, lo: tuple[int, ...], hi: tuple[int, ...]
-                            ) -> Iterator[list[tuple[int, ...]]]:
+    def scan_batches_padded(
+        self, lo: tuple[int, ...], hi: tuple[int, ...]
+    ) -> Iterator[list[tuple[int, ...]]]:
         """:meth:`scan_batches` over pre-padded full-arity bounds.
 
         Query executors that compile a scan plan pad each range once at
@@ -374,8 +384,9 @@ class BPlusTree:
                 yield entries[idx:]
             leaf_id = next_leaf
 
-    def count_range(self, lo_prefix: Sequence[int] = (),
-                    hi_prefix: Sequence[int] = ()) -> int:
+    def count_range(
+        self, lo_prefix: Sequence[int] = (), hi_prefix: Sequence[int] = ()
+    ) -> int:
         """Number of entries in the inclusive range, without yielding them.
 
         Same scans, same I/O trace as :meth:`scan_batches`; the hot loop
@@ -383,11 +394,11 @@ class BPlusTree:
         harness's ``intersection_count`` path) do constant Python work per
         leaf and none per entry.
         """
-        return self.count_range_padded(pad_low(lo_prefix, self.arity),
-                                       pad_high(hi_prefix, self.arity))
+        return self.count_range_padded(
+            pad_low(lo_prefix, self.arity), pad_high(hi_prefix, self.arity)
+        )
 
-    def count_range_padded(self, lo: tuple[int, ...],
-                           hi: tuple[int, ...]) -> int:
+    def count_range_padded(self, lo: tuple[int, ...], hi: tuple[int, ...]) -> int:
         """:meth:`count_range` over pre-padded full-arity bounds."""
         if lo > hi:
             return 0
@@ -418,8 +429,9 @@ class BPlusTree:
             leaf_id = next_leaf
         return total
 
-    def scan_range(self, lo_prefix: Sequence[int],
-                   hi_prefix: Sequence[int]) -> Iterator[tuple[int, ...]]:
+    def scan_range(
+        self, lo_prefix: Sequence[int], hi_prefix: Sequence[int]
+    ) -> Iterator[tuple[int, ...]]:
         """Yield entries ``e`` with ``lo_prefix <= e <= hi_prefix``.
 
         Prefixes shorter than the arity are padded with open bounds, so
@@ -433,9 +445,9 @@ class BPlusTree:
         for batch in self.scan_batches(lo_prefix, hi_prefix):
             yield from batch
 
-    def scan_range_unbatched(self, lo_prefix: Sequence[int],
-                             hi_prefix: Sequence[int]
-                             ) -> Iterator[tuple[int, ...]]:
+    def scan_range_unbatched(
+        self, lo_prefix: Sequence[int], hi_prefix: Sequence[int]
+    ) -> Iterator[tuple[int, ...]]:
         """The pre-batching range scan, kept verbatim as a reference.
 
         One buffer-pool call per leaf (loader passed on every call) and
@@ -535,8 +547,9 @@ class BPlusTree:
             self.pool.unpin(leaf_id)
         self._insert_into_parent(path[:-1], separator, right_id)
 
-    def _insert_into_parent(self, path: list[tuple[int, int]],
-                            separator: tuple[int, ...], right_id: int) -> None:
+    def _insert_into_parent(
+        self, path: list[tuple[int, int]], separator: tuple[int, ...], right_id: int
+    ) -> None:
         while True:
             if not path:
                 old_root = self.root_id
@@ -554,9 +567,9 @@ class BPlusTree:
                 return
             mid = len(node.keys) // 2
             promoted = node.keys[mid]
-            right = InternalPage(node.keys[mid + 1:], node.children[mid + 1:])
+            right = InternalPage(node.keys[mid + 1 :], node.children[mid + 1 :])
             node.keys = node.keys[:mid]
-            node.children = node.children[:mid + 1]
+            node.children = node.children[: mid + 1]
             self.pool.mark_dirty(node_id)
             right_id = self._new_block(right)
             separator = promoted
@@ -617,17 +630,24 @@ class BPlusTree:
                 right_id = parent.children[1]
                 sep_idx = 0
                 donor_is_left = False
-            freed = self._borrow_or_merge(parent_id, parent, left_id,
-                                          right_id, sep_idx, donor_is_left)
+            freed = self._borrow_or_merge(
+                parent_id, parent, left_id, right_id, sep_idx, donor_is_left
+            )
         finally:
             self.pool.unpin(parent_id)
         if freed is not None:
             self.pool.drop(freed)
             self.pool.disk.free(freed)
 
-    def _borrow_or_merge(self, parent_id: int, parent: InternalPage,
-                         left_id: int, right_id: int, sep_idx: int,
-                         donor_is_left: bool) -> Optional[int]:
+    def _borrow_or_merge(
+        self,
+        parent_id: int,
+        parent: InternalPage,
+        left_id: int,
+        right_id: int,
+        sep_idx: int,
+        donor_is_left: bool,
+    ) -> Optional[int]:
         """Rebalance adjacent siblings; return a block id to free, if any."""
         left = self._get(left_id)
         self.pool.pin(left_id)
@@ -637,20 +657,41 @@ class BPlusTree:
             try:
                 if isinstance(left, LeafPage):
                     return self._rebalance_leaves(
-                        parent, left, right, sep_idx, donor_is_left,
-                        left_id, right_id, parent_id)
+                        parent,
+                        left,
+                        right,
+                        sep_idx,
+                        donor_is_left,
+                        left_id,
+                        right_id,
+                        parent_id,
+                    )
                 return self._rebalance_internal(
-                    parent, left, right, sep_idx, donor_is_left,
-                    left_id, right_id, parent_id)
+                    parent,
+                    left,
+                    right,
+                    sep_idx,
+                    donor_is_left,
+                    left_id,
+                    right_id,
+                    parent_id,
+                )
             finally:
                 self.pool.unpin(right_id)
         finally:
             self.pool.unpin(left_id)
 
-    def _rebalance_leaves(self, parent: InternalPage, left: LeafPage,
-                          right: LeafPage, sep_idx: int, donor_is_left: bool,
-                          left_id: int, right_id: int,
-                          parent_id: int) -> Optional[int]:
+    def _rebalance_leaves(
+        self,
+        parent: InternalPage,
+        left: LeafPage,
+        right: LeafPage,
+        sep_idx: int,
+        donor_is_left: bool,
+        left_id: int,
+        right_id: int,
+        parent_id: int,
+    ) -> Optional[int]:
         donor = left if donor_is_left else right
         if len(donor.entries) > self._min_leaf:
             if donor_is_left:
@@ -671,10 +712,17 @@ class BPlusTree:
         self.pool.mark_dirty(parent_id)
         return right_id
 
-    def _rebalance_internal(self, parent: InternalPage, left: InternalPage,
-                            right: InternalPage, sep_idx: int,
-                            donor_is_left: bool, left_id: int, right_id: int,
-                            parent_id: int) -> Optional[int]:
+    def _rebalance_internal(
+        self,
+        parent: InternalPage,
+        left: InternalPage,
+        right: InternalPage,
+        sep_idx: int,
+        donor_is_left: bool,
+        left_id: int,
+        right_id: int,
+        parent_id: int,
+    ) -> Optional[int]:
         donor = left if donor_is_left else right
         if len(donor.keys) > self._min_internal_keys:
             if donor_is_left:
@@ -702,8 +750,7 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # bulk loading
     # ------------------------------------------------------------------
-    def bulk_load(self, entries: Sequence[tuple[int, ...]],
-                  fill: float = 0.9) -> None:
+    def bulk_load(self, entries: Sequence[tuple[int, ...]], fill: float = 0.9) -> None:
         """Build the tree bottom-up from sorted unique ``entries``.
 
         This mirrors how the paper's competitor indexes were bulk loaded
@@ -720,11 +767,11 @@ class BPlusTree:
         previous: Optional[tuple[int, ...]] = None
         for entry in entries:
             if len(entry) != arity:
-                raise SchemaError(
-                    f"{self.name}: entry arity {len(entry)} != {arity}")
+                raise SchemaError(f"{self.name}: entry arity {len(entry)} != {arity}")
             if previous is not None and previous >= entry:
                 raise SchemaError(
-                    f"{self.name}: bulk_load input not sorted/unique at {entry}")
+                    f"{self.name}: bulk_load input not sorted/unique at {entry}"
+                )
             previous = entry
         if not entries:
             return
@@ -739,7 +786,7 @@ class BPlusTree:
         level_seps: list[tuple[int, ...]] = []
         position = 0
         for i, size in enumerate(sizes):
-            chunk = list(entries[position:position + size])
+            chunk = list(entries[position : position + size])
             next_leaf = leaf_ids[i + 1] if i + 1 < len(leaf_ids) else NO_BLOCK
             page = LeafPage(chunk, next_leaf)
             disk.write(leaf_ids[i], page.to_bytes_with(self.codec))
@@ -756,8 +803,8 @@ class BPlusTree:
             new_seps: list[tuple[int, ...]] = []
             position = 0
             for j, size in enumerate(group_sizes):
-                children = level_ids[position:position + size]
-                keys = level_seps[position:position + size - 1]
+                children = level_ids[position : position + size]
+                keys = level_seps[position : position + size - 1]
                 page = InternalPage(keys, children)
                 block_id = disk.allocate()
                 disk.write(block_id, page.to_bytes_with(self.codec))
@@ -772,65 +819,121 @@ class BPlusTree:
         self.entry_count = len(entries)
 
     # ------------------------------------------------------------------
-    # verification (tests only)
+    # verification
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Raise ``AssertionError`` on any structural violation."""
+        problems = self.violations()
+        assert not problems, "; ".join(problems)
+
+    def violations(self) -> list[str]:
+        """Collect every structural violation instead of raising.
+
+        The interval stores' ``verify()`` contract reports all problems
+        at once, so this walker records each broken invariant -- key
+        order, fill factors, subtree bounds, uniform depth, the leaf
+        chain, the entry count -- as a human-readable description and
+        keeps walking.  An intact tree returns an empty list.
+        """
+        problems: list[str] = []
         leaves: list[int] = []
-        count = self._check_node(self.root_id, None, None,
-                                 depth=1, leaves=leaves)
-        assert count == self.entry_count, (
-            f"entry_count={self.entry_count} but found {count}")
+        count = self._collect_node(self.root_id, None, None, 1, leaves, problems)
+        if count != self.entry_count:
+            problems.append(
+                f"{self.name}: entry_count={self.entry_count} but found {count}"
+            )
         # The leaf chain must visit exactly the in-order leaves.
         if leaves:
-            chain = []
+            chain: list[int] = []
+            seen: set[int] = set()
             leaf_id = leaves[0]
-            while leaf_id != NO_BLOCK:
+            while leaf_id != NO_BLOCK and leaf_id not in seen:
+                seen.add(leaf_id)
                 chain.append(leaf_id)
-                chain_leaf = self._get(leaf_id)
-                leaf_id = chain_leaf.next_leaf
-            assert chain == leaves, "leaf chain disagrees with tree order"
+                leaf_id = self._get(leaf_id).next_leaf
+            if leaf_id != NO_BLOCK:
+                problems.append(f"{self.name}: leaf chain contains a cycle")
+            elif chain != leaves:
+                problems.append(
+                    f"{self.name}: leaf chain disagrees with tree order"
+                )
+        return problems
 
-    def _check_node(self, node_id: int, lo, hi, depth: int,
-                    leaves: list[int]) -> int:
+    def _collect_node(
+        self,
+        node_id: int,
+        lo: Optional[tuple[int, ...]],
+        hi: Optional[tuple[int, ...]],
+        depth: int,
+        leaves: list[int],
+        problems: list[str],
+    ) -> int:
         node = self._get(node_id)
         if isinstance(node, LeafPage):
-            assert depth == self.height, (
-                f"leaf {node_id} at depth {depth}, height {self.height}")
+            if depth != self.height:
+                problems.append(
+                    f"{self.name}: leaf {node_id} at depth {depth}, "
+                    f"height {self.height}"
+                )
             entries = node.entries
-            assert all(a < b for a, b in zip(entries, entries[1:])), (
-                f"leaf {node_id} unsorted or duplicated")
-            if node_id != self.root_id:
-                assert len(entries) >= self._min_leaf, (
-                    f"leaf {node_id} underfull ({len(entries)})")
-            assert len(entries) <= self.leaf_capacity
-            for entry in entries:
-                assert lo is None or entry >= lo, "entry below subtree bound"
-                assert hi is None or entry < hi, "entry above subtree bound"
+            if not all(a < b for a, b in zip(entries, entries[1:])):
+                problems.append(
+                    f"{self.name}: leaf {node_id} unsorted or duplicated"
+                )
+            if node_id != self.root_id and len(entries) < self._min_leaf:
+                problems.append(
+                    f"{self.name}: leaf {node_id} underfull ({len(entries)})"
+                )
+            if len(entries) > self.leaf_capacity:
+                problems.append(
+                    f"{self.name}: leaf {node_id} overfull ({len(entries)})"
+                )
+            if lo is not None and any(entry < lo for entry in entries):
+                problems.append(
+                    f"{self.name}: leaf {node_id} entry below subtree bound"
+                )
+            if hi is not None and any(entry >= hi for entry in entries):
+                problems.append(
+                    f"{self.name}: leaf {node_id} entry above subtree bound"
+                )
             leaves.append(node_id)
             return len(entries)
         keys = node.keys
-        assert all(a < b for a, b in zip(keys, keys[1:])), (
-            f"internal {node_id} keys unsorted")
-        assert len(node.children) == len(keys) + 1
+        if not all(a < b for a, b in zip(keys, keys[1:])):
+            problems.append(f"{self.name}: internal {node_id} keys unsorted")
+        if len(node.children) != len(keys) + 1:
+            problems.append(
+                f"{self.name}: internal {node_id} has {len(node.children)} "
+                f"children for {len(keys)} keys"
+            )
         if node_id != self.root_id:
-            assert len(keys) >= self._min_internal_keys, (
-                f"internal {node_id} underfull ({len(keys)})")
-        else:
-            assert len(keys) >= 1, "internal root must have at least one key"
-        assert len(keys) <= self.internal_capacity
+            if len(keys) < self._min_internal_keys:
+                problems.append(
+                    f"{self.name}: internal {node_id} underfull ({len(keys)})"
+                )
+        elif not keys:
+            problems.append(
+                f"{self.name}: internal root {node_id} has no keys"
+            )
+        if len(keys) > self.internal_capacity:
+            problems.append(
+                f"{self.name}: internal {node_id} overfull ({len(keys)})"
+            )
         total = 0
-        bounds = [lo] + keys + [hi]
-        children = list(node.children)
-        for i, child_id in enumerate(children):
-            total += self._check_node(child_id, bounds[i], bounds[i + 1],
-                                      depth + 1, leaves)
+        bounds: list[Optional[tuple[int, ...]]] = [lo] + list(keys) + [hi]
+        for i, child_id in enumerate(list(node.children)):
+            child_lo = bounds[i] if i < len(bounds) else None
+            child_hi = bounds[i + 1] if i + 1 < len(bounds) else None
+            total += self._collect_node(
+                child_id, child_lo, child_hi, depth + 1, leaves, problems
+            )
         return total
 
     def _check_arity(self, entry: tuple[int, ...]) -> None:
         if len(entry) != self.arity:
             raise SchemaError(
-                f"{self.name}: entry arity {len(entry)} != {self.arity}")
+                f"{self.name}: entry arity {len(entry)} != {self.arity}"
+            )
 
     @property
     def block_count(self) -> int:

@@ -16,16 +16,24 @@ so that eviction cannot detach them from the cache (a detached page would be
 re-read from stale disk bytes and updates would be lost).  The B+-tree and
 heap code pin the root-to-leaf path of the operation in flight and unpin in
 ``finally`` blocks.
+
+When a :class:`~repro.engine.faults.FaultInjector` is attached, every dirty
+write-back (explicit flush or eviction) is announced as a *flush point*
+before the disk write it triggers, so crash experiments can target the
+buffer manager's background I/O as well as direct writes.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from .errors import BufferError_
 from .stats import IoStats
 from .storage import DiskManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from .faults import FaultInjector
 
 #: Default cache capacity in blocks, matching the paper (Section 6.1).
 DEFAULT_CACHE_BLOCKS = 200
@@ -62,23 +70,29 @@ class BufferPool:
         path; the engine enforces a floor of 8 frames.
     stats:
         Counter object shared with ``disk``; defaults to ``disk.stats``.
+    injector:
+        Optional fault injector announced to on every dirty write-back.
     """
 
-    def __init__(self, disk: DiskManager,
-                 capacity: int = DEFAULT_CACHE_BLOCKS,
-                 stats: IoStats | None = None) -> None:
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = DEFAULT_CACHE_BLOCKS,
+        stats: IoStats | None = None,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
         if capacity < 8:
             raise BufferError_(f"buffer capacity {capacity} below minimum of 8")
         self.disk = disk
         self.capacity = capacity
         self.stats = stats if stats is not None else disk.stats
+        self.injector = injector
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
 
     # ------------------------------------------------------------------
     # page access
     # ------------------------------------------------------------------
-    def get(self, block_id: int,
-            loader: Callable[[bytes], PageLike]) -> PageLike:
+    def get(self, block_id: int, loader: Callable[[bytes], PageLike]) -> PageLike:
         """Return the page stored in ``block_id``.
 
         ``loader`` decodes raw block bytes on a miss.  Every call counts as
@@ -94,8 +108,9 @@ class BufferPool:
         self._admit(block_id, _Frame(page))
         return page
 
-    def make_reader(self, loader: Callable[[bytes], PageLike]
-                    ) -> Callable[[int], PageLike]:
+    def make_reader(
+        self, loader: Callable[[bytes], PageLike]
+    ) -> Callable[[int], PageLike]:
         """Bind ``loader`` once and return a fast-path page reader.
 
         Structures that issue many page requests (B+-tree scans, heap
@@ -129,9 +144,9 @@ class BufferPool:
 
         return read
 
-    def scan_refs(self, loader: Callable[[bytes], PageLike]
-                  ) -> tuple["OrderedDict[int, _Frame]", IoStats,
-                             Callable[[int], PageLike]]:
+    def scan_refs(
+        self, loader: Callable[[bytes], PageLike]
+    ) -> tuple["OrderedDict[int, _Frame]", IoStats, Callable[[int], PageLike]]:
         """References for loops that inline the cache-hit fast path.
 
         The innermost scan loops (B+-tree leaf walks) probe the cache once
@@ -153,6 +168,7 @@ class BufferPool:
         The frame table and stats objects are stable for the pool's
         lifetime (:meth:`clear` empties the table in place).
         """
+
         def miss(block_id: int) -> PageLike:
             page = loader(self.disk.read(block_id))
             self._admit(block_id, _Frame(page))
@@ -214,6 +230,8 @@ class BufferPool:
         """Write one dirty page back to disk, keeping it cached."""
         frame = self._frames.get(block_id)
         if frame is not None and frame.dirty:
+            if self.injector is not None:
+                self.injector.on_flush(block_id)
             self.disk.write(block_id, frame.page.to_bytes())
             frame.dirty = False
 
@@ -251,6 +269,8 @@ class BufferPool:
                 f"(capacity={self.capacity})"
             )
         if victim.dirty:
+            if self.injector is not None:
+                self.injector.on_flush(victim_id)
             self.disk.write(victim_id, victim.page.to_bytes())
         del self._frames[victim_id]
 

@@ -3,6 +3,14 @@
 Every error raised by :mod:`repro.engine` derives from :class:`EngineError`
 so that callers can catch storage-layer failures without masking unrelated
 bugs.
+
+The fault-injection and recovery subsystem adds a *typed taxonomy* on top of
+the base hierarchy: callers distinguish **transient** faults (worth retrying,
+:class:`TransientError`) from **permanent** ones (:class:`PermanentIOError`,
+:class:`TornPageError`), and a :class:`SimulatedCrash` models the process
+dying mid-operation: it stays inside the :class:`EngineError` tree so test
+harnesses can catch it precisely, but retry loops must never swallow it --
+the only valid continuation is crash recovery.
 """
 
 from __future__ import annotations
@@ -34,3 +42,54 @@ class SchemaError(EngineError):
 
 class KeyNotFoundError(EngineError):
     """Raised when deleting an entry that is not present in an index."""
+
+
+# ----------------------------------------------------------------------
+# fault taxonomy (fault injection, WAL, recovery)
+# ----------------------------------------------------------------------
+class TransientError(EngineError):
+    """A fault that may succeed on retry (e.g. a flaky device request).
+
+    Retry policies (:mod:`repro.engine.retry`) treat exactly this subtree
+    as retryable; everything else propagates immediately.
+    """
+
+
+class TransientIOError(TransientError, BlockError):
+    """An injected transient failure of a single block read or write."""
+
+
+class PermanentIOError(BlockError):
+    """An injected hard failure of a block: retrying cannot help."""
+
+
+class TornPageError(BlockError):
+    """A block whose last write was torn (partially persisted).
+
+    Reading a torn block models a checksum mismatch on a real device; the
+    contents are unusable and the page must be recovered from the WAL.
+    """
+
+
+class SimulatedCrash(EngineError):
+    """The process 'dies' at an injected write or flush point.
+
+    Raised by the :class:`~repro.engine.faults.FaultInjector` to abandon
+    the in-memory state mid-mutation.  Retry loops MUST re-raise it; the
+    only valid response is :meth:`~repro.engine.database.Database.recover`.
+    """
+
+
+class WalError(EngineError):
+    """Raised for malformed write-ahead-log records or misuse of the WAL."""
+
+
+class RecoveryError(EngineError):
+    """Raised when WAL replay cannot reconstruct a consistent database."""
+
+
+class RetryExhaustedError(EngineError):
+    """A transient fault persisted through every allowed retry attempt.
+
+    The original transient error is attached as ``__cause__``.
+    """

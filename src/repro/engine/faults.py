@@ -1,0 +1,191 @@
+"""Deterministic, seeded fault injection for the storage engine.
+
+The simulated disk of :mod:`repro.engine.storage` normally succeeds on every
+request.  :class:`FaultInjector` is the seam that makes it *misbehave on
+purpose*: an injector scheduled into a
+:class:`~repro.engine.database.Database` observes every physical read, every
+physical write, every dirty-page flush and every WAL force, and can
+
+* fail the Nth read or write with a typed transient or permanent error,
+* tear the Nth write (the block persists only a prefix of the page),
+* raise a :class:`~repro.engine.errors.SimulatedCrash` at the Nth *write
+  point* -- a global counter spanning disk writes, dirty flushes and WAL
+  forces, so "crash at every possible point during this workload" is an
+  enumerable experiment: run once with a passive injector to count the
+  points, then iterate ``crash_at_write_point(n)`` for ``n in 1..count``.
+
+Everything is deterministic.  Faults are either scheduled explicitly by
+ordinal or drawn from a seeded :class:`random.Random`, so a failing
+experiment replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .errors import (
+    PermanentIOError,
+    SimulatedCrash,
+    TransientIOError,
+)
+
+#: Fault kinds accepted by the scheduling calls.
+READ_KINDS = ("transient", "permanent")
+WRITE_KINDS = ("transient", "permanent", "torn", "crash")
+
+
+def _make_error(kind: str, op: str, block_id: Optional[int]) -> Exception:
+    where = f"block {block_id}" if block_id is not None else "wal"
+    if kind == "transient":
+        return TransientIOError(f"injected transient {op} fault on {where}")
+    if kind == "permanent":
+        return PermanentIOError(f"injected permanent {op} fault on {where}")
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+class FaultInjector:
+    """A deterministic fault plan over the engine's I/O points.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the random-fault mode (:meth:`random_faults`).  Scheduled
+        (ordinal) faults do not consume randomness at all.
+
+    Counters (all 1-based at the first event):
+
+    * ``reads`` / ``writes`` -- physical disk reads / writes observed;
+    * ``flushes`` -- dirty-page write-backs observed (each is followed by
+      the disk write it triggers);
+    * ``wal_forces`` -- WAL force (group-commit) events observed;
+    * ``write_points`` -- the global crash axis: every write, flush and
+      WAL force increments it;
+    * ``faults_injected`` -- total faults actually raised or applied.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.reads = 0
+        self.writes = 0
+        self.flushes = 0
+        self.wal_forces = 0
+        self.write_points = 0
+        self.faults_injected = 0
+        self._read_faults: dict[int, str] = {}
+        self._write_faults: dict[int, str] = {}
+        self._crash_points: set[int] = set()
+        self._read_rate = 0.0
+        self._write_rate = 0.0
+        self._random_kind = "transient"
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def fail_read(self, nth: int, kind: str = "transient") -> "FaultInjector":
+        """Fail the ``nth`` physical read (1-based) with ``kind``."""
+        if kind not in READ_KINDS:
+            raise ValueError(f"read fault kind must be one of {READ_KINDS}")
+        self._read_faults[nth] = kind
+        return self
+
+    def fail_write(self, nth: int, kind: str = "transient") -> "FaultInjector":
+        """Fail the ``nth`` physical write (1-based) with ``kind``.
+
+        ``kind="torn"`` lets the write through but persists only half the
+        page; ``kind="crash"`` raises :class:`SimulatedCrash` instead.
+        """
+        if kind not in WRITE_KINDS:
+            raise ValueError(f"write fault kind must be one of {WRITE_KINDS}")
+        self._write_faults[nth] = kind
+        return self
+
+    def tear_write(self, nth: int) -> "FaultInjector":
+        """Tear the ``nth`` physical write (shorthand for ``kind='torn'``)."""
+        return self.fail_write(nth, kind="torn")
+
+    def crash_at_write_point(self, nth: int) -> "FaultInjector":
+        """Raise :class:`SimulatedCrash` at global write point ``nth``.
+
+        Write points span disk writes, dirty flushes and WAL forces, in
+        the order the engine performs them.
+        """
+        self._crash_points.add(nth)
+        return self
+
+    def random_faults(
+        self,
+        read_rate: float = 0.0,
+        write_rate: float = 0.0,
+        kind: str = "transient",
+    ) -> "FaultInjector":
+        """Draw faults from the seeded RNG at the given per-event rates."""
+        if kind not in ("transient", "permanent"):
+            raise ValueError("random faults must be transient or permanent")
+        self._read_rate = read_rate
+        self._write_rate = write_rate
+        self._random_kind = kind
+        return self
+
+    # ------------------------------------------------------------------
+    # hooks (called by DiskManager / BufferPool / WriteAheadLog)
+    # ------------------------------------------------------------------
+    def on_read(self, block_id: int) -> None:
+        """Observe one physical read; raise if a fault is due."""
+        self.reads += 1
+        kind = self._read_faults.pop(self.reads, None)
+        if kind is None and self._read_rate and self.rng.random() < self._read_rate:
+            kind = self._random_kind
+        if kind is not None:
+            self.faults_injected += 1
+            raise _make_error(kind, "read", block_id)
+
+    def on_write(self, block_id: int) -> bool:
+        """Observe one physical write; return ``True`` if it must be torn."""
+        self.writes += 1
+        self._bump_write_point(block_id, "write")
+        kind = self._write_faults.pop(self.writes, None)
+        if kind is None and self._write_rate and self.rng.random() < self._write_rate:
+            kind = self._random_kind
+        if kind is None:
+            return False
+        self.faults_injected += 1
+        if kind == "torn":
+            return True
+        if kind == "crash":
+            raise SimulatedCrash(
+                f"injected crash on write #{self.writes} (block {block_id})"
+            )
+        raise _make_error(kind, "write", block_id)
+
+    def on_flush(self, block_id: int) -> None:
+        """Observe one dirty-page flush point (before its disk write)."""
+        self.flushes += 1
+        self._bump_write_point(block_id, "flush")
+
+    def on_wal_force(self) -> None:
+        """Observe one WAL force (the group-commit durability point)."""
+        self.wal_forces += 1
+        self._bump_write_point(None, "wal-force")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _bump_write_point(self, block_id: Optional[int], what: str) -> None:
+        self.write_points += 1
+        if self.write_points in self._crash_points:
+            self._crash_points.discard(self.write_points)
+            self.faults_injected += 1
+            where = f"block {block_id}" if block_id is not None else "wal"
+            raise SimulatedCrash(
+                f"injected crash at write point #{self.write_points} "
+                f"({what} on {where})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(reads={self.reads}, writes={self.writes}, "
+            f"flushes={self.flushes}, wal_forces={self.wal_forces}, "
+            f"write_points={self.write_points}, "
+            f"faults_injected={self.faults_injected})"
+        )

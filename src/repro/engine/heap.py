@@ -27,10 +27,10 @@ class HeapPage:
 
     __slots__ = ("slots",)
 
-    def __init__(self, slots: Optional[list[Optional[tuple[int, ...]]]] = None
-                 ) -> None:
-        self.slots: list[Optional[tuple[int, ...]]] = (
-            slots if slots is not None else [])
+    def __init__(
+        self, slots: Optional[list[Optional[tuple[int, ...]]]] = None
+    ) -> None:
+        self.slots: list[Optional[tuple[int, ...]]] = slots if slots is not None else []
 
     def to_bytes_with(self, codec: IntTupleCodec) -> bytes:
         # Each slot is serialised as (live_flag, columns...).
@@ -97,7 +97,8 @@ class HeapFile:
         self.slots_per_page = (block_size - PAGE_HEADER_SIZE) // self.codec.entry_size
         if self.slots_per_page < 1:
             raise SchemaError(
-                f"block size {block_size} too small for heap arity {arity}")
+                f"block size {block_size} too small for heap arity {arity}"
+            )
         # Pre-bound fast-path reader: one loader closure per heap file.
         self._read = pool.make_reader(self._load)
         self._page_ids: list[int] = []
@@ -223,7 +224,7 @@ class HeapFile:
         disk = self.pool.disk
         position = 0
         while position < len(rows):
-            chunk = rows[position:position + self.slots_per_page]
+            chunk = rows[position : position + self.slots_per_page]
             for row in chunk:
                 self._check_arity(row)
             block_id = disk.allocate()
@@ -231,8 +232,9 @@ class HeapFile:
             disk.write(block_id, page.to_bytes_with(self.codec))
             self._page_ids.append(block_id)
             page_index = len(self._page_ids) - 1
-            rowids.extend(self._make_rowid(page_index, slot)
-                          for slot in range(len(chunk)))
+            rowids.extend(
+                self._make_rowid(page_index, slot) for slot in range(len(chunk))
+            )
             if len(chunk) < self.slots_per_page:
                 self._pages_with_space.add(page_index)
             position += len(chunk)
@@ -248,8 +250,9 @@ class HeapFile:
     # internals
     # ------------------------------------------------------------------
     def _note_fill(self, page_index: int, page: HeapPage) -> None:
-        full = (len(page.slots) >= self.slots_per_page
-                and all(slot is not None for slot in page.slots))
+        full = len(page.slots) >= self.slots_per_page and all(
+            slot is not None for slot in page.slots
+        )
         if full:
             self._pages_with_space.discard(page_index)
         else:
@@ -257,5 +260,4 @@ class HeapFile:
 
     def _check_arity(self, row: tuple[int, ...]) -> None:
         if len(row) != self.arity:
-            raise SchemaError(
-                f"{self.name}: row arity {len(row)} != {self.arity}")
+            raise SchemaError(f"{self.name}: row arity {len(row)} != {self.arity}")

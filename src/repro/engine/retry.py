@@ -1,0 +1,106 @@
+"""Bounded retry with exponential backoff for transient faults.
+
+One policy object serves both backends: the simulated engine retries
+:class:`~repro.engine.errors.TransientError` raised by the fault-injection
+seam, and the sqlite backend reuses the same loop for ``busy`` / ``locked``
+``sqlite3.OperationalError`` by passing a ``classify`` predicate.
+
+Backoff is *simulated by default*: the policy records the delay it would
+have slept (``simulated_backoff``) without actually sleeping, keeping the
+test suite and benchmarks deterministic and fast.  Pass ``sleep=time.sleep``
+to wait for real.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TypeVar
+
+from .errors import RetryExhaustedError, SimulatedCrash, TransientError
+
+T = TypeVar("T")
+
+
+def default_classify(exc: BaseException) -> bool:
+    """The engine-path transient test: the typed taxonomy, nothing else."""
+    return isinstance(exc, TransientError)
+
+
+class RetryPolicy:
+    """Retry a callable a bounded number of times with exponential backoff.
+
+    Parameters
+    ----------
+    attempts:
+        Total attempts (first try included).  ``attempts=1`` disables
+        retrying.
+    base_delay / multiplier / max_delay:
+        Exponential backoff schedule: attempt ``k`` waits
+        ``min(base_delay * multiplier**(k-1), max_delay)`` before retrying.
+    sleep:
+        Delay callable.  ``None`` (the default) only *accounts* the delay
+        in :attr:`simulated_backoff` -- deterministic tests, no wall time.
+
+    A :class:`~repro.engine.errors.SimulatedCrash` is never retried, no
+    matter what ``classify`` says: a dead process cannot try again.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.001,
+        multiplier: float = 2.0,
+        max_delay: float = 0.1,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.sleep = sleep
+        self.total_retries = 0
+        self.simulated_backoff = 0.0
+
+    def delay_for(self, attempt: int) -> float:
+        """The backoff delay after failed attempt number ``attempt``."""
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        classify: Callable[[BaseException], bool] = default_classify,
+        on_retry: Optional[Callable[[BaseException], None]] = None,
+    ) -> T:
+        """Invoke ``fn`` until it succeeds or attempts are exhausted.
+
+        ``classify(exc)`` decides whether an exception is transient;
+        non-transient exceptions propagate untouched.  ``on_retry(exc)``
+        runs before each re-attempt (the sqlite path rolls back there).
+        Exhaustion raises :class:`RetryExhaustedError` from the last
+        transient error.
+        """
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except SimulatedCrash:
+                raise
+            except BaseException as exc:
+                if not classify(exc):
+                    raise
+                if attempt == self.attempts:
+                    raise RetryExhaustedError(
+                        f"transient fault persisted through "
+                        f"{self.attempts} attempts: {exc}"
+                    ) from exc
+                self.total_retries += 1
+                self._backoff(self.delay_for(attempt))
+                if on_retry is not None:
+                    on_retry(exc)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _backoff(self, delay: float) -> None:
+        if self.sleep is not None:
+            self.sleep(delay)
+        else:
+            self.simulated_backoff += delay

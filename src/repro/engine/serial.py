@@ -22,8 +22,8 @@ from .errors import SerializationError
 
 #: Smallest/largest values storable in an engine column.  Also used as
 #: open-bound sentinels when padding range-scan prefixes.
-INT_MIN = -(2 ** 63)
-INT_MAX = 2 ** 63 - 1
+INT_MIN = -(2**63)
+INT_MAX = 2**63 - 1
 
 
 class IntTupleCodec:

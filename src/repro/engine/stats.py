@@ -8,7 +8,10 @@ same quantities observable on our substrate:
 * **physical reads** -- blocks fetched from the (simulated) disk because they
   were not resident in the buffer pool;
 * **physical writes** -- dirty blocks flushed to disk on eviction or flush;
-* **logical reads** -- every page request served, hit or miss.
+* **logical reads** -- every page request served, hit or miss;
+* **wal reads / wal writes** -- blocks of write-ahead log traffic (forces on
+  the write side, recovery scans on the read side), kept separate from the
+  data-block counters so WAL overhead is directly observable.
 
 :class:`IoStats` is a plain mutable counter object shared by the disk manager
 and buffer pool of one :class:`~repro.engine.database.Database`.
@@ -31,11 +34,18 @@ class IoSnapshot:
     physical_writes: int = 0
     logical_reads: int = 0
     blocks_allocated: int = 0
+    wal_reads: int = 0
+    wal_writes: int = 0
 
     @property
     def physical_total(self) -> int:
-        """Total physical block accesses (reads + writes)."""
+        """Total physical block accesses (reads + writes), data blocks only."""
         return self.physical_reads + self.physical_writes
+
+    @property
+    def wal_total(self) -> int:
+        """Total WAL block accesses (reads + writes)."""
+        return self.wal_reads + self.wal_writes
 
     def __sub__(self, other: "IoSnapshot") -> "IoSnapshot":
         return IoSnapshot(
@@ -43,6 +53,8 @@ class IoSnapshot:
             physical_writes=self.physical_writes - other.physical_writes,
             logical_reads=self.logical_reads - other.logical_reads,
             blocks_allocated=self.blocks_allocated - other.blocks_allocated,
+            wal_reads=self.wal_reads - other.wal_reads,
+            wal_writes=self.wal_writes - other.wal_writes,
         )
 
 
@@ -54,14 +66,22 @@ class IoStats:
     describes all traffic of a database.
     """
 
-    __slots__ = ("physical_reads", "physical_writes", "logical_reads",
-                 "blocks_allocated")
+    __slots__ = (
+        "physical_reads",
+        "physical_writes",
+        "logical_reads",
+        "blocks_allocated",
+        "wal_reads",
+        "wal_writes",
+    )
 
     def __init__(self) -> None:
         self.physical_reads = 0
         self.physical_writes = 0
         self.logical_reads = 0
         self.blocks_allocated = 0
+        self.wal_reads = 0
+        self.wal_writes = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -69,6 +89,8 @@ class IoStats:
         self.physical_writes = 0
         self.logical_reads = 0
         self.blocks_allocated = 0
+        self.wal_reads = 0
+        self.wal_writes = 0
 
     def snapshot(self) -> IoSnapshot:
         """Return an immutable copy of the current counter values."""
@@ -77,6 +99,8 @@ class IoStats:
             physical_writes=self.physical_writes,
             logical_reads=self.logical_reads,
             blocks_allocated=self.blocks_allocated,
+            wal_reads=self.wal_reads,
+            wal_writes=self.wal_writes,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -84,7 +108,9 @@ class IoStats:
             f"IoStats(physical_reads={self.physical_reads}, "
             f"physical_writes={self.physical_writes}, "
             f"logical_reads={self.logical_reads}, "
-            f"blocks_allocated={self.blocks_allocated})"
+            f"blocks_allocated={self.blocks_allocated}, "
+            f"wal_reads={self.wal_reads}, "
+            f"wal_writes={self.wal_writes})"
         )
 
 
@@ -109,3 +135,5 @@ def measure(stats: IoStats) -> Iterator[IoSnapshot]:
         delta.physical_writes = diff.physical_writes
         delta.logical_reads = diff.logical_reads
         delta.blocks_allocated = diff.blocks_allocated
+        delta.wal_reads = diff.wal_reads
+        delta.wal_writes = diff.wal_writes

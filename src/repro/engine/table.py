@@ -12,11 +12,16 @@ A :class:`Table` is the engine's equivalent of the paper's
 row id, so entries are always unique and an index range scan can answer a
 query without touching the heap -- the *index-organised* behaviour the paper
 relies on ("the attribute id was included in the indexes", Section 4.3).
+
+When the owning :class:`~repro.engine.database.Database` runs with a
+write-ahead log, every DML and DDL statement is announced through the
+``log`` callback *before* it is applied, which is all the recovery path
+needs: replaying the logical records rebuilds heap and indexes.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from .bptree import BPlusTree
 from .buffer import BufferPool
@@ -29,8 +34,13 @@ class IndexDef:
 
     __slots__ = ("name", "columns", "column_indexes", "tree")
 
-    def __init__(self, name: str, columns: tuple[str, ...],
-                 column_indexes: tuple[int, ...], tree: BPlusTree) -> None:
+    def __init__(
+        self,
+        name: str,
+        columns: tuple[str, ...],
+        column_indexes: tuple[int, ...],
+        tree: BPlusTree,
+    ) -> None:
         self.name = name
         self.columns = columns
         self.column_indexes = column_indexes
@@ -47,8 +57,13 @@ class Table:
     Create through :meth:`repro.engine.database.Database.create_table`.
     """
 
-    def __init__(self, pool: BufferPool, name: str,
-                 columns: Sequence[str]) -> None:
+    def __init__(
+        self,
+        pool: BufferPool,
+        name: str,
+        columns: Sequence[str],
+        log: Optional[Callable[[dict], None]] = None,
+    ) -> None:
         if not columns:
             raise SchemaError(f"table {name} needs at least one column")
         if len(set(columns)) != len(columns):
@@ -59,22 +74,33 @@ class Table:
         self._column_pos = {column: i for i, column in enumerate(columns)}
         self.heap = HeapFile(pool, len(columns), name=f"{name}.heap")
         self.indexes: dict[str, IndexDef] = {}
+        self._log = log
 
     # ------------------------------------------------------------------
     # DDL
     # ------------------------------------------------------------------
-    def create_index(self, index_name: str,
-                     key_columns: Sequence[str]) -> IndexDef:
+    def create_index(self, index_name: str, key_columns: Sequence[str]) -> IndexDef:
         """Add a composite index on ``key_columns`` (plus implicit rowid)."""
         if index_name in self.indexes:
             raise SchemaError(f"index {index_name} already exists")
         missing = [c for c in key_columns if c not in self._column_pos]
         if missing:
-            raise SchemaError(
-                f"table {self.name} has no column(s) {missing}")
+            raise SchemaError(f"table {self.name} has no column(s) {missing}")
+        if self._log is not None:
+            self._log(
+                {
+                    "t": "create_index",
+                    "table": self.name,
+                    "index": index_name,
+                    "key": list(key_columns),
+                }
+            )
         column_indexes = tuple(self._column_pos[c] for c in key_columns)
-        tree = BPlusTree(self.pool, arity=len(key_columns) + 1,
-                         name=f"{self.name}.{index_name}")
+        tree = BPlusTree(
+            self.pool,
+            arity=len(key_columns) + 1,
+            name=f"{self.name}.{index_name}",
+        )
         index = IndexDef(index_name, tuple(key_columns), column_indexes, tree)
         self.indexes[index_name] = index
         if self.heap.row_count:
@@ -88,6 +114,8 @@ class Table:
     def insert(self, row: Sequence[int]) -> int:
         """Insert a row, maintaining all indexes; return the row id."""
         row_tuple = tuple(row)
+        if self._log is not None:
+            self._log({"t": "insert", "table": self.name, "row": list(row_tuple)})
         rowid = self.heap.insert(row_tuple)
         for index in self.indexes.values():
             index.tree.insert(index.entry_for(row_tuple, rowid))
@@ -96,12 +124,13 @@ class Table:
     def delete(self, rowid: int) -> tuple[int, ...]:
         """Delete a row by id, maintaining all indexes; return the old row."""
         row = self.heap.delete(rowid)
+        if self._log is not None:
+            self._log({"t": "delete", "table": self.name, "row": list(row)})
         for index in self.indexes.values():
             index.tree.delete(index.entry_for(row, rowid))
         return row
 
-    def bulk_load(self, rows: Sequence[Sequence[int]],
-                  fill: float = 0.9) -> list[int]:
+    def bulk_load(self, rows: Sequence[Sequence[int]], fill: float = 0.9) -> list[int]:
         """Load many rows at once; indexes are built bottom-up.
 
         Only valid while the table is empty, mirroring index rebuilds /
@@ -110,10 +139,20 @@ class Table:
         if self.heap.row_count:
             raise SchemaError(f"bulk_load on non-empty table {self.name}")
         row_tuples = [tuple(row) for row in rows]
+        if self._log is not None:
+            self._log(
+                {
+                    "t": "bulk",
+                    "table": self.name,
+                    "rows": [list(row) for row in row_tuples],
+                    "fill": fill,
+                }
+            )
         rowids = self.heap.bulk_append(row_tuples)
         for index in self.indexes.values():
-            entries = sorted(index.entry_for(row, rowid)
-                             for row, rowid in zip(row_tuples, rowids))
+            entries = sorted(
+                index.entry_for(row, rowid) for row, rowid in zip(row_tuples, rowids)
+            )
             index.tree.bulk_load(entries, fill=fill)
         return rowids
 
@@ -138,9 +177,12 @@ class Table:
         """
         return self.heap.fetch_many(rowids)
 
-    def index_scan(self, index_name: str, lo_prefix: Sequence[int] = (),
-                   hi_prefix: Sequence[int] = ()
-                   ) -> Iterator[tuple[int, ...]]:
+    def index_scan(
+        self,
+        index_name: str,
+        lo_prefix: Sequence[int] = (),
+        hi_prefix: Sequence[int] = (),
+    ) -> Iterator[tuple[int, ...]]:
         """Inclusive index range scan; yields (key columns..., rowid) entries.
 
         This is the engine's ``INDEX RANGE SCAN`` operator (paper Figure 10):
@@ -149,10 +191,12 @@ class Table:
         index = self._index(index_name)
         return index.tree.scan_range(lo_prefix, hi_prefix)
 
-    def index_scan_batches(self, index_name: str,
-                           lo_prefix: Sequence[int] = (),
-                           hi_prefix: Sequence[int] = ()
-                           ) -> Iterator[list[tuple[int, ...]]]:
+    def index_scan_batches(
+        self,
+        index_name: str,
+        lo_prefix: Sequence[int] = (),
+        hi_prefix: Sequence[int] = (),
+    ) -> Iterator[list[tuple[int, ...]]]:
         """Batched index range scan: yields whole leaf slices.
 
         Same results and same I/O trace as :meth:`index_scan`, but entries
@@ -163,10 +207,12 @@ class Table:
         index = self._index(index_name)
         return index.tree.scan_batches(lo_prefix, hi_prefix)
 
-    def index_scan_unbatched(self, index_name: str,
-                             lo_prefix: Sequence[int] = (),
-                             hi_prefix: Sequence[int] = ()
-                             ) -> Iterator[tuple[int, ...]]:
+    def index_scan_unbatched(
+        self,
+        index_name: str,
+        lo_prefix: Sequence[int] = (),
+        hi_prefix: Sequence[int] = (),
+    ) -> Iterator[tuple[int, ...]]:
         """The pre-batching scan operator, kept as a parity reference.
 
         See :meth:`~repro.engine.bptree.BPlusTree.scan_range_unbatched`;
@@ -175,8 +221,9 @@ class Table:
         index = self._index(index_name)
         return index.tree.scan_range_unbatched(lo_prefix, hi_prefix)
 
-    def index_last_le(self, index_name: str, prefix: Sequence[int]
-                      ) -> Optional[tuple[int, ...]]:
+    def index_last_le(
+        self, index_name: str, prefix: Sequence[int]
+    ) -> Optional[tuple[int, ...]]:
         """Greatest index entry ``<=`` the (high-padded) prefix, or ``None``."""
         return self._index(index_name).tree.last_le(prefix)
 
@@ -199,13 +246,11 @@ class Table:
         try:
             return self.indexes[index_name]
         except KeyError:
-            raise SchemaError(
-                f"table {self.name} has no index {index_name}") from None
+            raise SchemaError(f"table {self.name} has no index {index_name}") from None
 
     def column_position(self, column: str) -> int:
         """Position of ``column`` in the row tuple."""
         try:
             return self._column_pos[column]
         except KeyError:
-            raise SchemaError(
-                f"table {self.name} has no column {column}") from None
+            raise SchemaError(f"table {self.name} has no column {column}") from None

@@ -50,11 +50,30 @@ from ..core.backbone import VirtualBackbone
 from ..core.interval import validate_interval
 from ..core.predicates import resolve_join_predicate
 from ..core.temporal import FORK_INF, FORK_NOW, UPPER_INF, UPPER_NOW
+from ..core.verify import VerificationReport
+from ..engine.retry import RetryPolicy
 from . import schema
 
 _PARAM_KEYS = ("offset", "left_root", "right_root", "minstep")
 #: Sentinel stored for "no value yet" parameters in the data dictionary.
 _NULL = None
+
+#: The batch transient tables one fill cycle populates (and must clear).
+_BATCH_TABLES = ("batchProbes", "batchLeftNodes", "batchRightNodes")
+
+
+def sqlite_transient_classify(exc: BaseException) -> bool:
+    """Retry test for sqlite: ``busy`` / ``locked`` operational errors.
+
+    The sqlite analogue of the engine's
+    :func:`~repro.engine.retry.default_classify` -- contention errors are
+    transient (another connection holds the lock and will release it);
+    everything else propagates untouched.
+    """
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
 
 
 class SQLRITree(IntervalStore):
@@ -92,12 +111,14 @@ class SQLRITree(IntervalStore):
         name: str = "Intervals",
         attach: bool = False,
         now: int = 0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.conn = (
             connection if connection is not None else sqlite3.connect(":memory:")
         )
         self.name = name
         self.backbone = VirtualBackbone()
+        self.retry = retry if retry is not None else RetryPolicy()
         self._now = now
         self._has_infinite = False
         self._has_now = False
@@ -118,6 +139,10 @@ class SQLRITree(IntervalStore):
         for statement in schema.create_batch_transient_tables():
             self.conn.execute(statement)
         self._register_udf()
+        # Leave the connection at a transaction boundary: the initial
+        # dictionary write opened an implicit transaction that a later
+        # cycle's rollback must not be able to revert.
+        self.conn.commit()
 
     # ------------------------------------------------------------------
     # data dictionary (Section 5)
@@ -191,31 +216,57 @@ class SQLRITree(IntervalStore):
             raise KeyError((lower, upper, interval_id))
 
     def bulk_load(self, intervals: Iterable[IntervalRecord]) -> None:
-        """Register and insert many intervals inside one transaction."""
+        """Register and insert many intervals inside one transaction.
+
+        A ``busy`` / ``locked`` failure rolls the transaction back and
+        retries the whole batch under the bounded backoff policy.
+        """
         rows = []
         for lower, upper, interval_id in intervals:
             node = self.backbone.register(lower, upper)
             rows.append(
                 {"node": node, "lower": lower, "upper": upper, "id": interval_id}
             )
-        try:
-            with self.conn:
-                self.conn.executemany(
-                    schema.INSERT_SQL.format(name=self.name), rows
-                )
-                self._save_params()
-        except BaseException:
-            # The transaction rolled back: parameter writes are gone from
-            # disk, so the dirty-flag snapshot must not claim otherwise.
-            self._persisted = None
-            raise
+
+        def body() -> None:
+            self.conn.executemany(schema.INSERT_SQL.format(name=self.name), rows)
+            self._save_params()
+
+        self._transact(body)
 
     def extend(self, intervals: Iterable[IntervalRecord]) -> None:
         """Insert many intervals one by one, inside one transaction."""
-        try:
+        records = list(intervals)
+
+        def body() -> None:
+            for lower, upper, interval_id in records:
+                self.insert(lower, upper, interval_id)
+
+        self._transact(body)
+
+    def _transact(self, body):
+        """Run ``body`` in one transaction, retrying ``busy``/``locked``.
+
+        On any failure the transaction rolls back, so the parameter
+        dirty-flag snapshot must not claim the dictionary writes stuck;
+        resetting it forces the next :meth:`_save_params` to re-persist.
+        Pending single-statement work (``insert`` leaves its implicit
+        transaction open) is committed first, so the rollback is scoped
+        to this transaction alone.
+        """
+
+        def attempt():
+            self.conn.commit()
             with self.conn:
-                for lower, upper, interval_id in intervals:
-                    self.insert(lower, upper, interval_id)
+                return body()
+
+        def rolled_back(_exc: BaseException) -> None:
+            self._persisted = None
+
+        try:
+            return self.retry.call(
+                attempt, classify=sqlite_transient_classify, on_retry=rolled_back
+            )
         except BaseException:
             self._persisted = None
             raise
@@ -306,12 +357,18 @@ class SQLRITree(IntervalStore):
         every query at once.
         """
         results: list[list[int]] = [[] for _ in queries]
-        if not queries or not self._fill_batch_tables(queries):
+        if not queries:
             return results
-        cursor = self.conn.execute(
-            schema.BATCH_INTERSECTION_SQL.format(name=self.name)
+        rows = self._batch_cycle(
+            lambda: self._fill_batch_tables(queries),
+            lambda: list(
+                self.conn.execute(
+                    schema.BATCH_INTERSECTION_SQL.format(name=self.name)
+                )
+            ),
+            empty=[],
         )
-        for qid, interval_id in cursor:
+        for qid, interval_id in rows:
             results[qid].append(interval_id)
         return results
 
@@ -423,6 +480,41 @@ class SQLRITree(IntervalStore):
         )
         return len(left_rows) + len(right_rows)
 
+    def _clear_batch_tables(self) -> None:
+        """Empty every batch transient table (end of one fill cycle)."""
+        for table in _BATCH_TABLES:
+            self.conn.execute(f"DELETE FROM {table}")
+
+    def _batch_cycle(self, fill, run, empty):
+        """One transaction-scoped batch fill cycle with bounded retry.
+
+        ``fill`` populates the batch transient tables and returns the
+        transient row count; when it returns zero the result is provably
+        ``empty``, ``run`` is skipped and -- preserving the empty-backbone
+        fast path -- not a single statement reaches the connection.  Fill,
+        query and cleanup execute inside ONE transaction: a mid-cycle
+        failure rolls the fill back (no stray TEMP rows can outlive the
+        cycle), and a ``busy`` / ``locked`` error additionally
+        re-attempts the whole cycle under the bounded backoff policy.
+        Pending single-statement work is committed up front, so the
+        mid-cycle rollback can only ever revert the cycle itself.
+        """
+
+        def attempt():
+            self.conn.commit()
+            try:
+                if not fill():
+                    return empty
+                result = run()
+                self._clear_batch_tables()
+                self.conn.commit()
+                return result
+            except BaseException:
+                self.conn.rollback()
+                raise
+
+        return self.retry.call(attempt, classify=sqlite_transient_classify)
+
     def _fill_predicate_batch_tables(
         self, probes: Sequence[IntervalRecord], inverse
     ) -> int:
@@ -501,18 +593,25 @@ class SQLRITree(IntervalStore):
             return []
         ids = [probe_id for _lower, _upper, probe_id in probes]
         if pred is None:
-            if not self._fill_batch_tables([(l, u) for l, u, _ in probes]):
-                return []
-            statement = schema.BATCH_INTERSECTION_SQL.format(name=self.name)
-            cursor = self.conn.execute(statement)
+            rows = self._batch_cycle(
+                lambda: self._fill_batch_tables([(l, u) for l, u, _ in probes]),
+                lambda: list(
+                    self.conn.execute(
+                        schema.BATCH_INTERSECTION_SQL.format(name=self.name)
+                    )
+                ),
+                empty=[],
+            )
         else:
-            if not self._fill_predicate_batch_tables(probes, pred.inverse):
-                return []
             statement = schema.predicate_batch_intersection_sql(
                 self.name, pred.sql_refine
             )
-            cursor = self.conn.execute(statement, {"now": self._now})
-        return [(ids[qid], interval_id) for qid, interval_id in cursor]
+            rows = self._batch_cycle(
+                lambda: self._fill_predicate_batch_tables(probes, pred.inverse),
+                lambda: list(self.conn.execute(statement, {"now": self._now})),
+                empty=[],
+            )
+        return [(ids[qid], interval_id) for qid, interval_id in rows]
 
     def join_count(
         self, probes: Sequence[IntervalRecord], predicate=None
@@ -526,36 +625,40 @@ class SQLRITree(IntervalStore):
         if not probes:
             return 0
         if pred is None:
-            if not self._fill_batch_tables([(l, u) for l, u, _ in probes]):
-                return 0
-            statement = schema.BATCH_COUNT_SQL.format(name=self.name)
-            cursor = self.conn.execute(statement)
-        else:
-            if not self._fill_predicate_batch_tables(probes, pred.inverse):
-                return 0
-            statement = schema.predicate_batch_count_sql(
-                self.name, pred.sql_refine
+            return self._batch_cycle(
+                lambda: self._fill_batch_tables([(l, u) for l, u, _ in probes]),
+                lambda: self.conn.execute(
+                    schema.BATCH_COUNT_SQL.format(name=self.name)
+                ).fetchone()[0],
+                empty=0,
             )
-            cursor = self.conn.execute(statement, {"now": self._now})
-        return cursor.fetchone()[0]
+        statement = schema.predicate_batch_count_sql(self.name, pred.sql_refine)
+        return self._batch_cycle(
+            lambda: self._fill_predicate_batch_tables(probes, pred.inverse),
+            lambda: self.conn.execute(statement, {"now": self._now}).fetchone()[0],
+            empty=0,
+        )
 
     def explain_join(
         self, probes: Sequence[IntervalRecord], predicate=None
     ) -> list[str]:
         """The engine's query plan for the set-at-a-time join statement."""
         pred = resolve_join_predicate(predicate)
-        if pred is None:
-            self._fill_batch_tables([(l, u) for l, u, _ in probes])
-            statement = schema.BATCH_INTERSECTION_SQL.format(name=self.name)
-            params = {}
-        else:
-            self._fill_predicate_batch_tables(probes, pred.inverse)
-            statement = schema.predicate_batch_intersection_sql(
-                self.name, pred.sql_refine
-            )
-            params = {"now": self._now}
-        cursor = self.conn.execute("EXPLAIN QUERY PLAN " + statement, params)
-        return [row[-1] for row in cursor]
+        try:
+            if pred is None:
+                self._fill_batch_tables([(l, u) for l, u, _ in probes])
+                statement = schema.BATCH_INTERSECTION_SQL.format(name=self.name)
+                params = {}
+            else:
+                self._fill_predicate_batch_tables(probes, pred.inverse)
+                statement = schema.predicate_batch_intersection_sql(
+                    self.name, pred.sql_refine
+                )
+                params = {"now": self._now}
+            cursor = self.conn.execute("EXPLAIN QUERY PLAN " + statement, params)
+            return [row[-1] for row in cursor]
+        finally:
+            self._clear_batch_tables()
 
     # ------------------------------------------------------------------
     # predicate queries (WHERE-clause rewrite of Figure 9)
@@ -653,6 +756,145 @@ class SQLRITree(IntervalStore):
             (lower, self._now if node == FORK_NOW else upper, interval_id)
             for node, lower, upper, interval_id in cursor
         ]
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def _verify_into(self, report: VerificationReport) -> None:
+        """Structural validators for the sqlite backend.
+
+        Checks, in order: sqlite's own ``PRAGMA integrity_check``,
+        presence and column order of the Figure 2 covering indexes, the
+        persisted parameter dictionary against the in-memory backbone,
+        Figure 6 fork-node consistency, the reserved Section 4.6 rows
+        against their sentinel uppers and flags, and that no batch fill
+        cycle left stray TEMP rows behind.
+        """
+        super()._verify_into(report)
+        report.add_check("sqlite-integrity")
+        for (line,) in self.conn.execute("PRAGMA integrity_check"):
+            if line != "ok":
+                report.add_issue("sqlite-integrity", line)
+        report.add_check("figure2-indexes")
+        expected_indexes = {
+            f"{self.name}_lowerIndex": ["node", "lower", "id"],
+            f"{self.name}_upperIndex": ["node", "upper", "id"],
+        }
+        present = {
+            row[1] for row in self.conn.execute(f"PRAGMA index_list({self.name})")
+        }
+        for index_name, key_columns in expected_indexes.items():
+            if index_name not in present:
+                report.add_issue(
+                    "missing-index",
+                    f"covering index {index_name} is absent",
+                    {"index": index_name},
+                )
+                continue
+            columns = [
+                row[2]
+                for row in self.conn.execute(f"PRAGMA index_info({index_name})")
+            ]
+            if columns != key_columns:
+                report.add_issue(
+                    "index-columns",
+                    f"{index_name} covers {columns}, Figure 2 expects "
+                    f"{key_columns}",
+                    {"index": index_name},
+                )
+        report.add_check("params-dictionary")
+        stored = dict(
+            self.conn.execute(f'SELECT "key", "value" FROM {self.name}_params')
+        )
+        expected_params = dict(
+            zip(_PARAM_KEYS + ("has_infinite", "has_now"), self._param_values())
+        )
+        for key, value in expected_params.items():
+            if stored.get(key) != value:
+                report.add_issue(
+                    "params-dictionary",
+                    f"dictionary stores {key}={stored.get(key)!r}, "
+                    f"in-memory value is {value!r}",
+                    {"key": key},
+                )
+        report.add_check("fork-node")
+        report.add_check("reserved-rows")
+        inf_rows = now_rows = 0
+        for node, lower, upper, interval_id in self.conn.execute(
+            f'SELECT "node", "lower", "upper", "id" FROM {self.name}'
+        ):
+            if node == FORK_INF:
+                inf_rows += 1
+                if upper != UPPER_INF:
+                    report.add_issue(
+                        "reserved-row-upper",
+                        f"row id {interval_id} at FORK_INF stores upper "
+                        f"{upper}, expected the UPPER_INF sentinel",
+                        {"id": interval_id},
+                    )
+                continue
+            if node == FORK_NOW:
+                now_rows += 1
+                if upper != UPPER_NOW:
+                    report.add_issue(
+                        "reserved-row-upper",
+                        f"row id {interval_id} at FORK_NOW stores upper "
+                        f"{upper}, expected the UPPER_NOW sentinel",
+                        {"id": interval_id},
+                    )
+                if lower > self._now:
+                    report.add_issue(
+                        "now-row-after-clock",
+                        f"now-relative row id {interval_id} starts at "
+                        f"{lower}, after now={self._now}",
+                        {"id": interval_id},
+                    )
+                continue
+            if self.backbone.is_empty:
+                report.add_issue(
+                    "missing-offset",
+                    f"row id {interval_id} stored but the backbone has "
+                    "no offset",
+                    {"id": interval_id},
+                )
+                continue
+            try:
+                expected = self.backbone.fork_node(lower, upper)
+            except ValueError as exc:
+                report.add_issue(
+                    "fork-node-unreachable",
+                    f"row id {interval_id}: {exc}",
+                    {"id": interval_id},
+                )
+                continue
+            if node != expected:
+                report.add_issue(
+                    "fork-node-mismatch",
+                    f"row id {interval_id} stored at node {node}, Figure 6 "
+                    f"computes {expected} for ({lower}, {upper})",
+                    {"id": interval_id, "node": node, "expected": expected},
+                )
+        if inf_rows and not self._has_infinite:
+            report.add_issue(
+                "reserved-flag",
+                f"{inf_rows} rows at FORK_INF but has_infinite is unset "
+                "(queries would miss them)",
+            )
+        if now_rows and not self._has_now:
+            report.add_issue(
+                "reserved-flag",
+                f"{now_rows} rows at FORK_NOW but has_now is unset "
+                "(queries would miss them)",
+            )
+        report.add_check("batch-tables-empty")
+        for table in _BATCH_TABLES:
+            count = self.conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            if count:
+                report.add_issue(
+                    "stray-batch-rows",
+                    f"{count} rows left in {table} outside a fill cycle",
+                    {"table": table},
+                )
 
     # ------------------------------------------------------------------
     # object-relational wrapping: view + trigger + UDF (Section 5)

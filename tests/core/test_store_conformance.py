@@ -13,8 +13,9 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import IntervalStore, RITree
+from repro.core import IntervalStore, RITree, TemporalRITree
 from repro.core.costmodel import JoinEstimate
+from repro.engine import Database, FaultInjector, SimulatedCrash
 from repro.methods.memory import BruteForceIntervals
 from repro.sql import SQLRITree
 from repro.workloads import join_workload
@@ -196,6 +197,140 @@ def test_property_store_matches_oracle(store_name, records, queries):
         assert sorted(store.intersection(lower, upper)) == expected
         assert sorted(ids) == expected
         assert store.intersection_count(lower, upper) == len(expected)
+
+
+# ----------------------------------------------------------------------
+# verify() after every mutation
+# ----------------------------------------------------------------------
+def test_verify_after_every_mutation(store, rng):
+    assert store.verify().ok
+    records = make_intervals(rng, 60, domain=10_000, mean_length=200)
+    store.bulk_load(records[:30])
+    assert store.verify().ok
+    store.extend(records[30:40])
+    assert store.verify().ok
+    for lower, upper, interval_id in records[40:]:
+        store.insert(lower, upper, interval_id)
+        report = store.verify()
+        assert report.ok, [i.as_dict() for i in report.issues]
+    for lower, upper, interval_id in records[:10]:
+        store.delete(lower, upper, interval_id)
+        report = store.verify()
+        assert report.ok, [i.as_dict() for i in report.issues]
+
+
+def test_verify_after_every_temporal_mutation():
+    tree = TemporalRITree(now=100)
+    tree.bulk_load([(1, 5, 1), (3, 9, 2)])
+    assert tree.verify().ok
+    tree.insert_infinite(40, 3)
+    assert tree.verify().ok
+    tree.insert_until_now(10, 4)
+    assert tree.verify().ok
+    tree.advance_to(500)
+    assert tree.verify().ok
+    tree.close_now_interval(10, 4, 450)
+    assert tree.verify().ok
+    tree.delete_infinite(40, 3)
+    report = tree.verify()
+    assert report.ok, [i.as_dict() for i in report.issues]
+
+
+# ----------------------------------------------------------------------
+# crash at every write point, then recover, verify and match the oracle
+# ----------------------------------------------------------------------
+CRASH_ROWS = [(i * 17 % 400, i * 17 % 400 + 25, i) for i in range(30)]
+CRASH_EXTEND = [(500 + 10 * i, 540 + 10 * i, 100 + i) for i in range(4)]
+CRASH_QUERIES = [(0, 60), (200, 260), (420, 455), (520, 540), (0, 1000)]
+CRASH_PROBES = [(0, 50, 1), (100, 400, 2), (430, 600, 3)]
+
+
+def _ritree_steps(tree):
+    return [
+        lambda: tree.bulk_load(CRASH_ROWS),
+        lambda: tree.extend(CRASH_EXTEND),
+        lambda: tree.insert(3, 900, 200),
+        lambda: tree.delete(*CRASH_ROWS[0]),
+    ]
+
+
+def _temporal_steps(tree):
+    return [
+        lambda: tree.bulk_load(CRASH_ROWS),
+        lambda: tree.insert_infinite(40, 300),
+        lambda: tree.insert_until_now(10, 301),
+        lambda: tree.advance_to(500),
+        lambda: tree.delete(*CRASH_ROWS[1]),
+        lambda: tree.close_now_interval(10, 301, 450),
+    ]
+
+
+CRASH_CASES = {
+    "ritree": (lambda db: RITree(db), RITree, _ritree_steps),
+    "temporal": (
+        lambda db: TemporalRITree(db, now=100),
+        TemporalRITree,
+        _temporal_steps,
+    ),
+}
+
+
+def _oracle_parity(recovered):
+    oracle = BruteForceIntervals(recovered.stored_records())
+    for lower, upper in CRASH_QUERIES:
+        assert sorted(recovered.intersection(lower, upper)) == sorted(
+            oracle.intersection(lower, upper)
+        )
+    expected_pairs = sorted(
+        (probe_id, interval_id)
+        for p_lower, p_upper, probe_id in CRASH_PROBES
+        for lower, upper, interval_id in recovered.stored_records()
+        if p_lower <= upper and lower <= p_upper
+    )
+    assert sorted(recovered.join_pairs(CRASH_PROBES)) == expected_pairs
+
+
+@pytest.mark.parametrize("kind", sorted(CRASH_CASES))
+def test_crash_at_every_write_point_recovers_consistent(kind):
+    factory, store_cls, steps_for = CRASH_CASES[kind]
+
+    # Passive run: count the crash points and snapshot the state after
+    # every atomic step -- the only states recovery may land on.
+    passive = FaultInjector()
+    db = Database(wal=True, injector=passive)
+    tree = factory(db)
+    allowed_states = [sorted(tree.stored_records())]
+    for step in steps_for(tree):
+        step()
+        allowed_states.append(sorted(tree.stored_records()))
+    db.flush()
+    points = passive.write_points
+    assert points > 0
+
+    for n in range(1, points + 1):
+        injector = FaultInjector().crash_at_write_point(n)
+        db = Database(wal=True, injector=injector)
+        crashed = False
+        try:
+            tree = factory(db)
+            for step in steps_for(tree):
+                step()
+            db.flush()
+        except SimulatedCrash:
+            crashed = True
+        recovered_db = db.recover()
+        if not recovered_db.has_table("Intervals"):
+            # The crash hit the DDL batch: nothing durable yet.
+            assert crashed, f"point {n}: no table but no crash either"
+            continue
+        recovered = store_cls.attach(recovered_db)
+        report = recovered.verify()
+        assert report.ok, (n, [i.as_dict() for i in report.issues])
+        state = sorted(recovered.stored_records())
+        assert state in allowed_states, f"point {n}: not a committed prefix"
+        if not crashed:
+            assert state == allowed_states[-1]
+        _oracle_parity(recovered)
 
 
 @pytest.mark.parametrize("store_name", STORE_NAMES)

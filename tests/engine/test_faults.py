@@ -1,0 +1,199 @@
+"""Fault injector, torn pages and the bounded retry policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    Database,
+    FaultInjector,
+    PermanentIOError,
+    RetryExhaustedError,
+    RetryPolicy,
+    SimulatedCrash,
+    TornPageError,
+    TransientError,
+    TransientIOError,
+    default_classify,
+)
+
+
+def loaded_db(**kwargs) -> tuple[Database, object]:
+    db = Database(block_size=512, cache_blocks=16, **kwargs)
+    table = db.create_table("T", ["a", "b"])
+    table.create_index("ia", ["a"])
+    for i in range(200):
+        table.insert((i, 2 * i))
+    return db, table
+
+
+# ----------------------------------------------------------------------
+# scheduled faults
+# ----------------------------------------------------------------------
+def test_nth_read_fails_transiently_without_retry():
+    injector = FaultInjector().fail_read(1, kind="transient")
+    db, table = loaded_db(injector=injector)
+    db.clear_cache()
+    with pytest.raises(TransientIOError):
+        table.fetch(0)
+    assert injector.faults_injected == 1
+    # The fault plan is one-shot: the same read succeeds afterwards.
+    assert table.fetch(0) == (0, 0)
+
+
+def test_nth_read_retried_under_policy():
+    injector = FaultInjector().fail_read(1, kind="transient")
+    retry = RetryPolicy(attempts=3)
+    db, table = loaded_db(injector=injector, retry=retry)
+    db.clear_cache()
+    assert table.fetch(0) == (0, 0)
+    assert retry.total_retries == 1
+    assert retry.simulated_backoff > 0
+
+
+def test_permanent_fault_is_not_retried():
+    injector = FaultInjector().fail_read(1, kind="permanent")
+    retry = RetryPolicy(attempts=5)
+    db, table = loaded_db(injector=injector, retry=retry)
+    db.clear_cache()
+    with pytest.raises(PermanentIOError):
+        table.fetch(0)
+    assert retry.total_retries == 0
+
+
+def test_write_faults_by_ordinal():
+    injector = FaultInjector().fail_write(1, kind="transient")
+    db = Database(block_size=512, cache_blocks=16, injector=injector)
+    table = db.create_table("T", ["a"])
+    table.insert((1,))
+    with pytest.raises(TransientIOError):
+        db.flush()
+    assert injector.faults_injected == 1
+
+
+# ----------------------------------------------------------------------
+# torn pages
+# ----------------------------------------------------------------------
+def test_torn_write_persists_half_and_read_raises():
+    injector = FaultInjector()
+    db, table = loaded_db(injector=injector)
+    injector.tear_write(injector.writes + 1)
+    db.flush()  # first dirty write-back is torn
+    (torn_block,) = db.disk.torn_blocks
+    reads_before = db.stats.physical_reads
+    with pytest.raises(TornPageError):
+        db.disk.read(torn_block)
+    # The attempted read is still accounted before the error surfaces.
+    assert db.stats.physical_reads == reads_before + 1
+
+
+def test_torn_block_heals_on_rewrite():
+    injector = FaultInjector()
+    db = Database(block_size=512, cache_blocks=16, injector=injector)
+    table = db.create_table("T", ["a"])
+    table.insert((7,))
+    injector.tear_write(injector.writes + 1)
+    db.flush()
+    (torn_block,) = db.disk.torn_blocks
+    with pytest.raises(TornPageError):
+        db.disk.read(torn_block)
+    # A full rewrite of the same block clears the torn marker.
+    db.pool.flush_block(torn_block)  # not dirty: no-op
+    table.insert((8,))
+    db.flush()
+    assert torn_block not in db.disk.torn_blocks
+    db.pool.clear()
+    assert sorted(row for _, row in table.scan()) == [(7,), (8,)]
+
+
+# ----------------------------------------------------------------------
+# crash points
+# ----------------------------------------------------------------------
+def test_write_points_span_writes_and_flushes():
+    injector = FaultInjector()
+    db, _table = loaded_db(injector=injector)
+    db.flush()
+    # Every flush announcement and every disk write is one crash point.
+    assert injector.write_points == injector.writes + injector.flushes
+    assert injector.flushes > 0
+
+
+def test_crash_at_write_point_raises_once():
+    passive = FaultInjector()
+    db, _ = loaded_db(injector=passive)
+    db.flush()
+    points = passive.write_points
+    assert points > 0
+    injector = FaultInjector().crash_at_write_point(1)
+    with pytest.raises(SimulatedCrash):
+        loaded_db(injector=injector)[0].flush()
+
+
+def test_crash_is_never_retried():
+    injector = FaultInjector().crash_at_write_point(1)
+    retry = RetryPolicy(attempts=10)
+    db = Database(block_size=512, cache_blocks=16, injector=injector, retry=retry)
+    table = db.create_table("T", ["a"])
+    table.insert((1,))
+    with pytest.raises(SimulatedCrash):
+        db.flush()
+    assert retry.total_retries == 0
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_random_faults_are_seed_deterministic():
+    def run(seed: int) -> list[int]:
+        injector = FaultInjector(seed=seed).random_faults(read_rate=0.3)
+        db, table = loaded_db(injector=injector)
+        db.clear_cache()
+        outcomes = []
+        for i in range(50):
+            try:
+                table.fetch(i)
+                outcomes.append(0)
+            except TransientError:
+                outcomes.append(1)
+        return outcomes
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+# ----------------------------------------------------------------------
+# the retry policy in isolation
+# ----------------------------------------------------------------------
+def test_retry_exhaustion_is_typed():
+    policy = RetryPolicy(attempts=3)
+    calls = []
+
+    def always_fails():
+        calls.append(1)
+        raise TransientIOError("nope")
+
+    with pytest.raises(RetryExhaustedError):
+        policy.call(always_fails)
+    assert len(calls) == 3
+    assert policy.total_retries == 2
+
+
+def test_retry_backoff_schedule_is_exponential_and_capped():
+    policy = RetryPolicy(attempts=5, base_delay=0.01, multiplier=2.0, max_delay=0.03)
+    assert policy.delay_for(1) == pytest.approx(0.01)
+    assert policy.delay_for(2) == pytest.approx(0.02)
+    assert policy.delay_for(3) == pytest.approx(0.03)
+    assert policy.delay_for(4) == pytest.approx(0.03)
+
+
+def test_retry_passes_nontransient_through():
+    policy = RetryPolicy(attempts=3)
+    with pytest.raises(KeyError):
+        policy.call(lambda: (_ for _ in ()).throw(KeyError("x")))
+    assert policy.total_retries == 0
+
+
+def test_default_classify_is_the_typed_taxonomy():
+    assert default_classify(TransientIOError("x"))
+    assert not default_classify(PermanentIOError("x"))
+    assert not default_classify(ValueError("x"))

@@ -1,0 +1,250 @@
+"""Write-ahead log, checkpointing and crash recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    Database,
+    FaultInjector,
+    RecoveryError,
+    SimulatedCrash,
+    WalError,
+    WriteAheadLog,
+)
+from repro.engine.wal import decode_record, encode_record
+
+
+# ----------------------------------------------------------------------
+# record framing
+# ----------------------------------------------------------------------
+def test_record_roundtrip_with_crc():
+    record = {"t": "insert", "table": "T", "row": [1, 2, 3]}
+    line = encode_record(record)
+    assert decode_record(line) == record
+
+
+def test_corrupt_line_fails_crc():
+    line = encode_record({"t": "commit", "b": 1})
+    with pytest.raises(WalError):
+        decode_record(line[:-1] + ("0" if line[-1] != "0" else "1"))
+
+
+def test_unknown_kind_rejected_both_ways():
+    with pytest.raises(WalError):
+        encode_record({"t": "vacuum"})
+    good = encode_record({"t": "commit", "b": 1})
+    with pytest.raises(WalError):
+        decode_record(good[:9] + '{"t":"vacuum"}')
+
+
+def test_encoding_is_canonical():
+    a = encode_record({"t": "meta", "store": "S", "data": {"x": 1, "y": 2}})
+    b = encode_record({"t": "meta", "data": {"y": 2, "x": 1}, "store": "S"})
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# durability boundary
+# ----------------------------------------------------------------------
+def test_tail_is_volatile_until_forced():
+    wal = WriteAheadLog()
+    wal.append({"t": "begin", "b": 1})
+    wal.append({"t": "commit", "b": 1})
+    assert wal.tail_records == 2 and wal.durable_records == 0
+    assert wal.drop_tail() == 2
+    assert wal.tail_records == 0 and wal.durable_records == 0
+    wal.append({"t": "begin", "b": 2})
+    wal.append({"t": "commit", "b": 2})
+    wal.force()
+    assert wal.durable_records == 2
+    assert wal.drop_tail() == 0
+
+
+def test_force_accounts_whole_blocks():
+    wal = WriteAheadLog(block_size=64)
+    wal.append({"t": "begin", "b": 1})
+    wal.append({"t": "commit", "b": 1})
+    wal.force()
+    appended = wal.durable_bytes
+    assert wal.stats.wal_writes == -(-appended // 64)
+    wal.records()
+    assert wal.stats.wal_reads == -(-appended // 64)
+
+
+def test_empty_force_is_free():
+    wal = WriteAheadLog()
+    wal.force()
+    assert wal.forces == 0
+    assert wal.stats.wal_writes == 0
+
+
+# ----------------------------------------------------------------------
+# database logging and atomic batches
+# ----------------------------------------------------------------------
+def test_solo_statements_autocommit():
+    db = Database(wal=True)
+    table = db.create_table("T", ["a"])
+    table.insert((1,))
+    # create_table and insert each committed as their own batch.
+    kinds = [r["t"] for r in db.wal.records()]
+    assert kinds == ["begin", "create_table", "commit", "begin", "insert", "commit"]
+
+
+def test_atomic_groups_one_force():
+    db = Database(wal=True)
+    table = db.create_table("T", ["a"])
+    forces_before = db.wal.forces
+    with db.atomic():
+        for i in range(10):
+            table.insert((i,))
+    assert db.wal.forces == forces_before + 1
+
+
+def test_failed_batch_rolls_back_by_omission():
+    db = Database(wal=True)
+    table = db.create_table("T", ["a"])
+    table.insert((1,))
+    with pytest.raises(RuntimeError):
+        with db.atomic():
+            table.insert((2,))
+            raise RuntimeError("mid-batch failure")
+    assert db.wal_desynced
+    recovered = db.recover()
+    assert [row for _, row in recovered.table("T").scan()] == [(1,)]
+
+
+def test_failed_batch_without_mutations_is_harmless():
+    db = Database(wal=True)
+    db.create_table("T", ["a"])
+    with pytest.raises(KeyError):
+        with db.atomic():
+            raise KeyError("lookup miss before any mutation")
+    assert not db.wal_desynced
+
+
+def test_nested_atomic_flattens():
+    db = Database(wal=True)
+    table = db.create_table("T", ["a"])
+    with db.atomic():
+        table.insert((1,))
+        with db.atomic():
+            table.insert((2,))
+        table.insert((3,))
+    kinds = [r["t"] for r in db.wal.records()]
+    assert kinds.count("begin") == 2  # DDL batch + one flattened batch
+    assert kinds.count("commit") == 2
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+def test_recover_replays_committed_prefix():
+    db = Database(wal=True)
+    table = db.create_table("T", ["a", "b"])
+    table.create_index("ia", ["a"])
+    with db.atomic():
+        for i in range(20):
+            table.insert((i, i * i))
+    table.delete(5)  # rowid 5 -> row (5, 25)
+    recovered = db.recover()
+    rows = sorted(row for _, row in recovered.table("T").scan())
+    assert rows == sorted((i, i * i) for i in range(20) if i != 5)
+    tree = recovered.table("T").index("ia").tree
+    assert tree.violations() == []
+    assert recovered.replayed_ops > 0
+
+
+def test_recover_drops_unforced_tail():
+    db = Database(wal=True)
+    table = db.create_table("T", ["a"])
+    table.insert((1,))
+    # Simulate a crash mid-batch: records buffered but never forced.
+    db.wal.append({"t": "begin", "b": 999})
+    db.wal.append({"t": "insert", "table": "T", "row": [2]})
+    recovered = db.recover()
+    assert [row for _, row in recovered.table("T").scan()] == [(1,)]
+
+
+def test_recover_restores_meta():
+    db = Database(wal=True)
+    db.create_table("T", ["a"])
+    db.log_meta("T", {"kind": "test", "x": 7})
+    recovered = db.recover()
+    assert recovered.store_meta("T") == {"kind": "test", "x": 7}
+
+
+def test_checkpoint_bounds_replay():
+    db = Database(wal=True)
+    table = db.create_table("T", ["a"])
+    table.create_index("ia", ["a"])
+    for i in range(10):
+        table.insert((i,))
+    db.checkpoint()
+    assert db.wal.durable_records == 1
+    table.insert((99,))
+    recovered = db.recover()
+    rows = sorted(row for _, row in recovered.table("T").scan())
+    assert rows == sorted([(i,) for i in range(10)] + [(99,)])
+    # ckpt + one committed batch (begin/insert/meta-free/commit)
+    assert recovered.replayed_ops <= 2
+
+
+def test_checkpoint_inside_batch_is_an_error():
+    db = Database(wal=True)
+    with pytest.raises(WalError):
+        with db.atomic():
+            db.checkpoint()
+
+
+def test_checkpoint_requires_wal():
+    db = Database()
+    with pytest.raises(WalError):
+        db.checkpoint()
+    with pytest.raises(WalError):
+        db.recover()
+
+
+def test_crash_during_checkpoint_preserves_old_log():
+    db = Database(wal=True)
+    table = db.create_table("T", ["a"])
+    table.insert((1,))
+    injector = FaultInjector().crash_at_write_point(1)
+    db.wal.rebind(db.stats, injector)
+    with pytest.raises(SimulatedCrash):
+        db.checkpoint()
+    db.wal.rebind(db.stats, None)
+    # The old log survived the crashed checkpoint swap intact.
+    recovered = db.recover()
+    assert [row for _, row in recovered.table("T").scan()] == [(1,)]
+
+
+def test_replay_rejects_commit_without_begin():
+    from repro.engine.database import _committed_records
+
+    with pytest.raises(RecoveryError):
+        _committed_records([{"t": "commit", "b": 1}])
+    with pytest.raises(RecoveryError):
+        _committed_records([{"t": "insert", "table": "T", "row": [1]}])
+
+
+def test_wal_io_is_accounted_in_stats():
+    db = Database(wal=True)
+    table = db.create_table("T", ["a"])
+    with db.measure() as delta:
+        with db.atomic():
+            for i in range(50):
+                table.insert((i,))
+    assert delta.wal_writes >= 1
+    assert delta.wal_total >= 1
+    assert db.stats.wal_writes >= 1
+
+
+def test_wal_off_has_zero_wal_traffic():
+    db = Database()
+    table = db.create_table("T", ["a"])
+    for i in range(50):
+        table.insert((i,))
+    db.flush()
+    assert db.stats.wal_writes == 0
+    assert db.stats.wal_reads == 0
