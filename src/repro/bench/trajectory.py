@@ -36,6 +36,7 @@ AT_LEAST = "at-least"
 #: Metric name -> comparison rule; anything unlisted defaults to EXACT.
 METRIC_RULES: dict[str, str] = {
     "worst_ops_ratio": AT_LEAST,
+    "count_worst_ops_ratio": AT_LEAST,
     "auto_accuracy": AT_LEAST,
     "correct_choices": AT_LEAST,
 }
@@ -107,6 +108,18 @@ def _join_crossover_metrics(report: dict) -> dict:
     }
 
 
+def _hint_metrics(report: dict) -> dict:
+    summary = report["summary"]
+    return {
+        "results_total": summary["results_total"],
+        "parity_queries": summary["parity_queries"],
+        "pairs": summary["pairs"],
+        "worst_ops_ratio": round(summary["worst_ops_ratio"], 3),
+        "count_worst_ops_ratio": round(
+            summary["count_worst_ops_ratio"], 3),
+    }
+
+
 def _recovery_metrics(report: dict) -> dict:
     summary = report["summary"]
     return {
@@ -128,6 +141,7 @@ BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "sql-join": _sql_join_metrics,
     "predicate-join": _predicate_join_metrics,
     "recovery": _recovery_metrics,
+    "hint": _hint_metrics,
 }
 
 

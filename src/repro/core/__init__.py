@@ -36,6 +36,7 @@ from .costmodel import (
     choose_join_strategy,
     expected_join_pairs,
 )
+from .hint import HintCostModel, HintStore
 from .interval import Interval, validate_interval
 from .predicates import (
     JOIN_PREDICATES,
@@ -76,6 +77,8 @@ __all__ = [
     "FixedHeightBackbone",
     "FORK_INF",
     "FORK_NOW",
+    "HintCostModel",
+    "HintStore",
     "IndexNestedLoopJoin",
     "Interval",
     "IntervalPredicate",

@@ -7,10 +7,14 @@ Two layers live here:
   predicate layer) may ask of an interval collection is declared on this
   class: updates, the intersection query family, predicate queries,
   interval joins, planning hooks, and accounting.  It says nothing about
-  *where* the intervals live; the simulated storage engine and the
-  sqlite3 backend of :mod:`repro.sql` both implement it, mirroring the
+  *where* the intervals live; the simulated storage engine, the sqlite3
+  backend of :mod:`repro.sql` and the main-memory
+  :class:`~repro.core.hint.HintStore` all implement it, mirroring the
   paper's Section 5 claim that the RI-tree "may be easily implemented on
-  top of any relational DBMS".
+  top of any relational DBMS".  ``docs/writing-a-backend.md`` walks the
+  contract method by method for backend authors; the shared conformance
+  suite (``tests/core/test_store_conformance.py``) is its executable
+  form.
 * :class:`AccessMethod` -- the simulated-engine base.  Every access
   method over :mod:`repro.engine` -- the RI-tree itself and the
   competitors of Section 2 (Tile Index, IST, MAP21, Window-List) --
@@ -53,13 +57,40 @@ class IntervalStore(ABC):
     # ------------------------------------------------------------------
     @abstractmethod
     def insert(self, lower: int, upper: int, interval_id: int) -> None:
-        """Register the interval ``[lower, upper]`` under ``interval_id``."""
+        """Register the closed interval ``[lower, upper]`` under ``interval_id``.
+
+        Implementations must reject malformed input through
+        :func:`~repro.core.interval.validate_interval` (``lower <=
+        upper``, bounds within the engine's domain) *before* touching
+        any structure, so a failed insert leaves the store unchanged.
+        ``interval_id`` is opaque to the store and need not be unique;
+        the same exact record may be stored more than once and queries
+        then report it with its multiplicity.
+
+        The sentinel uppers :data:`~repro.core.temporal.UPPER_INF` and
+        :data:`~repro.core.temporal.UPPER_NOW` are reserved for temporal
+        rows.  Backends with temporal support store such records through
+        their dedicated ``insert_infinite`` / ``insert_until_now`` entry
+        points; the main-memory :class:`~repro.core.hint.HintStore`
+        additionally routes the sentinels from plain ``insert``, so
+        sentinel-bearing records load through its uniform ``bulk_load``.
+        Stores without temporal rows have no special case -- the
+        sentinels are merely huge uppers, which the plain RI-tree's
+        backbone rejects as out of domain.
+        """
 
     @abstractmethod
     def delete(self, lower: int, upper: int, interval_id: int) -> None:
-        """Remove a previously inserted interval.
+        """Remove one previously inserted copy of the exact record.
 
-        Raises :class:`KeyError` when the exact record is absent.
+        All three fields must match an existing record; when the record
+        was inserted more than once, a single copy is removed.  Raises
+        :class:`KeyError` (and leaves the store unchanged) when the
+        exact record is absent -- deletion is never fuzzy.  Temporal
+        rows are removed through the dedicated ``delete_infinite`` /
+        ``delete_until_now`` entry points; the
+        :class:`~repro.core.hint.HintStore` also routes the sentinel
+        uppers from here, mirroring its :meth:`insert`.
         """
 
     def bulk_load(self, intervals: Sequence[IntervalRecord]) -> None:
@@ -81,7 +112,17 @@ class IntervalStore(ABC):
     # ------------------------------------------------------------------
     @abstractmethod
     def intersection(self, lower: int, upper: int) -> list[int]:
-        """Ids of all stored intervals intersecting ``[lower, upper]``."""
+        """Ids of all stored intervals intersecting ``[lower, upper]``.
+
+        A stored ``[s, e]`` matches iff ``s <= upper and lower <= e``
+        (closed-interval overlap, so touching endpoints count).  The
+        result contains one entry per matching stored *record* --
+        records inserted twice appear twice -- in unspecified order;
+        callers that need determinism sort.  On temporal backends the
+        effective upper of a ``now``-relative record is the current
+        clock and infinite records match every query window that reaches
+        their lower bound.
+        """
 
     def intersection_count(self, lower: int, upper: int) -> int:
         """Number of intervals intersecting ``[lower, upper]``.
@@ -306,12 +347,24 @@ class IntervalStore(ABC):
     @property
     @abstractmethod
     def interval_count(self) -> int:
-        """Number of stored intervals."""
+        """Number of stored interval records, temporal rows included.
+
+        Counts records (with multiplicity), not distinct ids, and must
+        track :meth:`insert`/:meth:`delete` exactly -- the base
+        :meth:`_verify_into` cross-checks it against
+        :meth:`stored_records` on every ``verify()``.
+        """
 
     @property
     @abstractmethod
     def index_entry_count(self) -> int:
-        """Total index entries -- the y-axis of the paper's Figure 12."""
+        """Total index entries -- the y-axis of the paper's Figure 12.
+
+        The physical storage metric: the RI-tree stores two entries per
+        interval (lowerIndex + upperIndex), the T-index one per covering
+        tile, the HINT store one per partition replica.  A backend's
+        :attr:`redundancy` is this divided by :attr:`interval_count`.
+        """
 
     @property
     def redundancy(self) -> float:

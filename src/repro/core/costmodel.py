@@ -706,6 +706,36 @@ class StoreGeometry:
     table_blocks: int
 
 
+#: Cache size handed to fully memory-resident geometries: larger than
+#: any block count the model will ever see, so the LRU terms stay in the
+#: everything-fits regime.
+MEMORY_CACHE_BLOCKS = 1 << 30
+
+
+def memory_resident_geometry(
+    count: int, partitions: int, block_size: int = DEFAULT_BLOCK_SIZE
+) -> StoreGeometry:
+    """The planner-side shape of a main-memory store (no real blocks).
+
+    Partitions stand in for leaves (one "descent" reaches them -- there
+    is no tree to walk), the cache is effectively unbounded, and the
+    virtual table-block count only feeds relative refinement terms.  A
+    memory store's cost model still zeroes the resulting physical reads
+    (see :class:`repro.core.hint.HintCostModel`); this geometry merely
+    keeps the shared formulas well-defined and comparable.
+    """
+    per_partition = max(1, -(-max(count, 1) // max(1, partitions)))
+    return StoreGeometry(
+        height=1,
+        leaf_capacity=per_partition,
+        leaf_blocks=float(max(1, partitions)),
+        internal_blocks=0.0,
+        cache_blocks=MEMORY_CACHE_BLOCKS,
+        block_size=block_size,
+        table_blocks=heap_scan_blocks(count, 3, block_size),
+    )
+
+
 class _EngineTreeStatistics:
     """Statistics source over an engine-backed :class:`RITree`."""
 

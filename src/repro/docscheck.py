@@ -1,0 +1,100 @@
+"""Documentation lints: relative links resolve, benchmarks are listed.
+
+Two checks keep ``docs/`` honest as the code moves:
+
+* every relative markdown link in ``docs/*.md`` and ``README.md`` must
+  point at a file or directory that exists (external ``http(s)``,
+  ``mailto`` and pure ``#anchor`` links are skipped -- CI has no
+  network, and anchors are a rendering concern);
+* every benchmark script ``benchmarks/bench_*.py`` must be mentioned by
+  name in ``docs/benchmarks.md``, so a new benchmark cannot land
+  without its documentation row.
+
+Run it locally or from CI as::
+
+    PYTHONPATH=src python -m repro.docscheck [repo_root]
+
+Exit status 0 means clean; 1 prints one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` -- good enough for the hand-written docs here;
+#: fenced code blocks are stripped before matching so example links in
+#: code samples are not checked.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _doc_files(root: Path) -> list[Path]:
+    files = sorted((root / "docs").glob("*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def check_links(root: Path) -> list[str]:
+    """Broken relative links, one ``file: target`` line each."""
+    problems = []
+    for doc in _doc_files(root):
+        text = _FENCE.sub("", doc.read_text())
+        for target in _LINK.findall(text):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_benchmarks_listed(root: Path) -> list[str]:
+    """Benchmark scripts missing from ``docs/benchmarks.md``."""
+    listing = root / "docs" / "benchmarks.md"
+    if not listing.exists():
+        return ["docs/benchmarks.md does not exist"]
+    text = listing.read_text()
+    problems = []
+    for script in sorted((root / "benchmarks").glob("bench_*.py")):
+        if script.name not in text:
+            problems.append(
+                f"docs/benchmarks.md: missing entry for "
+                f"benchmarks/{script.name}"
+            )
+    return problems
+
+
+def run(root: Path) -> list[str]:
+    """All documentation problems under ``root`` (empty when clean)."""
+    if not (root / "docs").is_dir():
+        return [f"no docs/ directory under {root}"]
+    return check_links(root) + check_benchmarks_listed(root)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]) if args else Path(__file__).resolve().parents[2]
+    problems = run(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"FAIL: {len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    docs = len(_doc_files(root))
+    benches = len(list((root / "benchmarks").glob("bench_*.py")))
+    print(f"docs check OK: {docs} files linted, {benches} benchmarks listed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

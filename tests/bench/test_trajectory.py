@@ -109,6 +109,33 @@ def test_extract_metrics_predicate_join():
     assert "pairs_total" not in trajectory.METRIC_RULES
 
 
+def test_extract_metrics_hint():
+    report = {
+        "summary": {
+            "results_total": 1071,
+            "parity_queries": 30,
+            "join_probes": 100,
+            "pairs": 739,
+            "worst_ops_ratio": 18.4532,
+            "count_worst_ops_ratio": 20.2091,
+            "frame_target_met": True,
+        }
+    }
+    metrics = trajectory.extract_metrics("hint", report)
+    assert metrics == {
+        "results_total": 1071,
+        "parity_queries": 30,
+        "pairs": 739,
+        "worst_ops_ratio": 18.453,
+        "count_worst_ops_ratio": 20.209,
+    }
+    # frame ratios ratchet (AT_LEAST), parity counters stay exact
+    assert trajectory.METRIC_RULES["worst_ops_ratio"] == trajectory.AT_LEAST
+    assert (trajectory.METRIC_RULES["count_worst_ops_ratio"]
+            == trajectory.AT_LEAST)
+    assert "parity_queries" not in trajectory.METRIC_RULES
+
+
 def test_extract_metrics_unknown_bench():
     with pytest.raises(ValueError, match="unknown benchmark"):
         trajectory.extract_metrics("frisbee", {})

@@ -1,0 +1,347 @@
+"""HINT-specific structure tests: the invariants behind the fast walks.
+
+The shared conformance suite (test_store_conformance.py) already proves
+the :class:`~repro.core.hint.HintStore` answers like every other
+backend; this module pins the *structural* claims the comparison-free
+walks rest on -- the partition-assignment rule, the single-original
+dedup flag, domain refits, the temporal side lists, corruption
+detection through ``verify()``, and the zero-physical-read cost model.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import UPPER_INF, AutoJoin, HintStore, RITree
+from repro.core.hint import HintCostModel
+from repro.core.predicates import PREDICATES
+from repro.methods.memory import BruteForceIntervals
+
+from ..conftest import make_intervals
+
+record = st.tuples(
+    st.integers(0, 2**20 - 1), st.integers(0, 5000), st.integers(0, 10_000)
+).map(lambda t: (t[0], min(t[0] + t[1], 2**20 - 1), t[2]))
+
+
+def _cell_range(store, lower, upper):
+    a = (lower - store._offset) >> store._shift
+    b = (upper - store._offset) >> store._shift
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# partition-assignment invariants (the hypothesis property of the issue)
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(record, min_size=1, max_size=40), st.integers(2, 12))
+def test_assignment_invariants(records, levels):
+    store = HintStore(levels=levels)
+    store.bulk_load(records)
+    assert store.verify().ok
+    for lower, upper, _interval_id in records:
+        a, b = _cell_range(store, lower, upper)
+        assert 0 <= a <= b < store._size
+        assignments = store._assignments(a, b)
+        # At most two partitions per level.
+        per_level = {}
+        for level, pid, _orig in assignments:
+            per_level.setdefault(level, []).append(pid)
+        assert all(len(pids) <= 2 for pids in per_level.values())
+        # Exactly one original, and it contains the start cell.
+        originals = [(level, pid) for level, pid, orig in assignments
+                     if orig]
+        assert len(originals) == 1
+        level, pid = originals[0]
+        assert a >> (store.levels - level) == pid
+        # Assigned extents tile [a, b] exactly, without overlap.
+        cells = []
+        for level, pid, _orig in assignments:
+            width = 1 << (store.levels - level)
+            cells.extend(range(pid * width, (pid + 1) * width))
+        assert sorted(cells) == list(range(a, b + 1))
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(record, max_size=50), st.data())
+def test_mutations_preserve_structure_and_answers(records, data):
+    store = HintStore(levels=6)
+    store.bulk_load(records)
+    assert store.verify().ok
+    remaining = list(records)
+    deletions = data.draw(
+        st.integers(0, len(remaining))) if remaining else 0
+    for _ in range(deletions):
+        rec = remaining.pop()
+        store.delete(*rec)
+        assert store.verify().ok
+    for lower, upper in ((0, 2**21), (1000, 5000), (2**19, 2**19)):
+        expected = sorted(
+            i for s, e, i in remaining if s <= upper and lower <= e)
+        assert sorted(store.intersection(lower, upper)) == expected
+
+
+def test_domain_refit_preserves_answers(rng):
+    store = HintStore(levels=8)
+    records = make_intervals(rng, 300, domain=5_000, mean_length=80)
+    store.bulk_load(records)
+    before = sorted(store.intersection(0, 6_000))
+    # Way outside the fitted coverage on both sides: two refits.
+    store.insert(1_000_000, 1_000_500, 777_001)
+    store.insert(-2_000_000, -1_999_000, 777_002)
+    assert store.verify().ok
+    assert sorted(store.intersection(0, 6_000)) == before
+    assert store.intersection(1_000_100, 1_000_200) == [777_001]
+    assert store.intersection(-1_999_900, -1_999_800) == [777_002]
+    oracle = BruteForceIntervals(
+        records + [(1_000_000, 1_000_500, 777_001),
+                   (-2_000_000, -1_999_000, 777_002)])
+    for _ in range(60):
+        lower = rng.randrange(-2_100_000, 1_100_000)
+        upper = lower + rng.randrange(0, 10_000)
+        assert sorted(store.intersection(lower, upper)) == sorted(
+            oracle.intersection(lower, upper))
+
+
+def test_levels_parameter_is_validated():
+    with pytest.raises(ValueError):
+        HintStore(levels=0)
+    with pytest.raises(ValueError):
+        HintStore(levels=25)
+    shallow = HintStore(levels=1)
+    shallow.bulk_load([(0, 10, 1), (5, 80, 2), (70, 90, 3)])
+    assert sorted(shallow.intersection(6, 9)) == [1, 2]
+    assert shallow.verify().ok
+
+
+def test_structure_summary(rng):
+    store = HintStore()
+    records = make_intervals(rng, 200, domain=50_000, mean_length=500)
+    store.bulk_load(records)
+    occupancy = store.level_occupancy()
+    assert len(occupancy) == store.levels + 1
+    total_entries = sum(entries for _parts, entries in occupancy)
+    assert total_entries == store.index_entry_count
+    assert store.partition_count == sum(p for p, _e in occupancy)
+    assert store.redundancy >= 1.0
+
+
+# ----------------------------------------------------------------------
+# temporal sentinels
+# ----------------------------------------------------------------------
+def test_temporal_rows_behave_like_the_temporal_tree(rng):
+    now = 5_000
+    store = HintStore(now=now)
+    finite = make_intervals(rng, 120, domain=9_000, mean_length=300)
+    store.bulk_load(finite)
+    store.insert_infinite(2_000, 90_001)
+    store.insert(3_000, UPPER_INF, 90_002)  # sentinel routing via insert
+    store.insert_until_now(1_000, 90_003)
+    assert store.infinite_count == 2
+    assert store.now_relative_count == 1
+    assert store.verify().ok
+
+    def effective():
+        rows = list(finite)
+        rows += [(2_000, UPPER_INF, 90_001), (3_000, UPPER_INF, 90_002)]
+        rows += [(1_000, store.now, 90_003)]
+        return rows
+
+    oracle = BruteForceIntervals(effective())
+    for _ in range(50):
+        lower = rng.randrange(0, 12_000)
+        upper = lower + rng.randrange(0, 2_000)
+        assert sorted(store.intersection(lower, upper)) == sorted(
+            oracle.intersection(lower, upper))
+    assert sorted(store.stored_records()) == sorted(effective())
+
+    store.advance_to(8_000)
+    oracle = BruteForceIntervals(effective())
+    assert sorted(store.intersection(7_000, 7_500)) == sorted(
+        oracle.intersection(7_000, 7_500))
+    with pytest.raises(ValueError):
+        store.advance_to(7_999)
+    with pytest.raises(ValueError):
+        store.insert_until_now(8_001, 90_004)
+
+    for name in sorted(PREDICATES):
+        if name == "stab":
+            continue
+        pred = PREDICATES[name]
+        expected = sorted(pred.filter(effective(), 2_500, 4_000))
+        assert sorted(store.query(name, 2_500, 4_000)) == expected, name
+
+    store.close_now_interval(1_000, 90_003, 6_000)
+    assert store.now_relative_count == 0
+    assert (1_000, 6_000, 90_003) in store.stored_records()
+    store.delete(2_000, UPPER_INF, 90_001)  # sentinel routing via delete
+    store.delete_infinite(3_000, 90_002)
+    assert store.infinite_count == 0
+    with pytest.raises(KeyError):
+        store.delete_infinite(3_000, 90_002)
+    assert store.verify().ok
+
+
+def test_temporal_join_parity(rng):
+    now = 400
+    store = HintStore(now=now)
+    finite = make_intervals(rng, 80, domain=800, mean_length=60)
+    store.bulk_load(finite)
+    store.insert_infinite(100, 70_001)
+    store.insert_until_now(50, 70_002)
+    rows = finite + [(100, UPPER_INF, 70_001), (50, now, 70_002)]
+    probes = [(rng.randrange(0, 900), 0, 80_000 + k) for k in range(40)]
+    probes = [(lo, lo + rng.randrange(0, 200), i) for lo, _, i in probes]
+    for name in ("intersects", "before", "after", "during", "overlaps"):
+        pred = PREDICATES[name]
+        expected = sorted(
+            (pid, i) for pl, pu, pid in probes
+            for s, e, i in rows if pred.holds(pl, pu, s, e))
+        got = sorted(store.join_pairs(
+            probes, predicate=None if name == "intersects" else name))
+        assert got == expected, name
+
+
+# ----------------------------------------------------------------------
+# corruption detection
+# ----------------------------------------------------------------------
+def _loaded_store(rng):
+    store = HintStore()
+    store.bulk_load(make_intervals(rng, 80, domain=10_000, mean_length=200))
+    assert store.verify().ok
+    return store
+
+
+def _nonempty_partition(store):
+    for parts in store._levels:
+        for part in parts.values():
+            if part[0].s_ids:
+                return part
+    raise AssertionError("no populated partition")
+
+
+def test_verify_detects_misplaced_entry(rng):
+    store = _loaded_store(rng)
+    part = _nonempty_partition(store)
+    part[0].add(1, 2, 999_999)  # never registered: assignment mismatch
+    report = store.verify()
+    assert not report.ok
+    assert any(i.code in ("partition-assignment", "entry-count-mismatch")
+               for i in report.issues)
+
+
+def test_verify_detects_dropped_entry(rng):
+    store = _loaded_store(rng)
+    part = _nonempty_partition(store)
+    bucket = part[0]
+    bucket.remove(bucket.s_lowers[0], bucket.s_uppers[0], bucket.s_ids[0])
+    report = store.verify()
+    assert not report.ok
+    assert any(i.code in ("partition-assignment", "entry-count-mismatch")
+               for i in report.issues)
+
+
+def test_verify_detects_unsorted_view(rng):
+    store = _loaded_store(rng)
+    for parts in store._levels:
+        for part in parts.values():
+            if len(part[0]) >= 2:
+                bucket = part[0]
+                bucket.s_lowers.reverse()
+                bucket.s_uppers.reverse()
+                bucket.s_ids.reverse()
+                if bucket.s_lowers[0] <= bucket.s_lowers[-1]:
+                    continue  # palindromic keys: try another partition
+                report = store.verify()
+                assert not report.ok
+                assert any(i.code == "partition-sort-order"
+                           for i in report.issues)
+                return
+    pytest.skip("no partition with two distinct lower bounds")
+
+
+def test_verify_detects_broken_side_list():
+    store = HintStore(now=100)
+    store.insert_until_now(10, 1)
+    store.insert_until_now(50, 2)
+    store._now = 20  # clock behind a stored now-row: contract broken
+    report = store.verify()
+    assert not report.ok
+    assert any(i.code == "temporal-rows" for i in report.issues)
+
+
+def test_verify_detects_flag_swap(rng):
+    """Moving an entry between buckets breaks the dedup bookkeeping."""
+    store = _loaded_store(rng)
+    part = _nonempty_partition(store)
+    originals, replicas = part
+    lower = originals.s_lowers[0]
+    upper = originals.s_uppers[0]
+    interval_id = originals.s_ids[0]
+    originals.remove(lower, upper, interval_id)
+    replicas.add(lower, upper, interval_id)
+    report = store.verify()
+    assert not report.ok
+    assert any(i.code == "partition-assignment" for i in report.issues)
+
+
+# ----------------------------------------------------------------------
+# cost model: the memory-vs-disk planning axis
+# ----------------------------------------------------------------------
+def test_cost_model_zeroes_physical_reads(rng):
+    store = HintStore()
+    store.bulk_load(make_intervals(rng, 500, domain=40_000, mean_length=400))
+    model = store.cost_model()
+    assert isinstance(model, HintCostModel)
+    assert model.store is store
+    probes = make_intervals(rng, 40, domain=40_000, mean_length=800)
+    for predicate in (None, "intersects", "during", "before"):
+        estimate = model.estimate_join(probes, predicate=predicate)
+        assert estimate.index.physical_reads == 0.0
+        assert estimate.sweep.physical_reads == 0.0
+        assert estimate.index.frame_cost > 0.0
+        assert estimate.choice in ("index-nested-loop", "sweep")
+    # The cached model is reused until a mutation bumps the version.
+    assert store.cost_model() is model
+    store.insert(1, 2, 999_777)
+    assert store.cost_model() is not model
+
+
+def test_cost_model_prices_memory_below_disk(rng):
+    """Same workload, same formulas: the HINT plan must carry strictly
+    less physical I/O than the disk tree's plan -- the signal AutoJoin
+    uses to prefer memory."""
+    records = make_intervals(rng, 600, domain=50_000, mean_length=400)
+    probes = make_intervals(rng, 60, domain=50_000, mean_length=700)
+    hint = HintStore()
+    hint.bulk_load(records)
+    tree = RITree()
+    tree.bulk_load(records)
+    hint_est = hint.cost_model().estimate_join(probes)
+    tree_est = tree.cost_model().estimate_join(probes)
+    assert hint_est.index.physical_reads < tree_est.index.physical_reads
+    assert hint_est.index.physical_reads == 0.0
+
+
+def test_auto_join_dispatches_on_the_hint_store(rng):
+    records = make_intervals(rng, 400, domain=30_000, mean_length=300)
+    probes = make_intervals(rng, 50, domain=30_000, mean_length=500)
+    store = HintStore()
+    store.bulk_load(records)
+    auto = AutoJoin(method=store)
+    pairs = sorted(auto.pairs(probes, []))
+    expected = sorted(
+        (pid, i) for pl, pu, pid in probes
+        for s, e, i in records if pl <= e and s <= pu)
+    assert pairs == expected
+    assert auto.last_dispatch in ("index-nested-loop", "sweep")
+    assert auto.last_decision.index.physical_reads == 0.0
+    assert auto.last_decision.choice == auto.last_dispatch

@@ -6,13 +6,21 @@ Every predicate must produce the identical id (or pair) set through
 * the simulated engine's scan-plan compilation (``RITree.query`` via
   :mod:`repro.core.topology`),
 * the sqlite backend's WHERE-clause rewrite (``SQLRITree.query``),
+* the HINT store's partition walk + direct-formula refinement
+  (``HintStore.query``),
 
 and -- for joins -- through the sweep and nested-loop strategies.
 """
 
 import pytest
 
-from repro.core import JOIN_PREDICATES, PREDICATES, RITree, get_predicate
+from repro.core import (
+    JOIN_PREDICATES,
+    PREDICATES,
+    HintStore,
+    RITree,
+    get_predicate,
+)
 from repro.core.join import SweepJoin, interval_join
 from repro.core.topology import ALLEN_RELATIONS, relate
 from repro.methods.windowlist import WindowList
@@ -125,27 +133,26 @@ def test_matches_and_filter():
 @pytest.mark.parametrize("name", sorted(PREDICATES))
 def test_backends_match_the_oracle(name, rng):
     anchors, records = shared_endpoint_records(rng)
-    engine_tree = RITree()
-    engine_tree.bulk_load(records)
-    sql_tree = SQLRITree()
-    sql_tree.bulk_load(records)
+    backends = [RITree(), SQLRITree(), HintStore()]
+    for backend in backends:
+        backend.bulk_load(records)
     pred = PREDICATES[name]
     for _ in range(40):
         lower = rng.choice(anchors)
         upper = lower + rng.choice([1, 2, 5, rng.randrange(1, 60)])
         if name == "stab":
             expected = sorted(pred.filter(records, lower, lower))
-            assert sorted(engine_tree.query(name, lower)) == expected
-            assert sorted(sql_tree.query(name, lower)) == expected
+            for backend in backends:
+                assert sorted(backend.query(name, lower)) == expected
         else:
             expected = sorted(pred.filter(records, lower, upper))
-            assert sorted(engine_tree.query(name, lower, upper)) == expected
-            assert sorted(sql_tree.query(name, lower, upper)) == expected
+            for backend in backends:
+                assert sorted(backend.query(name, lower, upper)) == expected
 
 
 def test_query_intersects_delegates_to_intersection(rng):
     _anchors, records = shared_endpoint_records(rng, count=120)
-    for store in (RITree(), SQLRITree()):
+    for store in (RITree(), SQLRITree(), HintStore()):
         store.bulk_load(records)
         assert sorted(store.query("intersects", 50, 90)) == sorted(
             store.intersection(50, 90)
@@ -229,7 +236,7 @@ def test_join_strategies_match_the_oracle(name, rng):
 
 @pytest.mark.parametrize("name", sorted(JOIN_PREDICATES))
 def test_store_join_hooks_take_predicates(name, rng):
-    """join_pairs/join_count accept predicates on both backends."""
+    """join_pairs/join_count accept predicates on every backend."""
     _anchors, records = shared_endpoint_records(rng, count=220)
     inner = records[:140]
     probes = [(s, e, 20_000 + i) for s, e, i in records[140:]]
@@ -240,11 +247,8 @@ def test_store_join_hooks_take_predicates(name, rng):
         for s in inner
         if pred.holds(r[0], r[1], s[0], s[1])
     )
-    engine_tree = RITree()
-    engine_tree.bulk_load(inner)
-    sql_tree = SQLRITree()
-    sql_tree.bulk_load(inner)
-    for store in (engine_tree, sql_tree):
+    for store in (RITree(), SQLRITree(), HintStore()):
+        store.bulk_load(inner)
         assert sorted(store.join_pairs(probes, predicate=name)) == expected
         assert store.join_count(probes, predicate=name) == len(expected)
 

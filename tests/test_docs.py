@@ -1,0 +1,48 @@
+"""The documentation lints of :mod:`repro.docscheck`, run as a test.
+
+The same checks CI's docs-check job performs: every relative link in
+``docs/`` and ``README.md`` resolves, and every benchmark script has an
+entry in ``docs/benchmarks.md``.
+"""
+
+import pathlib
+
+from repro import docscheck
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_docs_tree_exists():
+    assert (ROOT / "docs" / "architecture.md").is_file()
+    assert (ROOT / "docs" / "writing-a-backend.md").is_file()
+    assert (ROOT / "docs" / "benchmarks.md").is_file()
+
+
+def test_relative_links_resolve():
+    assert docscheck.check_links(ROOT) == []
+
+
+def test_every_benchmark_is_documented():
+    assert docscheck.check_benchmarks_listed(ROOT) == []
+
+
+def test_checker_reports_problems(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "index.md").write_text("[dead](missing.md) [ok](index.md)")
+    (tmp_path / "benchmarks").mkdir()
+    (tmp_path / "benchmarks" / "bench_orphan.py").write_text("")
+    problems = docscheck.run(tmp_path)
+    assert any("broken link -> missing.md" in p for p in problems)
+    assert any("docs/benchmarks.md does not exist" in p for p in problems)
+    (docs / "benchmarks.md").write_text("nothing here")
+    problems = docscheck.run(tmp_path)
+    assert any("bench_orphan.py" in p for p in problems)
+
+
+def test_cli_exit_status(tmp_path, capsys):
+    assert docscheck.main([str(ROOT)]) == 0
+    assert docscheck.main([str(tmp_path)]) == 1
+    out = capsys.readouterr()
+    assert "docs check OK" in out.out
+    assert "no docs/ directory" in out.err
