@@ -42,7 +42,7 @@ def main() -> None:
     answers = {
         label: (
             sorted(store.intersection(4_000, 4_500)),
-            sorted(store.query("during", 3_000, 9_000)),
+            sorted(store.query(3_000, 9_000, predicate="during")),
             sorted(store.join_pairs(probes)),
         )
         for label, store in stores.items()

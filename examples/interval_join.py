@@ -33,7 +33,7 @@ def main() -> None:
     )
 
     results = {
-        strategy: sorted(interval_join(outer, inner, strategy))
+        strategy: sorted(interval_join(outer, inner, strategy=strategy))
         for strategy in ("nested-loop", "sweep", "index", "auto")
     }
     sizes = {name: len(pairs) for name, pairs in results.items()}
@@ -60,13 +60,13 @@ def main() -> None:
     # strategy: the index path probes the predicate's inverse relation
     # (stored-subject question) and the auto planner prices the
     # relation's selectivity before dispatching.
-    before = interval_join(outer, inner, "sweep", predicate="before")
-    during = interval_join(outer, inner, "sweep", predicate="during")
+    before = interval_join(outer, inner, strategy="sweep", predicate="before")
+    during = interval_join(outer, inner, strategy="sweep", predicate="during")
     assert sorted(before) == sorted(
-        interval_join(outer, inner, "nested-loop", predicate="before")
+        interval_join(outer, inner, strategy="nested-loop", predicate="before")
     )
     assert sorted(before) == sorted(
-        interval_join(outer, inner, "index", predicate="before")
+        interval_join(outer, inner, strategy="index", predicate="before")
     )
     auto_pred = AutoJoin(predicate="during")
     assert sorted(auto_pred.pairs(outer, inner)) == sorted(during)

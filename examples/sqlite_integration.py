@@ -58,9 +58,9 @@ def main() -> None:
     assert batch == [sorted(tree.intersection(lo, hi)) for lo, hi in windows]
 
     # --- predicate queries: the WHERE-clause rewrite ----------------------
-    print("bookings strictly during 12:30-15:30:", tree.query("during", 1230, 1530))
-    print("bookings meeting a 12:00 start:", tree.query("meets", 1200, 1300))
-    print("bookings before 13:00:", tree.query("before", 1300, 1400))
+    print("bookings strictly during 12:30-15:30:", tree.query(1230, 1530, predicate="during"))
+    print("bookings meeting a 12:00 start:", tree.query(1200, 1300, predicate="meets"))
+    print("bookings before 13:00:", tree.query(1300, 1400, predicate="before"))
 
     # --- the set-at-a-time SQL join, planned like the simulated engine ----
     maintenance = [(950, 1100, 91), (1320, 1360, 92)]

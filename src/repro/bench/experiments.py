@@ -59,6 +59,9 @@ SCALES: dict[str, dict] = {
         predicate_grid_outer_ns=[5, 80],
         predicate_grid_inner_n=8000,
         predicate_grid_relations=["before", "during", "met_by"],
+        service_n=1500, service_ops=500, service_shards=2,
+        service_domain=20_000, service_concurrencies=[1, 16],
+        service_repeats=3,
     ),
     "small": dict(
         fig12_sizes=[1000, 5000, 20_000, 50_000],
@@ -87,6 +90,9 @@ SCALES: dict[str, dict] = {
         predicate_grid_inner_n=8000,
         predicate_grid_relations=["before", "during", "met_by",
                                   "overlaps"],
+        service_n=20_000, service_ops=4_000, service_shards=4,
+        service_domain=100_000, service_concurrencies=[1, 4, 16],
+        service_repeats=3,
     ),
     "full": dict(
         fig12_sizes=[1000, 10_000, 100_000, 300_000, 1_000_000],
@@ -115,6 +121,9 @@ SCALES: dict[str, dict] = {
         predicate_grid_inner_n=15_000,
         predicate_grid_relations=["before", "during", "met_by",
                                   "overlaps", "equals"],
+        service_n=100_000, service_ops=20_000, service_shards=4,
+        service_domain=500_000, service_concurrencies=[1, 4, 16, 64],
+        service_repeats=3,
     ),
 }
 

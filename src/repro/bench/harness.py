@@ -159,12 +159,14 @@ class JoinBatchResult:
         return row
 
 
-def run_join_batch(method: IntervalStore,
+def run_join_batch(method: IntervalStore | str,
                    probes: Sequence[IntervalRecord],
                    cold_start: bool = True,
                    count_only: bool = True,
                    plan: bool = False,
-                   predicate=None) -> JoinBatchResult:
+                   predicate=None,
+                   inner: Optional[Sequence[IntervalRecord]] = None,
+                   store_opts: Optional[dict] = None) -> JoinBatchResult:
     """Join ``probes`` against ``method``'s stored intervals, measured.
 
     The index join as the harness sees it: the store holds the inner
@@ -175,7 +177,12 @@ def run_join_batch(method: IntervalStore,
     ``predicate`` runs the batch as an Allen-relation predicate join
     through the same entry points.
 
-    ``method`` is any :class:`~repro.core.access.IntervalStore`.  For
+    ``method`` is any :class:`~repro.core.access.IntervalStore`, or a
+    backend *name* resolved through :func:`repro.core.stores.
+    create_store` (``store_opts`` forwarded to the factory); a named
+    backend is bulk-loaded with ``inner`` before the measured window,
+    so callers can drive any registered backend -- the sharded router
+    included -- without constructing it themselves.  For
     engine-backed methods the batch's I/O is observed through
     :meth:`~repro.engine.database.Database.measure` -- the same counters
     (and, per probe, the same scans) as the Figure 13 query batches.
@@ -191,6 +198,16 @@ def run_join_batch(method: IntervalStore,
     """
     from ..core.predicates import resolve_join_predicate
 
+    if isinstance(method, str):
+        from ..core.stores import create_store
+
+        method = create_store(method, **(store_opts or {}))
+        if inner:
+            method.bulk_load(inner)
+    elif inner is not None:
+        raise ValueError(
+            "inner= loads a backend constructed by name; this store is "
+            "already built")
     pred = resolve_join_predicate(predicate)
     decision = None
     if plan:

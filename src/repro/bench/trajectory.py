@@ -13,7 +13,7 @@ to this module, which
   ``benchmarks/baselines/`` so a regression fails the job with a
   readable delta table.
 
-Two comparison rules cover every metric:
+Three comparison rules cover every metric:
 
 * ``exact`` -- deterministic counters (physical/logical reads, pair
   counts, grid sizes) must reproduce bit for bit; any drift means the
@@ -21,6 +21,13 @@ Two comparison rules cover every metric:
   *deliberately* (with the diff in the PR).
 * ``at-least`` -- quality ratios (ops ratio, planner accuracy) may only
   improve; dropping below the recorded value is a regression.
+* ``informational`` -- wall-clock-derived observations (the service
+  bench's latency percentiles and throughput) that CI runners cannot
+  reproduce bit for bit.  They ride in the trajectory rows for trend
+  reading but never fail the diff; their *gates* live in the benchmark
+  scripts themselves, which exit non-zero before the merge job runs.
+  Names ending in ``_ms`` or ``_ops_s`` (and ``scaling_ratio``) get
+  this rule implicitly.
 
 The CLI wrapper is ``benchmarks/bench_trajectory.py``.
 """
@@ -32,14 +39,26 @@ from typing import Callable, Iterable, Optional
 #: Comparison rules.
 EXACT = "exact"
 AT_LEAST = "at-least"
+INFO = "informational"
 
-#: Metric name -> comparison rule; anything unlisted defaults to EXACT.
+#: Metric name -> comparison rule; anything unlisted defaults through
+#: :func:`metric_rule` (wall-clock suffixes to INFO, the rest to EXACT).
 METRIC_RULES: dict[str, str] = {
     "worst_ops_ratio": AT_LEAST,
     "count_worst_ops_ratio": AT_LEAST,
     "auto_accuracy": AT_LEAST,
     "correct_choices": AT_LEAST,
 }
+
+
+def metric_rule(name: str) -> str:
+    """The comparison rule for one metric name."""
+    rule = METRIC_RULES.get(name)
+    if rule is not None:
+        return rule
+    if name.endswith(("_ms", "_ops_s")) or name == "scaling_ratio":
+        return INFO
+    return EXACT
 
 #: Tolerance for AT_LEAST comparisons (floating-point guard only).
 AT_LEAST_SLACK = 1e-9
@@ -133,6 +152,28 @@ def _recovery_metrics(report: dict) -> dict:
     }
 
 
+def _service_metrics(report: dict) -> dict:
+    summary = report["summary"]
+    metrics = {
+        # Deterministic routing facts: seeded dataset + derived cuts.
+        "parity_ok": int(summary["parity_ok"]),
+        "parity_runs": summary["parity_runs"],
+        "ops": summary["ops"],
+        "records": summary["records"],
+        "shards": summary["shards"],
+        "replicas": summary["replicas"],
+        "scaling_target_met": int(summary["scaling_target_met"]),
+        # Wall-clock observations (INFO rule: recorded, never diffed).
+        "throughput_c1_ops_s": round(summary["throughput_low"], 1),
+        "throughput_cmax_ops_s": round(summary["throughput_high"], 1),
+        "scaling_ratio": round(summary["scaling_ratio"], 3),
+    }
+    for cls, stats in sorted(report["latency"].items()):
+        metrics[f"{cls}_p50_ms"] = stats["p50_ms"]
+        metrics[f"{cls}_p99_ms"] = stats["p99_ms"]
+    return metrics
+
+
 #: Benchmark name -> metrics extractor over its JSON report.
 BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "scan-throughput": _scan_throughput_metrics,
@@ -142,6 +183,7 @@ BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "predicate-join": _predicate_join_metrics,
     "recovery": _recovery_metrics,
     "hint": _hint_metrics,
+    "service": _service_metrics,
 }
 
 
@@ -215,9 +257,12 @@ def compare_to_baseline(merged: dict, baseline: dict) -> list[dict]:
             entry = {"bench": row["bench"], "scale": row["scale"],
                      "metric": metric, "baseline": recorded,
                      "current": current}
+            rule = metric_rule(metric)
             if recorded is None:
                 entry["status"] = "new"
-            elif METRIC_RULES.get(metric, EXACT) == AT_LEAST:
+            elif rule == INFO:
+                entry["status"] = "ok"
+            elif rule == AT_LEAST:
                 entry["status"] = (
                     "ok" if current >= recorded - AT_LEAST_SLACK
                     else "regression")

@@ -16,6 +16,12 @@ Public surface:
 * :class:`~repro.core.backbone.VirtualBackbone` and
   :func:`~repro.core.transient.collect_query_nodes` -- the virtual primary
   structure and transient query tables, exposed for inspection and tests;
+* :mod:`~repro.core.stores` -- the unified construction entry point:
+  :func:`~repro.core.stores.create_store` builds any registered backend
+  by name;
+* :class:`~repro.core.router.ShardedStore` -- the domain-sharding router
+  presenting many backend shards as one store, with cut-crossing
+  replication and first-occurrence deduplication;
 * :class:`~repro.core.access.AccessMethod` -- the interface shared with the
   competitor methods in :mod:`repro.methods`.
 """
@@ -55,6 +61,8 @@ from .join import (
     interval_join,
 )
 from .ritree import RITree
+from .router import ShardedStore, derive_cuts
+from .stores import available_backends, create_store, register_backend
 from .strings import StringIntervalTree, string_code
 from .temporal import (
     FORK_INF,
@@ -97,7 +105,12 @@ __all__ = [
     "QueryNodes",
     "RITree",
     "RITreeCostModel",
+    "ShardedStore",
     "StringIntervalTree",
+    "available_backends",
+    "create_store",
+    "derive_cuts",
+    "register_backend",
     "TemporalRITree",
     "string_code",
     "UPPER_INF",

@@ -152,21 +152,56 @@ class IntervalStore(ABC):
         return self.intersection(point, point)
 
     def query(
-        self, predicate, lower: int, upper: Optional[int] = None
+        self, lower, upper: Optional[int] = None, *legacy,
+        predicate="intersects",
     ) -> list[int]:
         """Ids of stored intervals standing in ``predicate`` to the query.
 
         ``predicate`` is a name or :class:`~repro.core.predicates.
-        IntervalPredicate` -- ``"intersects"``, ``"stab"``, or one of
-        Allen's thirteen relations -- evaluated with the stored interval
-        as the subject: ``query("before", l, u)`` returns intervals that
-        lie *before* ``[l, u]``; omitting ``upper`` makes it a point
-        query.  ``intersects`` and ``stab`` run every backend's native
-        intersection machinery directly; the relational predicates go
-        through :meth:`_query_relation`, the per-backend compilation
-        hook.
+        IntervalPredicate` -- ``"intersects"`` (the default),
+        ``"stab"``, or one of Allen's thirteen relations -- evaluated
+        with the stored interval as the subject: ``query(l, u,
+        predicate="before")`` returns intervals that lie *before* ``[l,
+        u]``; omitting ``upper`` makes it a point query.  ``intersects``
+        and ``stab`` run every backend's native intersection machinery
+        directly; the relational predicates go through
+        :meth:`_query_relation`, the per-backend compilation hook.
+
+        The pre-v8 predicate-first form ``query(predicate, lower[,
+        upper])`` still works behind a :class:`DeprecationWarning` shim
+        (detected by the predicate landing in the ``lower`` slot), so
+        every caller -- including the service layer, which dispatches
+        generically -- should spell the bounds first and the predicate
+        as ``predicate=``.
         """
-        from .predicates import get_predicate
+        from .predicates import IntervalPredicate, get_predicate
+
+        if isinstance(lower, (str, IntervalPredicate)):
+            # Legacy query(predicate, lower[, upper]): shift arguments.
+            if len(legacy) > 1:
+                raise TypeError(
+                    "query() takes at most a predicate and two bounds")
+            if predicate != "intersects":
+                raise TypeError(
+                    "query() got the predicate both positionally and as "
+                    "predicate=")
+            import warnings
+
+            warnings.warn(
+                "query(predicate, lower, upper) is deprecated; use "
+                "query(lower, upper, predicate=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            predicate, lower, upper = (
+                lower, upper, legacy[0] if legacy else None)
+            if lower is None:
+                raise TypeError("query() is missing the query bounds")
+        elif legacy:
+            raise TypeError(
+                f"query() takes two positional bounds, got "
+                f"{2 + len(legacy)} positional arguments; pass the "
+                f"predicate as predicate=")
         pred = get_predicate(predicate)
         if upper is None:
             upper = lower
@@ -221,7 +256,7 @@ class IntervalStore(ABC):
     # joins (probe side of the index-nested-loop interval join)
     # ------------------------------------------------------------------
     def join_pairs(
-        self, probes: Sequence[IntervalRecord], predicate=None
+        self, probes: Sequence[IntervalRecord], *legacy, predicate=None
     ) -> list[tuple[int, int]]:
         """``(probe_id, stored_id)`` pairs standing in the join predicate.
 
@@ -242,8 +277,12 @@ class IntervalStore(ABC):
         pins the boundary conventions of degenerate (point) intervals to
         the nested-loop oracle's.
         """
-        from .predicates import resolve_join_predicate
+        from .predicates import (
+            resolve_join_predicate,
+            shim_positional_predicate,
+        )
 
+        predicate = shim_positional_predicate(legacy, predicate, "join_pairs")
         pred = resolve_join_predicate(predicate)
         pairs: list[tuple[int, int]] = []
         if pred is None:
@@ -268,12 +307,13 @@ class IntervalStore(ABC):
         for lower, upper, probe_id in probes:
             pairs.extend(
                 (probe_id, interval_id)
-                for interval_id in self.query(inverse, lower, upper)
+                for interval_id in self.query(lower, upper,
+                                              predicate=inverse)
             )
         return pairs
 
     def join_count(
-        self, probes: Sequence[IntervalRecord], predicate=None
+        self, probes: Sequence[IntervalRecord], *legacy, predicate=None
     ) -> int:
         """Size of :meth:`join_pairs` without materialising the pair list.
 
@@ -284,11 +324,15 @@ class IntervalStore(ABC):
         count-only query path.  Predicate joins count through the same
         evaluation as :meth:`join_pairs`.
         """
-        from .predicates import resolve_join_predicate
+        from .predicates import (
+            resolve_join_predicate,
+            shim_positional_predicate,
+        )
 
+        predicate = shim_positional_predicate(legacy, predicate, "join_count")
         pred = resolve_join_predicate(predicate)
         if pred is not None:
-            return len(self.join_pairs(probes, pred))
+            return len(self.join_pairs(probes, predicate=pred))
         return sum(
             self.intersection_count(lower, upper)
             for lower, upper, _probe_id in probes

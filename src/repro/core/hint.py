@@ -55,8 +55,11 @@ from .costmodel import (
     memory_resident_geometry,
 )
 from .interval import validate_interval
-from .predicates import resolve_join_predicate
-from .temporal import UPPER_INF, UPPER_NOW
+from .predicates import (
+    resolve_join_predicate,
+    shim_positional_predicate,
+)
+from .temporal import UPPER_INF, UPPER_NOW, resolve_clock_argument
 from .verify import VerificationReport
 
 #: Default partitioning depth: ``levels = m`` gives ``2**m`` cells at the
@@ -338,12 +341,14 @@ class HintStore(IntervalStore):
         """Current clock value used for now-relative semantics."""
         return self._now
 
-    def advance_to(self, timestamp: int) -> None:
+    def advance_to(self, now: Optional[int] = None, *,
+                   timestamp: Optional[int] = None) -> None:
         """Move the clock forward; time never runs backwards."""
-        if timestamp < self._now:
+        now = resolve_clock_argument(now, timestamp)
+        if now < self._now:
             raise ValueError(
-                f"clock moves forward only: {timestamp} < now={self._now}")
-        self._now = timestamp
+                f"clock moves forward only: {now} < now={self._now}")
+        self._now = now
 
     def insert_infinite(self, lower: int, interval_id: int) -> None:
         """Insert the open-ended interval ``[lower, infinity)``."""
@@ -620,8 +625,9 @@ class HintStore(IntervalStore):
     # ------------------------------------------------------------------
     # joins
     # ------------------------------------------------------------------
-    def join_pairs(self, probes: Sequence[IntervalRecord],
+    def join_pairs(self, probes: Sequence[IntervalRecord], *legacy,
                    predicate=None) -> list[tuple[int, int]]:
+        predicate = shim_positional_predicate(legacy, predicate, "join_pairs")
         pred = resolve_join_predicate(predicate)
         pairs: list[tuple[int, int]] = []
         if pred is None:
@@ -655,8 +661,9 @@ class HintStore(IntervalStore):
                 if holds(lower, upper, s, e)])
         return pairs
 
-    def join_count(self, probes: Sequence[IntervalRecord],
+    def join_count(self, probes: Sequence[IntervalRecord], *legacy,
                    predicate=None) -> int:
+        predicate = shim_positional_predicate(legacy, predicate, "join_count")
         pred = resolve_join_predicate(predicate)
         if pred is None:
             total = 0

@@ -1,0 +1,6 @@
+"""``python -m repro.service``: the service CLI entry point."""
+
+from .server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

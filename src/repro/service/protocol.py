@@ -1,0 +1,180 @@
+"""Wire protocol of the interval query service: length-prefixed JSON.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON -- the simplest self-delimiting framing that both
+:mod:`asyncio` streams (the server, the load driver) and blocking
+sockets (the router's shard proxies) can speak without a parser state
+machine.  Requests and responses are JSON objects:
+
+* request: ``{"id": <int>, "op": <str>, ...params}`` -- ``id`` is a
+  client-chosen correlation token echoed back verbatim, so a client may
+  pipeline many requests over one connection;
+* success: ``{"id": <int>, "ok": true, "result": <value>}``;
+* failure: ``{"id": <int>, "ok": false, "error": <message>,
+  "error_type": <exception class name>}``.
+
+The failure's ``error_type`` round-trips the store-contract exceptions
+(:class:`KeyError` from a fuzzy delete, :class:`ValueError` from a
+malformed interval, ...) so a remote store misbehaves exactly like a
+local one; unknown types surface as :class:`ServiceError`.
+
+Integer bounds pass through JSON unmodified -- Python's ``json`` keeps
+arbitrary-precision integers, so the temporal sentinels
+:data:`~repro.core.temporal.UPPER_INF` / ``UPPER_NOW`` (``2**60``-sized)
+survive the wire bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Optional
+
+#: Frame header: one unsigned 32-bit big-endian payload length.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload -- a malformed or hostile header
+#: must not allocate unbounded memory.  Bulk loads chunk under this.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Exception types allowed to round-trip the wire by name.  Anything
+#: else degrades to :class:`ServiceError` -- the protocol restores the
+#: *store contract's* error surface, not arbitrary exceptions.
+ERROR_TYPES = {
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "NotImplementedError": NotImplementedError,
+}
+
+
+class ServiceError(RuntimeError):
+    """A service-side failure with no contract-level exception type."""
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad header, oversized payload, non-JSON)."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: header plus compact JSON payload."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit")
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame payload back into a message object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte frame limit")
+
+
+async def read_raw_frame_async(reader) -> Optional[bytes]:
+    """Read one frame's payload bytes from an :class:`asyncio.
+    StreamReader` without decoding them (the router's byte-relay path).
+
+    Returns ``None`` on a clean end of stream (the peer closed between
+    frames); raises :class:`ProtocolError` on a truncated or oversized
+    frame.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = HEADER.unpack(header)
+    _check_length(length)
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+
+
+async def read_frame_async(reader) -> Optional[dict]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean end of stream (the peer closed between
+    frames); raises :class:`ProtocolError` on a truncated or malformed
+    frame.
+    """
+    payload = await read_raw_frame_async(reader)
+    return None if payload is None else decode_payload(payload)
+
+
+async def write_frame_async(writer, message: dict) -> None:
+    """Write one frame to an :class:`asyncio.StreamWriter` and drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+def read_frame(stream: BinaryIO) -> Optional[dict]:
+    """Blocking :func:`read_frame_async`: reads from a binary file-like
+    (``socket.makefile("rb")``)."""
+    header = stream.read(HEADER.size)
+    if not header:
+        return None
+    if len(header) < HEADER.size:
+        raise ProtocolError("connection closed mid-header")
+    (length,) = HEADER.unpack(header)
+    _check_length(length)
+    payload = b""
+    while len(payload) < length:
+        chunk = stream.read(length - len(payload))
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        payload += chunk
+    return decode_payload(payload)
+
+
+def write_frame(stream: BinaryIO, message: dict) -> None:
+    """Blocking :func:`write_frame_async` onto a writable binary stream."""
+    stream.write(encode_frame(message))
+    stream.flush()
+
+
+def error_response(request_id, exc: BaseException) -> dict:
+    """The failure frame for ``exc``, typed for client-side re-raise."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": str(exc) or type(exc).__name__,
+        "error_type": type(exc).__name__,
+    }
+
+
+def raise_for_response(response: dict):
+    """Return a success frame's result; re-raise a failure frame.
+
+    The contract exceptions listed in :data:`ERROR_TYPES` come back as
+    themselves (a remote ``delete`` of an absent record raises
+    :class:`KeyError`, like a local store); everything else raises
+    :class:`ServiceError` carrying the remote type name.
+    """
+    if response.get("ok"):
+        return response.get("result")
+    error_type = response.get("error_type", "")
+    message = response.get("error", "remote error")
+    exc_class = ERROR_TYPES.get(error_type)
+    if exc_class is not None:
+        raise exc_class(message)
+    raise ServiceError(f"{error_type or 'remote error'}: {message}")

@@ -136,6 +136,73 @@ def test_extract_metrics_hint():
     assert "parity_queries" not in trajectory.METRIC_RULES
 
 
+SERVICE_REPORT = {
+    "scale": "tiny",
+    "summary": {
+        "parity_ok": True,
+        "parity_runs": 4,
+        "ops": 500,
+        "records": 1500,
+        "shards": 2,
+        "replicas": 162,
+        "throughput_low": 777.51,
+        "throughput_high": 930.04,
+        "scaling_ratio": 1.1962,
+        "scaling_target_met": True,
+    },
+    "latency": {
+        "stab": {"p50_ms": 8.7, "p99_ms": 22.2, "count": 60},
+        "intersection": {"p50_ms": 8.8, "p99_ms": 38.9, "count": 80},
+    },
+}
+
+
+def test_extract_metrics_service():
+    metrics = trajectory.extract_metrics("service", SERVICE_REPORT)
+    assert metrics["parity_ok"] == 1
+    assert metrics["parity_runs"] == 4
+    assert metrics["shards"] == 2
+    assert metrics["replicas"] == 162
+    assert metrics["scaling_target_met"] == 1
+    assert metrics["throughput_c1_ops_s"] == 777.5
+    assert metrics["throughput_cmax_ops_s"] == 930.0
+    assert metrics["scaling_ratio"] == 1.196
+    assert metrics["stab_p50_ms"] == 8.7
+    assert metrics["intersection_p99_ms"] == 38.9
+
+
+def test_info_rule_covers_wall_clock_names():
+    assert trajectory.metric_rule("stab_p50_ms") == trajectory.INFO
+    assert trajectory.metric_rule("throughput_c1_ops_s") == trajectory.INFO
+    assert trajectory.metric_rule("scaling_ratio") == trajectory.INFO
+    assert trajectory.metric_rule("parity_runs") == trajectory.EXACT
+    assert trajectory.metric_rule("replicas") == trajectory.EXACT
+    assert trajectory.metric_rule("auto_accuracy") == trajectory.AT_LEAST
+
+
+def test_info_metrics_never_fail_the_diff():
+    merged = trajectory.merge_reports(
+        {"service": SERVICE_REPORT}, git_sha="abc")
+    baseline = trajectory.strip_baseline(merged)
+    current = trajectory.merge_reports(
+        {"service": SERVICE_REPORT}, git_sha="def")
+    row = current["rows"][0]
+    row["metrics"] = dict(row["metrics"])
+    # Wall-clock drift (either direction) rides along without failing...
+    row["metrics"]["stab_p50_ms"] = 99.9
+    row["metrics"]["throughput_cmax_ops_s"] = 1.0
+    row["metrics"]["scaling_ratio"] = 0.01
+    deltas = trajectory.compare_to_baseline(current, baseline)
+    assert trajectory.regressions(deltas) == []
+    drifted = next(d for d in deltas if d["metric"] == "stab_p50_ms")
+    assert drifted["status"] == "ok" and drifted["current"] == 99.9
+    # ...while the deterministic routing facts stay EXACT-gated.
+    row["metrics"]["replicas"] = 163
+    failures = trajectory.regressions(
+        trajectory.compare_to_baseline(current, baseline))
+    assert [f["metric"] for f in failures] == ["replicas"]
+
+
 def test_extract_metrics_unknown_bench():
     with pytest.raises(ValueError, match="unknown benchmark"):
         trajectory.extract_metrics("frisbee", {})

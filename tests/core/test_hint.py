@@ -177,7 +177,7 @@ def test_temporal_rows_behave_like_the_temporal_tree(rng):
             continue
         pred = PREDICATES[name]
         expected = sorted(pred.filter(effective(), 2_500, 4_000))
-        assert sorted(store.query(name, 2_500, 4_000)) == expected, name
+        assert sorted(store.query(2_500, 4_000, predicate=name)) == expected, name
 
     store.close_now_interval(1_000, 90_003, 6_000)
     assert store.now_relative_count == 0

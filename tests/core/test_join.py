@@ -33,14 +33,14 @@ EXPECTED = [
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
 def test_hand_checked_join(strategy):
-    assert sorted(interval_join(OUTER, INNER, strategy)) == EXPECTED
+    assert sorted(interval_join(OUTER, INNER, strategy=strategy)) == EXPECTED
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
 def test_empty_sides(strategy):
-    assert interval_join([], INNER, strategy) == []
-    assert interval_join(OUTER, [], strategy) == []
-    assert interval_join([], [], strategy) == []
+    assert interval_join([], INNER, strategy=strategy) == []
+    assert interval_join(OUTER, [], strategy=strategy) == []
+    assert interval_join([], [], strategy=strategy) == []
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
@@ -48,7 +48,7 @@ def test_point_and_touching_intervals(strategy):
     outer = [(5, 5, 1), (10, 20, 2)]
     inner = [(5, 5, 7), (0, 5, 8), (20, 20, 9), (6, 9, 10)]
     expected = [(1, 7), (1, 8), (2, 9)]
-    assert sorted(interval_join(outer, inner, strategy)) == expected
+    assert sorted(interval_join(outer, inner, strategy=strategy)) == expected
 
 
 def test_unknown_strategy_raises():

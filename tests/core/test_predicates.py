@@ -143,21 +143,21 @@ def test_backends_match_the_oracle(name, rng):
         if name == "stab":
             expected = sorted(pred.filter(records, lower, lower))
             for backend in backends:
-                assert sorted(backend.query(name, lower)) == expected
+                assert sorted(backend.query(lower, predicate=name)) == expected
         else:
             expected = sorted(pred.filter(records, lower, upper))
             for backend in backends:
-                assert sorted(backend.query(name, lower, upper)) == expected
+                assert sorted(backend.query(lower, upper, predicate=name)) == expected
 
 
 def test_query_intersects_delegates_to_intersection(rng):
     _anchors, records = shared_endpoint_records(rng, count=120)
     for store in (RITree(), SQLRITree(), HintStore()):
         store.bulk_load(records)
-        assert sorted(store.query("intersects", 50, 90)) == sorted(
+        assert sorted(store.query(50, 90, predicate="intersects")) == sorted(
             store.intersection(50, 90)
         )
-        assert sorted(store.query("stab", 70)) == sorted(store.stab(70))
+        assert sorted(store.query(70, predicate="stab")) == sorted(store.stab(70))
 
 
 def test_generic_store_falls_back_to_stored_records(rng):
@@ -167,12 +167,12 @@ def test_generic_store_falls_back_to_stored_records(rng):
     store.bulk_load(records)
     if store.stored_records() is None:
         with pytest.raises(NotImplementedError):
-            store.query("during", 10, 80)
+            store.query(10, 80, predicate="during")
     else:
         expected = sorted(PREDICATES["during"].filter(records, 10, 80))
-        assert sorted(store.query("during", 10, 80)) == expected
+        assert sorted(store.query(10, 80, predicate="during")) == expected
     # intersects/stab always work through the intersection machinery.
-    assert sorted(store.query("intersects", 10, 80)) == sorted(
+    assert sorted(store.query(10, 80, predicate="intersects")) == sorted(
         store.intersection(10, 80)
     )
 
@@ -211,8 +211,8 @@ def test_minimal_store_gets_predicates_for_free(rng):
     reference = RITree()
     reference.bulk_load(records)
     for name in ("before", "during", "meets", "equals"):
-        assert sorted(store.query(name, 40, 90)) == sorted(
-            reference.query(name, 40, 90)
+        assert sorted(store.query(40, 90, predicate=name)) == sorted(
+            reference.query(40, 90, predicate=name)
         )
 
 
@@ -230,7 +230,7 @@ def test_join_strategies_match_the_oracle(name, rng):
         if pred.holds(r[0], r[1], s[0], s[1])
     )
     for strategy in ("sweep", "nested-loop", "index", "auto"):
-        got = sorted(interval_join(outer, inner, strategy, predicate=name))
+        got = sorted(interval_join(outer, inner, strategy=strategy, predicate=name))
         assert got == expected, (strategy, name)
 
 
@@ -360,11 +360,12 @@ def test_predicate_joins_run_on_every_strategy():
     outer = [(0, 10, 1)]
     inner = [(20, 30, 2)]
     for strategy in ("sweep", "nested-loop", "index", "auto"):
-        assert interval_join(outer, inner, strategy,
+        assert interval_join(outer, inner, strategy=strategy,
                              predicate="before") == [(1, 2)]
-        assert interval_join(outer, inner, strategy,
+        assert interval_join(outer, inner, strategy=strategy,
                              predicate="during") == []
         with pytest.raises(ValueError, match="stab"):
-            interval_join(outer, inner, strategy, predicate="stab")
+            interval_join(outer, inner, strategy=strategy,
+                          predicate="stab")
     # The default predicate is the intersection join on every strategy.
-    assert interval_join(outer, inner, "index", predicate="intersects") == []
+    assert interval_join(outer, inner, strategy="index", predicate="intersects") == []

@@ -4,36 +4,57 @@ Every :class:`~repro.core.access.IntervalStore` implementation must be
 interchangeable behind the shared API: identical intersection results,
 identical counts, identical batch answers, identical join pair sets --
 whatever engine the intervals live on.  The suite is parameterized over
-the simulated-engine RI-tree, the sqlite3-backed RI-tree, and the
-main-memory HINT store, and checks each against the brute-force oracle,
-so adding a backend means adding one factory line here.
+the simulated-engine RI-tree, the sqlite3-backed RI-tree, the
+main-memory HINT store, and the domain-sharding router (HINT shards
+behind replication/dedup), and checks each against the brute-force
+oracle.  Construction goes through :func:`repro.core.stores.
+create_store`, so adding a backend means registering it and adding one
+name (plus options) here.
 """
+
+from functools import partial
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import HintStore, IntervalStore, RITree, TemporalRITree
+from repro.core import (
+    HintStore,
+    IntervalStore,
+    RITree,
+    ShardedStore,
+    TemporalRITree,
+    create_store,
+)
 from repro.core.costmodel import JoinEstimate
 from repro.engine import Database, FaultInjector, SimulatedCrash
 from repro.methods.memory import BruteForceIntervals
-from repro.sql import SQLRITree
 from repro.workloads import join_workload
 
 from ..conftest import make_intervals
 
 STORE_FACTORIES = {
-    "ritree": RITree,
-    "sql-ritree": SQLRITree,
-    "hint": HintStore,
+    "ritree": partial(create_store, "ritree"),
+    "sql-ritree": partial(create_store, "sql-ritree"),
+    "hint": partial(create_store, "hint"),
+    # The router must be a conforming store in its own right; cuts sit
+    # inside the suite's data domain so records and queries cross them.
+    "sharded-hint": partial(
+        create_store, "sharded", backend="hint", cuts=[16_000, 40_000]
+    ),
 }
 
 STORE_NAMES = sorted(STORE_FACTORIES)
 
 
 @pytest.fixture(params=STORE_NAMES)
-def store(request):
-    return STORE_FACTORIES[request.param]()
+def store_factory(request):
+    return STORE_FACTORIES[request.param]
+
+
+@pytest.fixture
+def store(store_factory):
+    return store_factory()
 
 
 def queries_for(rng, count=60, domain=66_000, span=3000):
@@ -64,9 +85,9 @@ def test_insert_and_intersection_match_oracle(store, rng):
         )
 
 
-def test_bulk_load_equals_inserts(store, rng):
+def test_bulk_load_equals_inserts(store, store_factory, rng):
     records = make_intervals(rng, 300, domain=40_000, mean_length=400)
-    loaded = type(store)()
+    loaded = store_factory()
     loaded.bulk_load(records)
     store.extend(records)
     for lower, upper in queries_for(rng, count=30, domain=44_000):
@@ -136,10 +157,11 @@ def test_accounting(store, rng):
     records = make_intervals(rng, 120, domain=8_000, mean_length=150)
     store.bulk_load(records)
     assert store.interval_count == 120
-    if isinstance(store, HintStore):
-        # HINT replicates per level instead of double-indexing: the
-        # entry count depends on the partition geometry, but redundancy
-        # must still be the entries-per-interval ratio.
+    if isinstance(store, (HintStore, ShardedStore)):
+        # HINT replicates per level instead of double-indexing (and the
+        # router replicates across cuts on top): the entry count depends
+        # on the partition geometry, but redundancy must still be the
+        # entries-per-interval ratio.
         assert store.index_entry_count >= 120
         assert store.redundancy == pytest.approx(
             store.index_entry_count / 120

@@ -1,0 +1,154 @@
+"""The store factory/registry and the keyword-only signature shims."""
+
+import pytest
+
+from repro.core import (
+    HintStore,
+    IntervalStore,
+    RITree,
+    ShardedStore,
+    TemporalRITree,
+    available_backends,
+    create_store,
+)
+from repro.core.stores import backend_description, register_backend
+from repro.bench.harness import run_join_batch
+from repro.engine import Database
+
+
+def test_registry_lists_every_builtin_backend():
+    names = available_backends()
+    for expected in ("hint", "ritree", "sharded", "sql-ritree",
+                     "temporal-ritree"):
+        assert expected in names
+
+
+@pytest.mark.parametrize("name, cls", [
+    ("ritree", RITree),
+    ("temporal-ritree", TemporalRITree),
+    ("hint", HintStore),
+])
+def test_create_store_builds_the_registered_class(name, cls):
+    store = create_store(name)
+    assert isinstance(store, cls)
+    assert isinstance(store, IntervalStore)
+
+
+def test_create_store_normalises_names():
+    assert type(create_store("SQL_RITREE")) is type(create_store("sql-ritree"))
+    assert isinstance(create_store("  Hint "), HintStore)
+
+
+def test_create_store_forwards_options():
+    store = create_store("hint", now=25)
+    assert store.now == 25
+    sharded = create_store("sharded", backend="hint", cuts=[100])
+    assert isinstance(sharded, ShardedStore)
+    assert sharded.shard_count == 2
+    assert all(isinstance(s, HintStore) for s in sharded.shards)
+
+
+def test_unknown_backend_is_a_value_error():
+    with pytest.raises(ValueError, match="unknown backend"):
+        create_store("btree")
+    with pytest.raises(ValueError, match="non-empty string"):
+        create_store("   ")
+
+
+def test_register_backend_guards_and_replace():
+    marker = object()
+    register_backend("stores-test-dummy", lambda: marker,
+                     description="a test dummy")
+    try:
+        assert create_store("stores_test_dummy") is marker
+        assert backend_description("stores-test-dummy") == "a test dummy"
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("stores-test-dummy", lambda: None)
+        other = object()
+        register_backend("stores-test-dummy", lambda: other, replace=True)
+        assert create_store("stores-test-dummy") is other
+    finally:
+        from repro.core.stores import _REGISTRY
+
+        _REGISTRY.pop("stores-test-dummy", None)
+
+
+def test_sql_backends_get_fresh_connections_per_store():
+    first = create_store("sql-ritree")
+    second = create_store("sql-ritree")
+    first.insert(1, 5, interval_id=1)
+    assert second.intersection(0, 10) == []
+
+
+# ----------------------------------------------------------------------
+# the harness consumes backends by name
+# ----------------------------------------------------------------------
+def make_records():
+    return [(i * 10, i * 10 + 25, i) for i in range(1, 40)]
+
+
+def test_run_join_batch_accepts_a_backend_name():
+    probes = [(5, 60, 1), (200, 260, 2)]
+    by_name = run_join_batch("hint", make_records(), probes)
+    by_store = run_join_batch(create_store("hint"), make_records(), probes)
+    assert by_name.pairs == by_store.pairs
+
+
+def test_run_join_batch_forwards_store_opts():
+    probes = [(5, 60, 1)]
+    result = run_join_batch("sharded", make_records(), probes,
+                            store_opts={"backend": "hint", "cuts": [180]})
+    assert result.pairs == run_join_batch("hint", make_records(),
+                                          probes).pairs
+
+
+# ----------------------------------------------------------------------
+# keyword-only signatures with one-cycle positional shims
+# ----------------------------------------------------------------------
+def loaded(name="hint", **opts):
+    store = create_store(name, **opts)
+    store.bulk_load(make_records())
+    return store
+
+
+def test_query_predicate_is_keyword_only_with_shim():
+    store = loaded()
+    expected = store.query(100, 200, predicate="during")
+    # The pre-v8 predicate-first form warns once and still answers.
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        assert store.query("during", 100, 200) == expected
+    # A trailing positional predicate was never valid and stays a
+    # TypeError pointing at the keyword spelling.
+    with pytest.raises(TypeError, match="predicate as predicate="):
+        store.query(100, 200, "during")
+
+
+def test_join_predicate_is_keyword_only_with_shim():
+    store = loaded()
+    probes = [(100, 200, 7)]
+    expected = store.join_pairs(probes, predicate="overlaps")
+    with pytest.warns(DeprecationWarning, match="positionally"):
+        assert store.join_pairs(probes, "overlaps") == expected
+    with pytest.warns(DeprecationWarning, match="positionally"):
+        assert store.join_count(probes, "overlaps") == len(expected)
+
+
+def test_shim_rejects_doubled_predicates():
+    store = loaded()
+    with pytest.raises(TypeError, match="both positionally"):
+        store.query("during", 1, 2, predicate="during")
+    with pytest.raises(TypeError, match="both positionally"):
+        store.join_pairs([(1, 2, 3)], "during", predicate="overlaps")
+    with pytest.raises(TypeError, match="extra positional"):
+        store.join_count([(1, 2, 3)], "during", "overlaps")
+
+
+def test_advance_to_timestamp_alias_still_works():
+    store = create_store("temporal-ritree", db=Database())
+    with pytest.warns(DeprecationWarning, match="timestamp"):
+        store.advance_to(timestamp=40)
+    assert store.now == 40
+    store.advance_to(now=50)
+    assert store.now == 50
+    with pytest.raises(TypeError, match="both"):
+        store.advance_to(60, timestamp=70)

@@ -1,0 +1,109 @@
+"""Frame protocol: framing, decoding, and error round-tripping."""
+
+import io
+import struct
+
+import pytest
+
+from repro.core.temporal import UPPER_INF, UPPER_NOW
+from repro.service.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    ServiceError,
+    decode_payload,
+    encode_frame,
+    error_response,
+    raise_for_response,
+    read_frame,
+    write_frame,
+)
+
+
+class _Stream(io.BytesIO):
+    """A BytesIO that also answers flush() like a socket makefile."""
+
+
+def roundtrip(message):
+    stream = _Stream()
+    write_frame(stream, message)
+    stream.seek(0)
+    return read_frame(stream)
+
+
+def test_frame_roundtrip():
+    message = {"id": 7, "op": "intersection", "lower": 3, "upper": 9}
+    assert roundtrip(message) == message
+
+
+def test_sentinel_bounds_survive_the_wire():
+    message = {"id": 1, "records": [[5, UPPER_INF, 1], [2, UPPER_NOW, 2]]}
+    out = roundtrip(message)
+    assert out["records"][0][1] == UPPER_INF
+    assert out["records"][1][1] == UPPER_NOW
+
+
+def test_clean_eof_reads_none():
+    assert read_frame(_Stream()) is None
+
+
+def test_truncated_header_is_a_protocol_error():
+    with pytest.raises(ProtocolError, match="mid-header"):
+        read_frame(_Stream(b"\x00\x00"))
+
+
+def test_truncated_payload_is_a_protocol_error():
+    stream = _Stream(HEADER.pack(10) + b"short")
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        read_frame(stream)
+
+
+def test_oversized_header_is_rejected_before_allocation():
+    stream = _Stream(HEADER.pack(MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError, match="frame limit"):
+        read_frame(stream)
+
+
+def test_oversized_outgoing_frame_is_rejected():
+    with pytest.raises(ProtocolError, match="frame limit"):
+        encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+def test_non_json_payload_is_a_protocol_error():
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode_payload(b"\xff\xfe not json")
+
+
+def test_non_object_payload_is_a_protocol_error():
+    with pytest.raises(ProtocolError, match="JSON object"):
+        decode_payload(b"[1, 2, 3]")
+
+
+def test_header_is_four_byte_big_endian():
+    frame = encode_frame({"id": 1})
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+
+
+def test_success_response_returns_result():
+    assert raise_for_response({"id": 1, "ok": True, "result": [4, 5]}) == [4, 5]
+
+
+@pytest.mark.parametrize("name, exc_class", [
+    ("KeyError", KeyError),
+    ("ValueError", ValueError),
+    ("TypeError", TypeError),
+    ("NotImplementedError", NotImplementedError),
+])
+def test_contract_errors_roundtrip_by_type(name, exc_class):
+    response = error_response(3, exc_class("boom"))
+    assert response["ok"] is False
+    assert response["error_type"] == name
+    with pytest.raises(exc_class):
+        raise_for_response(response)
+
+
+def test_unknown_error_types_degrade_to_service_error():
+    response = error_response(3, RuntimeError("weird"))
+    with pytest.raises(ServiceError, match="RuntimeError"):
+        raise_for_response(response)

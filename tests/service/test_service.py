@@ -1,0 +1,369 @@
+"""End-to-end service tests: in-process servers plus the CLI roles."""
+
+import asyncio
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.stores import create_store
+from repro.core.temporal import UPPER_INF, UPPER_NOW
+from repro.service.client import RemoteStore, ServiceClient
+from repro.service.loadgen import (
+    build_dataset,
+    build_ops,
+    evaluate_ops,
+    run_load,
+)
+from repro.service.server import IntervalService, _ReadWriteLock
+
+SRC_DIR = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+@contextmanager
+def served(store, **service_kwargs):
+    """An IntervalService bound on an ephemeral port in a thread."""
+    service = IntervalService(store, **service_kwargs)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    address = {}
+
+    async def runner():
+        server = await asyncio.start_server(
+            service.handle_client, "127.0.0.1", 0)
+        address["host"], address["port"] = (
+            server.sockets[0].getsockname()[:2])
+        ready.set()
+        async with server:
+            await service.shutdown_requested.wait()
+
+    thread = threading.Thread(
+        target=lambda: loop.run_until_complete(runner()), daemon=True)
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+    try:
+        yield address["host"], address["port"]
+    finally:
+        loop.call_soon_threadsafe(service.shutdown_requested.set)
+        thread.join(10)
+        service.close()
+
+
+@contextmanager
+def remote(store, **service_kwargs):
+    with served(store, **service_kwargs) as (host, port):
+        proxy = RemoteStore.connect(host, port)
+        try:
+            yield proxy
+        finally:
+            proxy.close()
+
+
+def seeded_store(records=(), now=0):
+    store = create_store("hint")
+    if now:
+        store.advance_to(now)
+    if records:
+        store.bulk_load(records)
+    return store
+
+
+# ----------------------------------------------------------------------
+# the RemoteStore contract against a local twin
+# ----------------------------------------------------------------------
+def test_remote_store_matches_local_store(rng):
+    records = []
+    for interval_id in range(1, 301):
+        lower = rng.randrange(0, 5_000)
+        records.append((lower, lower + rng.randrange(0, 200), interval_id))
+    local = seeded_store(records)
+    with remote(seeded_store(records)) as proxy:
+        assert proxy.interval_count == local.interval_count
+        assert proxy.index_entry_count == local.index_entry_count
+        for lower in (0, 1_000, 2_500, 4_999):
+            assert sorted(proxy.stab(lower)) == sorted(local.stab(lower))
+            window = (lower, lower + 400)
+            assert sorted(proxy.intersection(*window)) == sorted(
+                local.intersection(*window))
+            assert proxy.intersection_count(*window) == (
+                local.intersection_count(*window))
+        queries = [(q * 500, q * 500 + 300) for q in range(8)]
+        assert [sorted(ids) for ids in proxy.intersection_many(queries)] == [
+            sorted(ids) for ids in local.intersection_many(queries)]
+        for predicate in ("during", "contains", "overlaps", "before"):
+            assert sorted(proxy.query(100, 900, predicate=predicate)) == (
+                sorted(local.query(100, 900, predicate=predicate)))
+        probes = [(q * 700, q * 700 + 350, q) for q in range(5)]
+        assert sorted(proxy.join_pairs(probes)) == sorted(
+            local.join_pairs(probes))
+        assert proxy.join_count(probes) == local.join_count(probes)
+        assert sorted(proxy.stored_records()) == sorted(
+            local.stored_records())
+        report = proxy.verify()
+        assert report.ok
+        assert report.backend == local.method_name
+
+
+def test_remote_store_mutations_roundtrip():
+    with remote(seeded_store()) as proxy:
+        proxy.insert(5, 9, interval_id=1)
+        proxy.extend([(7, 12, 2), (20, 30, 3)])
+        assert sorted(proxy.intersection(8, 10)) == [1, 2]
+        proxy.delete(7, 12, interval_id=2)
+        assert sorted(proxy.intersection(8, 10)) == [1]
+        assert proxy.interval_count == 2
+        assert proxy.method_name == "remote(HINT)"
+
+
+def test_remote_temporal_entry_points():
+    with remote(seeded_store(now=10)) as proxy:
+        assert hasattr(proxy, "insert_infinite")
+        proxy.insert_infinite(5, interval_id=1)
+        proxy.insert_until_now(8, interval_id=2)
+        assert sorted(proxy.intersection(100, 200)) == [1]
+        proxy.advance_to(150)
+        assert sorted(proxy.intersection(100, 200)) == [1, 2]
+        proxy.close_now_interval(8, interval_id=2, upper=120)
+        assert sorted(proxy.intersection(130, 200)) == [1]
+        proxy.delete_infinite(5, interval_id=1)
+        assert proxy.intersection(130, 200) == []
+        assert sorted(
+            upper for _, upper, _ in proxy.stored_records()) == [120]
+
+
+def test_remote_sentinels_bulk_load_through_the_wire():
+    with remote(seeded_store(now=50)) as proxy:
+        proxy.bulk_load([(10, 20, 1), (5, UPPER_INF, 2), (30, UPPER_NOW, 3)])
+        assert sorted(proxy.intersection(40, 60)) == [2, 3]
+        assert proxy.intersection_count(40, 60) == 2
+
+
+def test_non_temporal_backend_has_no_temporal_attrs():
+    with remote(create_store("ritree")) as proxy:
+        assert not hasattr(proxy, "insert_infinite")
+        with pytest.raises(AttributeError):
+            proxy.advance_to(5)
+
+
+# ----------------------------------------------------------------------
+# error surface
+# ----------------------------------------------------------------------
+def test_contract_errors_cross_the_wire():
+    with remote(seeded_store()) as proxy:
+        with pytest.raises(KeyError):
+            proxy.delete(1, 2, interval_id=99)
+        with pytest.raises(ValueError):
+            proxy.insert(9, 3, interval_id=1)
+
+
+def test_temporal_op_on_plain_backend_is_not_implemented():
+    with served(create_store("ritree")) as (host, port):
+        with ServiceClient(host, port) as client:
+            with pytest.raises(NotImplementedError, match="temporal"):
+                client.call("insert_infinite", lower=1, interval_id=1)
+
+
+def test_unknown_op_and_missing_field_are_value_errors():
+    with served(seeded_store()) as (host, port):
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ValueError, match="unknown op"):
+                client.call("frobnicate")
+            with pytest.raises(ValueError, match="missing field"):
+                client.call("insert", lower=1, upper=2)
+
+
+def test_errors_do_not_poison_the_connection():
+    with served(seeded_store()) as (host, port):
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ValueError):
+                client.call("insert", lower=9, upper=3, interval_id=1)
+            client.call("insert", lower=3, upper=9, interval_id=1)
+            assert client.call("intersection", lower=4, upper=5) == [1]
+
+
+# ----------------------------------------------------------------------
+# service-level ops: ping / stats / shutdown
+# ----------------------------------------------------------------------
+def test_ping_stats_and_counters():
+    with served(seeded_store([(1, 5, 1)])) as (host, port):
+        with ServiceClient(host, port) as client:
+            assert client.call("ping") == "pong"
+            client.call("stab", value=3)
+            client.call("stab", value=3)
+            with pytest.raises(ValueError):
+                client.call("stab")
+            stats = client.call("stats")
+    assert stats["store"]["method_name"] == "HINT"
+    assert stats["store"]["records"] == 1
+    assert stats["routing"] is None
+    stab = stats["ops"]["stab"]
+    assert stab["count"] == 3
+    assert stab["errors"] == 1
+    assert sum(stab["histogram_le_2e_us"].values()) == 3
+    assert stats["connections"]["total"] == 1
+
+
+def test_shutdown_op_stops_the_server():
+    with served(seeded_store()) as (host, port):
+        with ServiceClient(host, port) as client:
+            assert client.call("shutdown") is True
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            try:
+                ServiceClient(host, port).close()
+            except OSError:
+                break
+            time.sleep(0.05)
+
+
+# ----------------------------------------------------------------------
+# the readers-writer lock
+# ----------------------------------------------------------------------
+def test_rw_lock_try_read_fails_under_writer():
+    lock = _ReadWriteLock()
+    with lock.write():
+        assert lock.try_read() is False
+    assert lock.try_read() is True
+    lock.release_read()
+
+
+def test_rw_lock_waiting_writer_blocks_new_readers():
+    lock = _ReadWriteLock()
+    entered = threading.Event()
+    release = threading.Event()
+
+    def reader():
+        with lock.read():
+            entered.set()
+            release.wait(10)
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    assert entered.wait(5)
+    writer = threading.Thread(target=lambda: lock.write().__enter__(),
+                              daemon=True)
+    writer.start()
+    deadline = time.time() + 5
+    while lock._waiting_writers == 0 and time.time() < deadline:
+        time.sleep(0.01)
+    assert lock.try_read() is False, "a waiting writer must block readers"
+    release.set()
+    thread.join(5)
+
+
+def test_concurrent_readers_and_writers_stay_consistent():
+    with served(seeded_store(), max_workers=8) as (host, port):
+        errors = []
+
+        def writer(base):
+            try:
+                with ServiceClient(host, port) as client:
+                    for i in range(25):
+                        client.call("insert", lower=base + i,
+                                    upper=base + i + 10,
+                                    interval_id=base + i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            try:
+                with ServiceClient(host, port) as client:
+                    for _ in range(40):
+                        client.call("intersection", lower=0, upper=10_000)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(base,))
+                   for base in (1_000, 2_000)]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not errors
+        with ServiceClient(host, port) as client:
+            assert client.call("info")["records"] == 50
+
+
+# ----------------------------------------------------------------------
+# the CLI roles: shard server and router server
+# ----------------------------------------------------------------------
+def spawn_cli(tmp_path, records, now, extra):
+    dataset = tmp_path / "dataset.json"
+    dataset.write_text(json.dumps({"records": records, "now": now}))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + [p for p in env.get("PYTHONPATH", "").split(
+            os.pathsep) if p])
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0",
+         "--dataset", str(dataset)] + extra,
+        stdout=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline().strip()
+    assert line.startswith("LISTENING "), line
+    _, host, port = line.split()
+    return proc, host, int(port)
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_cli_roles_match_the_local_oracle(tmp_path, shards):
+    records, now = build_dataset(seed=5, n=400, domain=8_000, max_len=300)
+    ops = build_ops(seed=6, count=150, domain=8_000, max_len=300, now=now)
+    oracle = seeded_store(records, now=now)
+    expected = evaluate_ops(oracle, ops)
+    proc, host, port = spawn_cli(
+        tmp_path, records, now, ["--shards", str(shards)])
+    try:
+        result = run_load(host, port, ops, concurrency=4)
+        assert result.results == expected
+        assert result.ops == len(ops)
+        assert set(result.classes) <= set(
+            op["cls"] for op in ops)
+        with ServiceClient(host, port) as client:
+            stats = client.call("stats")
+            client.call("shutdown")
+        if shards == 1:
+            assert stats["routing"] is None
+        else:
+            routing = stats["routing"]
+            assert routing["shard_count"] == shards
+            assert routing["records"] == len(records)
+            # The relay path must feed the per-shard query counters.
+            assert sum(s["queries"] for s in routing["shards"]) > 0
+    finally:
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc.kill()
+            raise
+
+
+def test_router_cli_serves_writes_and_temporal_rows(tmp_path):
+    records = [(100, 900, 1), (950, 1_050, 2), (1_500, 2_400, 3),
+               (2_500, 3_500, 4)]
+    proc, host, port = spawn_cli(
+        tmp_path, records, 0, ["--shards", "2", "--now", "60"])
+    try:
+        proxy = RemoteStore.connect(host, port)
+        assert proxy.method_name.startswith("remote(sharded[2]")
+        proxy.insert(900, 1_600, interval_id=5)
+        proxy.insert_until_now(40, interval_id=6)
+        assert sorted(proxy.intersection(0, 4_000)) == [1, 2, 3, 4, 5, 6]
+        assert proxy.intersection_count(0, 4_000) == 6
+        proxy.advance_to(2_000)
+        assert sorted(proxy.stab(1_990)) == [3, 6]
+        report = proxy.verify()
+        assert report.ok, report.issues
+        proxy.shutdown()
+    finally:
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc.kill()
+            raise

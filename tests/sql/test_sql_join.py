@@ -408,8 +408,8 @@ def test_sql_predicate_query_matches_engine_on_temporal_rows():
         for lower, upper in [(0, 35), (31, 39), (90, 120), (150, 200)]:
             expected = sorted(PREDICATES[name].filter(
                 effective, lower, upper))
-            got_sql = sorted(sql_tree.query(name, lower, upper))
-            got_engine = sorted(engine_tree.query(name, lower, upper))
+            got_sql = sorted(sql_tree.query(lower, upper, predicate=name))
+            got_engine = sorted(engine_tree.query(lower, upper, predicate=name))
             assert got_sql == expected, (name, lower, upper)
             assert got_engine == expected, (name, lower, upper)
             assert len(got_engine) == len(set(got_engine))
