@@ -1,0 +1,502 @@
+"""Streaming-ingest benchmark: parity, group commit, crash, serving.
+
+Exercises the ingest subsystem (:mod:`repro.ingest`) end to end through
+four gates, all hard failures (exit 1):
+
+* **Checkpoint parity** -- a seeded stream (open now-relative rows and
+  later closures included) is driven through a
+  :class:`~repro.ingest.ingestor.StreamIngestor` into the temporal
+  RI-tree and the HINT store, in both arrival disciplines.  At every
+  checkpoint boundary the ingested store must answer intersection,
+  count and join probes bit-identically to a brute-force oracle over
+  the committed prefix (and to the searchsorted
+  :class:`~repro.ingest.workload.IngestOracle`), and finish
+  record-for-record equal to a bulk load of the stream's net image.
+
+* **Group commit** -- ``append_batch`` on the WAL-backed trees must
+  force the log exactly once per non-empty batch (and never for an
+  empty one), asserted against the engine's ``wal.forces`` counter on
+  a dedicated run with no clock advances or closures in the way.
+
+* **Crash during ingest** -- the recovery benchmark's
+  crash-at-every-write-point protocol replayed over a streaming run:
+  whatever write point dies, :meth:`~repro.engine.database.Database.
+  recover` must yield a verify()-clean store holding a committed batch
+  prefix that answers queries like a brute-force oracle.
+
+* **Ingest while serving** -- the sharded router topology of
+  ``python -m repro.service`` takes a live append stream through the
+  ``ingest_batch`` op while a concurrent reader replays the mixed
+  Figure-13-style query workload; after the stream drains, a final
+  read pass must match a local oracle loaded with initial + streamed
+  records.  Sustained writer records/s and reader ops/s ride along as
+  informational metrics.
+
+Usage::
+
+    python benchmarks/bench_streaming_ingest.py               # small
+    python benchmarks/bench_streaming_ingest.py --scale tiny  # CI smoke
+    python benchmarks/bench_streaming_ingest.py --output out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.bench.experiments import get_scale
+from repro.core import RITree, TemporalRITree
+from repro.core.stores import create_store
+from repro.core.temporal import UPPER_INF, UPPER_NOW
+from repro.engine import Database, FaultInjector, SimulatedCrash
+from repro.ingest import IngestOracle, StreamIngestor, StreamWorkload, replay_records
+from repro.methods.memory import BruteForceIntervals
+from repro.service.client import ServiceClient
+from repro.service.loadgen import build_dataset, build_ops, evaluate_ops, run_load
+
+#: Parity legs: backend x arrival discipline.
+PARITY_BACKENDS = ("temporal-ritree", "hint")
+
+
+def materialise(records, clock):
+    """Net stream records with effective uppers, the stores' convention:
+    now-relative rows at the clock, infinite rows keep the sentinel."""
+    return [
+        (lower, clock if upper == UPPER_NOW else upper, interval_id)
+        for lower, upper, interval_id in records
+    ]
+
+
+def probe_windows(rng, clock, mean_length, count=4):
+    hi = max(clock, 4 * mean_length, 1)
+    out = []
+    for _ in range(count):
+        lower = rng.randrange(0, hi)
+        out.append((lower, lower + rng.randrange(1, 4 * mean_length + 1)))
+    return out
+
+
+def brute_join_count(reference, probes):
+    return sum(
+        1
+        for _pl, _pu, _pid in probes
+        for lower, upper, _i in reference
+        if lower <= _pu and _pl <= upper
+    )
+
+
+def check_boundary(store, oracle, workload, upto, rng, mismatches):
+    """One parity check: ingested store vs committed-prefix oracles."""
+    prefix, clock = replay_records(workload, upto=upto)
+    reference = materialise(prefix, clock)
+    brute = BruteForceIntervals(reference)
+    for ql, qu in probe_windows(rng, clock, workload.mean_length):
+        expected_ids = sorted(brute.intersection(ql, qu))
+        if sorted(store.intersection(ql, qu)) != expected_ids:
+            mismatches.append(("intersection", upto, ql, qu))
+        count = store.intersection_count(ql, qu)
+        if count != len(expected_ids) or count != oracle.expected_count(ql, qu):
+            mismatches.append(("count", upto, ql, qu))
+    probes = [
+        (ql, qu, probe_id)
+        for probe_id, (ql, qu) in enumerate(
+            probe_windows(rng, clock, workload.mean_length, count=3), start=1
+        )
+    ]
+    if store.join_count(probes) != brute_join_count(reference, probes):
+        mismatches.append(("join_count", upto, len(probes), 0))
+
+
+def run_parity(scale, seed):
+    """Gate 1: checkpoint-boundary parity on every backend/mode leg."""
+    rows = []
+    mismatch_total = 0
+    check_total = 0
+    for backend in PARITY_BACKENDS:
+        for mode in ("increasing-end", "general"):
+            workload = StreamWorkload(
+                seed=seed + 17,
+                batches=scale["ingest_batches"],
+                batch_size=scale["ingest_batch_size"],
+                mode=mode,
+                domain=scale["ingest_serve_domain"],
+                mean_length=scale["ingest_mean_length"],
+                open_fraction=scale["ingest_open_fraction"],
+            )
+            if backend == "temporal-ritree":
+                store = TemporalRITree(Database(wal=True), now=0)
+                checkpoint_batches = scale["ingest_checkpoint"]
+            else:
+                store = create_store("hint", now=0)
+                checkpoint_batches = 0
+            ingestor = StreamIngestor(
+                store,
+                flush_records=scale["ingest_flush"],
+                checkpoint_batches=checkpoint_batches,
+            )
+            oracle = IngestOracle()
+            rng = random.Random(seed + 23)
+            mismatches = []
+            checks = 0
+            for batch in workload:
+                ingestor.submit(batch)
+                oracle.observe(batch)
+                if (batch.seq + 1) % scale["ingest_check_every"] == 0:
+                    ingestor.flush()
+                    check_boundary(
+                        store, oracle, workload, batch.seq + 1, rng, mismatches
+                    )
+                    checks += 1
+            stats = ingestor.drain()
+            check_boundary(store, oracle, workload, None, rng, mismatches)
+            checks += 1
+            final, clock = replay_records(workload)
+            if sorted(store.stored_records()) != sorted(materialise(final, clock)):
+                mismatches.append(("stored_records", None, 0, 0))
+            if not store.verify().ok:
+                mismatches.append(("verify", None, 0, 0))
+            mismatch_total += len(mismatches)
+            check_total += checks
+            rows.append(
+                {
+                    "gate": "parity",
+                    "backend": backend,
+                    "mode": mode,
+                    "parity_checks": checks,
+                    "mismatches": len(mismatches),
+                    "mismatch_detail": mismatches[:5],
+                    "final_records": len(final),
+                    **stats.as_dict(),
+                }
+            )
+    return rows, check_total, mismatch_total
+
+
+def run_trace(scale, seed):
+    """Gate 2: one WAL force per non-empty append_batch, none when empty."""
+    workload = StreamWorkload(
+        seed=seed + 31,
+        batches=scale["ingest_batches"],
+        batch_size=scale["ingest_batch_size"],
+        mode="increasing-end",
+        mean_length=scale["ingest_mean_length"],
+        open_fraction=0.0,
+    )
+    row = {"gate": "trace", "batches": 0, "extra_forces": 0, "empty_forces": 0}
+    for store in (
+        RITree(Database(wal=True)),
+        TemporalRITree(Database(wal=True), now=0),
+    ):
+        for batch in workload:
+            before = store.db.wal.forces
+            store.append_batch(batch.records)
+            row["batches"] += 1
+            row["extra_forces"] += store.db.wal.forces - before - 1
+        before = store.db.wal.forces
+        store.append_batch([])
+        row["empty_forces"] += store.db.wal.forces - before
+    row["per_batch_ok"] = row["extra_forces"] == 0 and row["empty_forces"] == 0
+    return row
+
+
+def run_crash(scale, seed):
+    """Gate 3: crash at every write point of a streaming ingest run."""
+    workload = StreamWorkload(
+        seed=seed + 43,
+        batches=scale["ingest_crash_batches"],
+        batch_size=scale["ingest_crash_batch_size"],
+        mode="increasing-end",
+        mean_length=scale["ingest_mean_length"],
+        open_fraction=0.0,
+    )
+
+    def ingest_run(db):
+        tree = RITree(db)
+        ingestor = StreamIngestor(
+            tree,
+            flush_records=scale["ingest_crash_flush"],
+            checkpoint_batches=2,
+        )
+        return tree, ingestor
+
+    # Passive run: count write points, snapshot every committed state.
+    passive = FaultInjector()
+    db = Database(wal=True, injector=passive)
+    tree, ingestor = ingest_run(db)
+    allowed_states = [sorted(tree.stored_records())]
+    for batch in workload:
+        ingestor.submit(batch)
+        allowed_states.append(sorted(tree.stored_records()))
+    ingestor.drain()
+    allowed_states.append(sorted(tree.stored_records()))
+    db.flush()
+    points = passive.write_points
+
+    queries = probe_windows(
+        random.Random(seed + 47),
+        scale["ingest_crash_batches"] * 100,
+        workload.mean_length,
+        count=6,
+    )
+    recovered_clean = 0
+    failures = []
+    for n in range(1, points + 1):
+        injector = FaultInjector().crash_at_write_point(n)
+        db = Database(wal=True, injector=injector)
+        crashed = False
+        try:
+            tree, ingestor = ingest_run(db)
+            for batch in workload:
+                ingestor.submit(batch)
+            ingestor.drain()
+            db.flush()
+        except SimulatedCrash:
+            crashed = True
+        recovered_db = db.recover()
+        if not recovered_db.has_table("Intervals"):
+            if not crashed:
+                failures.append((n, "lost the table silently"))
+            else:
+                recovered_clean += 1
+            continue
+        recovered = RITree.attach(recovered_db)
+        if not recovered.verify().ok:
+            failures.append((n, "fails verify()"))
+            continue
+        state = sorted(recovered.stored_records())
+        if state not in allowed_states:
+            failures.append((n, "not a committed batch prefix"))
+            continue
+        if not crashed and state != allowed_states[-1]:
+            failures.append((n, "dropped a committed batch"))
+            continue
+        brute = BruteForceIntervals(recovered.stored_records())
+        if any(
+            sorted(recovered.intersection(ql, qu))
+            != sorted(brute.intersection(ql, qu))
+            for ql, qu in queries
+        ):
+            failures.append((n, "breaks query parity"))
+            continue
+        recovered_clean += 1
+    return {
+        "gate": "crash",
+        "crash_points": points,
+        "recovered_clean": recovered_clean,
+        "records": len(allowed_states[-1]),
+        "failures": failures[:5],
+    }
+
+
+def spawn_router(dataset_path, shards):
+    """Start the router topology; returns (process, host, port)."""
+    src_dir = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    extra = [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join([str(src_dir), *extra])
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--port",
+            "0",
+            "--shards",
+            str(shards),
+            "--dataset",
+            dataset_path,
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("LISTENING "):
+        proc.kill()
+        raise SystemExit(f"service failed to start: {line!r}")
+    _, host, port = line.split()
+    return proc, host, int(port)
+
+
+def run_serving(scale, seed):
+    """Gate 4: sustained appends through the router under a live reader."""
+    n = scale["ingest_serve_n"]
+    domain = scale["ingest_serve_domain"]
+    shards = scale["ingest_serve_shards"]
+    records, now = build_dataset(seed=seed, n=n, domain=domain)
+    ops = build_ops(
+        seed=seed + 1, count=scale["ingest_serve_queries"], domain=domain, now=now
+    )
+    workload = StreamWorkload(
+        seed=seed + 53,
+        batches=scale["ingest_serve_batches"],
+        batch_size=scale["ingest_serve_batch_size"],
+        mode="general",
+        domain=domain,
+        mean_length=scale["ingest_mean_length"],
+        open_fraction=0.0,
+    )
+    id_base = n + 1000  # streamed ids must not collide with the dataset's
+
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as handle:
+        json.dump({"records": records, "now": now}, handle)
+        dataset_path = handle.name
+
+    proc, host, port = spawn_router(dataset_path, shards)
+    reader_result = []
+    try:
+        reader = threading.Thread(
+            target=lambda: reader_result.append(
+                run_load(host, port, ops, scale["ingest_serve_concurrency"])
+            )
+        )
+        reader.start()
+        streamed = []
+        started = time.perf_counter()
+        with ServiceClient(host, port) as writer:
+            for batch in workload:
+                shifted = [
+                    (lower, upper, interval_id + id_base)
+                    for lower, upper, interval_id in batch.records
+                ]
+                writer.call("ingest_batch", records=shifted)
+                streamed.extend(shifted)
+        write_elapsed = time.perf_counter() - started
+        reader.join()
+
+        oracle = create_store("hint", now=now)
+        oracle.bulk_load(records)
+        oracle.append_batch(streamed)
+        expected = evaluate_ops(oracle, ops)
+        final = run_load(host, port, ops, 1)
+        with ServiceClient(host, port) as client:
+            routing = client.call("stats").get("routing") or {}
+            client.call("shutdown")
+    finally:
+        Path(dataset_path).unlink()
+        try:
+            proc.wait(timeout=20)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    concurrent = reader_result[0] if reader_result else None
+    return {
+        "gate": "serving",
+        "initial_records": n,
+        "streamed_records": len(streamed),
+        "stream_batches": workload.batches,
+        "shards": routing.get("shard_count", shards),
+        "reader_ops": len(ops),
+        "parity_ok": final.results == expected,
+        "ingest_ops_s": len(streamed) / write_elapsed if write_elapsed else 0.0,
+        "reader_ops_s": concurrent.throughput if concurrent else 0.0,
+        "final_ops_s": final.throughput,
+        "appends": sum(
+            shard.get("appends", 0) for shard in routing.get("shards", [])
+        ),
+    }
+
+
+def run(scale_name, seed):
+    scale = get_scale(scale_name)
+    report = {
+        "workload": "ingest",
+        "scale": scale["name"],
+        "seed": seed,
+        "rows": [],
+    }
+    started = time.perf_counter()
+    parity_rows, checks, mismatches = run_parity(scale, seed)
+    report["rows"].extend(parity_rows)
+    trace = run_trace(scale, seed)
+    report["rows"].append(trace)
+    crash = run_crash(scale, seed)
+    report["rows"].append(crash)
+    serving = run_serving(scale, seed)
+    report["rows"].append(serving)
+    elapsed = time.perf_counter() - started
+    report["summary"] = {
+        "parity_ok": mismatches == 0,
+        "parity_checks": checks,
+        "records": sum(r["records"] for r in parity_rows),
+        "flushes": sum(r["flushes"] for r in parity_rows),
+        "closes": sum(r["closes"] for r in parity_rows),
+        "checkpoints": sum(r["checkpoints"] for r in parity_rows),
+        "wal_force_batches": trace["batches"],
+        "wal_force_per_batch_ok": trace["per_batch_ok"],
+        "crash_points": crash["crash_points"],
+        "recovered_clean": crash["recovered_clean"],
+        "all_recovered": crash["recovered_clean"] == crash["crash_points"],
+        "serving_parity_ok": serving["parity_ok"],
+        "streamed_records": serving["streamed_records"],
+        "ingest_ops_s": serving["ingest_ops_s"],
+        "reader_ops_s": serving["reader_ops_s"],
+        "time_s": elapsed,
+    }
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Streaming ingest benchmark: parity, group commit, "
+        "crash recovery, ingest-while-serving"
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="scale preset (default: REPRO_BENCH_SCALE or 'small')",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None, help="path for the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run(args.scale, args.seed)
+    text = json.dumps(report, indent=1)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"report written to {args.output}")
+    summary = report["summary"]
+    print(
+        f"parity: {summary['parity_checks']} checkpoint checks across "
+        f"{len(PARITY_BACKENDS) * 2} backend/mode legs, "
+        f"{summary['records']} records in {summary['flushes']} group "
+        f"commits ({summary['closes']} closures, "
+        f"{summary['checkpoints']} checkpoints)"
+        + ("" if summary["parity_ok"] else " -- FAILED")
+    )
+    print(
+        f"group commit: {summary['wal_force_batches']} batches, one WAL "
+        f"force each: {'ok' if summary['wal_force_per_batch_ok'] else 'FAILED'}"
+    )
+    print(
+        f"crash: {summary['recovered_clean']}/{summary['crash_points']} "
+        f"write points recover to a committed batch prefix"
+    )
+    print(
+        f"serving: {summary['streamed_records']} records ingested at "
+        f"{summary['ingest_ops_s']:.0f} rec/s while the reader ran at "
+        f"{summary['reader_ops_s']:.0f} ops/s; final parity "
+        f"{'ok' if summary['serving_parity_ok'] else 'FAILED'} "
+        f"in {summary['time_s']:.2f}s total"
+    )
+    failed = not (
+        summary["parity_ok"]
+        and summary["wal_force_per_batch_ok"]
+        and summary["all_recovered"]
+        and summary["serving_parity_ok"]
+    )
+    if failed:
+        print("FAIL: streaming ingest gate violated", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,91 +39,184 @@ from .harness import (
 SCALES: dict[str, dict] = {
     "tiny": dict(
         fig12_sizes=[500, 1000, 2000],
-        fig13_n=2000, fig13_selectivities=[0.005, 0.015, 0.03],
+        fig13_n=2000,
+        fig13_selectivities=[0.005, 0.015, 0.03],
         fig13_queries=10,
-        fig14_sizes=[500, 1000, 2000], fig14_queries=8,
-        fig15_n=2000, fig15_selectivities=[0.0, 0.005, 0.012],
+        fig14_sizes=[500, 1000, 2000],
+        fig14_queries=8,
+        fig15_n=2000,
+        fig15_selectivities=[0.0, 0.005, 0.012],
         fig15_queries=8,
-        fig16_n=2000, fig16_means=[0, 500, 1000, 2000], fig16_queries=8,
-        fig17_n=4000, fig17_distances=[0, 50_000, 100_000, 150_000, 200_000],
+        fig16_n=2000,
+        fig16_means=[0, 500, 1000, 2000],
+        fig16_queries=8,
+        fig17_n=4000,
+        fig17_distances=[0, 50_000, 100_000, 150_000, 200_000],
         fig17_queries=5,
-        windowlist_n=2000, windowlist_queries=20,
-        tune_sample=200, tune_queries=10, tune_levels=range(2, 15),
-        ablation_n=2000, ablation_queries=15,
-        join_outer_n=200, join_inner_n=2000,
-        join_outer_d=2000, join_inner_d=2000,
+        windowlist_n=2000,
+        windowlist_queries=20,
+        tune_sample=200,
+        tune_queries=10,
+        tune_levels=range(2, 15),
+        ablation_n=2000,
+        ablation_queries=15,
+        join_outer_n=200,
+        join_inner_n=2000,
+        join_outer_d=2000,
+        join_inner_d=2000,
         crossover_outer_ns=[5, 20, 80, 320],
         crossover_inner_ns=[2000],
         crossover_inner_ds=[500, 2000],
-        predicate_outer_n=120, predicate_inner_n=1200,
+        predicate_outer_n=120,
+        predicate_inner_n=1200,
         predicate_grid_outer_ns=[5, 80],
         predicate_grid_inner_n=8000,
         predicate_grid_relations=["before", "during", "met_by"],
-        service_n=1500, service_ops=500, service_shards=2,
-        service_domain=20_000, service_concurrencies=[1, 16],
+        service_n=1500,
+        service_ops=500,
+        service_shards=2,
+        service_domain=20_000,
+        service_concurrencies=[1, 16],
         service_repeats=3,
+        ingest_batches=16,
+        ingest_batch_size=40,
+        ingest_flush=120,
+        ingest_checkpoint=3,
+        ingest_open_fraction=0.12,
+        ingest_mean_length=400,
+        ingest_check_every=4,
+        ingest_crash_batches=3,
+        ingest_crash_batch_size=10,
+        ingest_crash_flush=20,
+        ingest_serve_n=1200,
+        ingest_serve_batches=10,
+        ingest_serve_batch_size=60,
+        ingest_serve_shards=2,
+        ingest_serve_domain=20_000,
+        ingest_serve_queries=60,
+        ingest_serve_concurrency=4,
     ),
     "small": dict(
         fig12_sizes=[1000, 5000, 20_000, 50_000],
         fig13_n=20_000,
         fig13_selectivities=[0.005, 0.01, 0.015, 0.02, 0.025, 0.03],
         fig13_queries=50,
-        fig14_sizes=[1000, 10_000, 100_000], fig14_queries=20,
-        fig15_n=20_000, fig15_selectivities=[0.0, 0.002, 0.005, 0.012],
+        fig14_sizes=[1000, 10_000, 100_000],
+        fig14_queries=20,
+        fig15_n=20_000,
+        fig15_selectivities=[0.0, 0.002, 0.005, 0.012],
         fig15_queries=20,
-        fig16_n=20_000, fig16_means=[0, 250, 500, 1000, 1500, 2000],
+        fig16_n=20_000,
+        fig16_means=[0, 250, 500, 1000, 1500, 2000],
         fig16_queries=20,
         fig17_n=40_000,
-        fig17_distances=[0, 25_000, 50_000, 75_000, 100_000, 125_000,
-                         150_000, 175_000, 200_000],
+        fig17_distances=[
+            0, 25_000, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000, 200_000
+        ],
         fig17_queries=10,
-        windowlist_n=20_000, windowlist_queries=50,
-        tune_sample=1000, tune_queries=20, tune_levels=range(2, 15),
-        ablation_n=20_000, ablation_queries=30,
-        join_outer_n=1500, join_inner_n=15_000,
-        join_outer_d=2000, join_inner_d=2000,
+        windowlist_n=20_000,
+        windowlist_queries=50,
+        tune_sample=1000,
+        tune_queries=20,
+        tune_levels=range(2, 15),
+        ablation_n=20_000,
+        ablation_queries=30,
+        join_outer_n=1500,
+        join_inner_n=15_000,
+        join_outer_d=2000,
+        join_inner_d=2000,
         crossover_outer_ns=[5, 10, 20, 40, 80, 160, 320, 640],
         crossover_inner_ns=[4000, 8000],
         crossover_inner_ds=[1000, 2000],
-        predicate_outer_n=400, predicate_inner_n=4000,
+        predicate_outer_n=400,
+        predicate_inner_n=4000,
         predicate_grid_outer_ns=[5, 20, 80, 320],
         predicate_grid_inner_n=8000,
-        predicate_grid_relations=["before", "during", "met_by",
-                                  "overlaps"],
-        service_n=20_000, service_ops=4_000, service_shards=4,
-        service_domain=100_000, service_concurrencies=[1, 4, 16],
+        predicate_grid_relations=["before", "during", "met_by", "overlaps"],
+        service_n=20_000,
+        service_ops=4_000,
+        service_shards=4,
+        service_domain=100_000,
+        service_concurrencies=[1, 4, 16],
         service_repeats=3,
+        ingest_batches=60,
+        ingest_batch_size=200,
+        ingest_flush=600,
+        ingest_checkpoint=5,
+        ingest_open_fraction=0.1,
+        ingest_mean_length=1000,
+        ingest_check_every=10,
+        ingest_crash_batches=4,
+        ingest_crash_batch_size=15,
+        ingest_crash_flush=30,
+        ingest_serve_n=10_000,
+        ingest_serve_batches=40,
+        ingest_serve_batch_size=250,
+        ingest_serve_shards=4,
+        ingest_serve_domain=100_000,
+        ingest_serve_queries=400,
+        ingest_serve_concurrency=8,
     ),
     "full": dict(
         fig12_sizes=[1000, 10_000, 100_000, 300_000, 1_000_000],
         fig13_n=100_000,
         fig13_selectivities=[0.005, 0.01, 0.015, 0.02, 0.025, 0.03],
         fig13_queries=100,
-        fig14_sizes=[1000, 10_000, 100_000, 1_000_000], fig14_queries=20,
-        fig15_n=100_000, fig15_selectivities=[0.0, 0.002, 0.005, 0.012],
+        fig14_sizes=[1000, 10_000, 100_000, 1_000_000],
+        fig14_queries=20,
+        fig15_n=100_000,
+        fig15_selectivities=[0.0, 0.002, 0.005, 0.012],
         fig15_queries=20,
-        fig16_n=100_000, fig16_means=[0, 250, 500, 1000, 1500, 2000],
+        fig16_n=100_000,
+        fig16_means=[0, 250, 500, 1000, 1500, 2000],
         fig16_queries=20,
         fig17_n=200_000,
-        fig17_distances=[0, 25_000, 50_000, 75_000, 100_000, 125_000,
-                         150_000, 175_000, 200_000],
+        fig17_distances=[
+            0, 25_000, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000, 200_000
+        ],
         fig17_queries=20,
-        windowlist_n=100_000, windowlist_queries=100,
-        tune_sample=1000, tune_queries=20, tune_levels=range(2, 15),
-        ablation_n=100_000, ablation_queries=50,
-        join_outer_n=5000, join_inner_n=100_000,
-        join_outer_d=2000, join_inner_d=2000,
+        windowlist_n=100_000,
+        windowlist_queries=100,
+        tune_sample=1000,
+        tune_queries=20,
+        tune_levels=range(2, 15),
+        ablation_n=100_000,
+        ablation_queries=50,
+        join_outer_n=5000,
+        join_inner_n=100_000,
+        join_outer_d=2000,
+        join_inner_d=2000,
         crossover_outer_ns=[5, 10, 20, 40, 80, 160, 320, 640, 1280],
         crossover_inner_ns=[8000, 15_000, 30_000],
         crossover_inner_ds=[500, 2000, 4000],
-        predicate_outer_n=800, predicate_inner_n=8000,
+        predicate_outer_n=800,
+        predicate_inner_n=8000,
         predicate_grid_outer_ns=[5, 20, 80, 320, 1280],
         predicate_grid_inner_n=15_000,
-        predicate_grid_relations=["before", "during", "met_by",
-                                  "overlaps", "equals"],
-        service_n=100_000, service_ops=20_000, service_shards=4,
-        service_domain=500_000, service_concurrencies=[1, 4, 16, 64],
+        predicate_grid_relations=["before", "during", "met_by", "overlaps", "equals"],
+        service_n=100_000,
+        service_ops=20_000,
+        service_shards=4,
+        service_domain=500_000,
+        service_concurrencies=[1, 4, 16, 64],
         service_repeats=3,
+        ingest_batches=200,
+        ingest_batch_size=500,
+        ingest_flush=2000,
+        ingest_checkpoint=8,
+        ingest_open_fraction=0.1,
+        ingest_mean_length=1000,
+        ingest_check_every=25,
+        ingest_crash_batches=5,
+        ingest_crash_batch_size=20,
+        ingest_crash_flush=40,
+        ingest_serve_n=50_000,
+        ingest_serve_batches=100,
+        ingest_serve_batch_size=500,
+        ingest_serve_shards=4,
+        ingest_serve_domain=500_000,
+        ingest_serve_queries=2000,
+        ingest_serve_concurrency=16,
     ),
 }
 
@@ -159,27 +252,34 @@ def ist_factory(db: Database) -> ISTree:
 
 def tindex_factory(fixed_level: int) -> Callable[[Database], TileIndex]:
     """T-index factory bound to a tuned fixed level."""
+
     def factory(db: Database) -> TileIndex:
         return TileIndex(db, fixed_level=fixed_level)
+
     return factory
 
 
-def tuned_level_for(workload: distributions.Workload, scale: dict,
-                    selectivity: float = 0.01, seed: int = 11) -> int:
+def tuned_level_for(
+    workload: distributions.Workload,
+    scale: dict,
+    selectivity: float = 0.01,
+    seed: int = 11,
+) -> int:
     """The paper's tuning protocol: sample intervals, replay queries."""
     sample_size = min(scale["tune_sample"], len(workload.records))
     sample = workload.records[:sample_size]
     tuning_queries = query_gen.range_queries(
-        workload, selectivity, scale["tune_queries"], seed=seed)
-    return tune_fixed_level(sample, tuning_queries,
-                            levels=scale["tune_levels"])
+        workload, selectivity, scale["tune_queries"], seed=seed
+    )
+    return tune_fixed_level(sample, tuning_queries, levels=scale["tune_levels"])
 
 
 # ----------------------------------------------------------------------
 # Table 1 -- the data distributions
 # ----------------------------------------------------------------------
-def table1_workloads(scale_name: Optional[str] = None,
-                     seed: int = 0) -> ExperimentResult:
+def table1_workloads(
+    scale_name: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
     """Reproduce Table 1: generate each distribution, report its shape."""
     scale = get_scale(scale_name)
     n = scale["fig13_n"]
@@ -187,44 +287,63 @@ def table1_workloads(scale_name: Optional[str] = None,
         experiment_id="table1",
         title=f"Sample interval databases (n={n}, d=2000)",
         paper_reference="Table 1, Section 6.1",
-        columns=["distribution", "n", "mean length", "min lower",
-                 "max upper", "points (len=0)"],
+        columns=[
+            "distribution",
+            "n",
+            "mean length",
+            "min lower",
+            "max upper",
+            "points (len=0)",
+        ],
     )
     for name in sorted(distributions.DISTRIBUTIONS):
         workload = distributions.make(name, n, 2000, seed=seed)
         lo, hi = workload.bounds()
-        zero = sum(1 for lower, upper, _ in workload.records
-                   if upper == lower)
-        result.add_row(**{
-            "distribution": workload.name, "n": workload.n,
-            "mean length": round(workload.mean_length, 1),
-            "min lower": lo, "max upper": hi, "points (len=0)": zero,
-        })
-    result.note("Bounding points lie in [0, 2^20 - 1]; D3/D4 arrive in "
-                "Poisson start order. Every distribution contains length-0 "
-                "intervals, so minstep reaches its minimum (Section 6.1).")
+        zero = sum(1 for lower, upper, _ in workload.records if upper == lower)
+        result.add_row(
+            **{
+                "distribution": workload.name,
+                "n": workload.n,
+                "mean length": round(workload.mean_length, 1),
+                "min lower": lo,
+                "max upper": hi,
+                "points (len=0)": zero,
+            }
+        )
+    result.note(
+        "Bounding points lie in [0, 2^20 - 1]; D3/D4 arrive in "
+        "Poisson start order. Every distribution contains length-0 "
+        "intervals, so minstep reaches its minimum (Section 6.1)."
+    )
     return result
 
 
 # ----------------------------------------------------------------------
 # Section 6.1 -- Window-List vs RI-tree
 # ----------------------------------------------------------------------
-def windowlist_comparison(scale_name: Optional[str] = None,
-                          seed: int = 0) -> ExperimentResult:
+def windowlist_comparison(
+    scale_name: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
     """Section 6.1: "queries on Window-Lists produced twice as many I/O
     operations than on the dynamic RI-tree"."""
     scale = get_scale(scale_name)
     n = scale["windowlist_n"]
     workload = distributions.d1(n, 2000, seed=seed)
-    query_batch = query_gen.range_queries(workload, 0.005,
-                                          scale["windowlist_queries"],
-                                          seed=seed + 1)
+    query_batch = query_gen.range_queries(
+        workload, 0.005, scale["windowlist_queries"], seed=seed + 1
+    )
     result = ExperimentResult(
         experiment_id="sec6.1-windowlist",
         title=f"Window-List vs RI-tree, D1({n},2k), 0.5% queries",
         paper_reference="Section 6.1 (Window-List paragraph)",
-        columns=["method", "physical I/O", "logical I/O", "time [ms]",
-                 "avg results", "index entries"],
+        columns=[
+            "method",
+            "physical I/O",
+            "logical I/O",
+            "time [ms]",
+            "avg results",
+            "index entries",
+        ],
     )
     methods = [
         build_method(lambda db: WindowList(db), workload.records),
@@ -235,25 +354,29 @@ def windowlist_comparison(scale_name: Optional[str] = None,
         batch = run_query_batch(method, query_batch)
         batch_results.append(batch)
         row = batch.as_row()
-        result.add_row(**{
-            "method": row["method"], "physical I/O": row["physical I/O"],
-            "logical I/O": row["logical I/O"], "time [ms]": row["time [ms]"],
-            "avg results": row["avg results"],
-            "index entries": method.index_entry_count,
-        })
+        result.add_row(
+            **{
+                "method": row["method"],
+                "physical I/O": row["physical I/O"],
+                "logical I/O": row["logical I/O"],
+                "time [ms]": row["time [ms]"],
+                "avg results": row["avg results"],
+                "index entries": method.index_entry_count,
+            }
+        )
     wl, ri = batch_results
     if ri.physical_io_per_query > 0:
         ratio = wl.physical_io_per_query / ri.physical_io_per_query
-        result.note(f"Window-List / RI-tree physical I/O ratio: "
-                    f"{ratio:.2f} (paper: ~2).")
+        result.note(
+            f"Window-List / RI-tree physical I/O ratio: {ratio:.2f} (paper: ~2)."
+        )
     return result
 
 
 # ----------------------------------------------------------------------
 # Figure 12 -- storage occupation
 # ----------------------------------------------------------------------
-def fig12_storage(scale_name: Optional[str] = None,
-                  seed: int = 0) -> ExperimentResult:
+def fig12_storage(scale_name: Optional[str] = None, seed: int = 0) -> ExperimentResult:
     """Index entries vs database size on D4(*, 2k)."""
     scale = get_scale(scale_name)
     sizes = scale["fig12_sizes"]
@@ -269,37 +392,45 @@ def fig12_storage(scale_name: Optional[str] = None,
     for n in sizes:
         workload = distributions.d4(n, 2000, seed=seed)
         tile = TileIndex(paper_database(), fixed_level=level)
-        tindex_entries = sum(len(tile.tiles_for(lower, upper))
-                             for lower, upper, _ in workload.records)
+        tindex_entries = sum(
+            len(tile.tiles_for(lower, upper)) for lower, upper, _ in workload.records
+        )
         if not verified and tindex_entries <= 500_000:
             tile.bulk_load(workload.records)
             assert tile.index_entry_count == tindex_entries
             verified = True
         for method_name, entries in (
-                ("T-index", tindex_entries),
-                ("IST", n),
-                ("RI-tree", 2 * n)):
-            result.add_row(**{
-                "db size": n, "method": method_name,
-                "index entries": entries,
-                "redundancy": round(entries / n, 2) if n else 0.0,
-            })
-    result.note(f"T-index fixed level tuned to {level} by the Section 6.1 "
-                "protocol. IST stores one entry per interval, the RI-tree "
-                "two (lowerIndex + upperIndex); only the T-index entry "
-                "count depends on interval decomposition (paper: factor "
-                "10.1 at its optimum level).")
-    result.note("T-index entry counts are computed from the decomposition "
-                "and verified against a materialised index at the smallest "
-                "size.")
+            ("T-index", tindex_entries), ("IST", n), ("RI-tree", 2 * n)
+        ):
+            result.add_row(
+                **{
+                    "db size": n,
+                    "method": method_name,
+                    "index entries": entries,
+                    "redundancy": round(entries / n, 2) if n else 0.0,
+                }
+            )
+    result.note(
+        f"T-index fixed level tuned to {level} by the Section 6.1 "
+        "protocol. IST stores one entry per interval, the RI-tree "
+        "two (lowerIndex + upperIndex); only the T-index entry "
+        "count depends on interval decomposition (paper: factor "
+        "10.1 at its optimum level)."
+    )
+    result.note(
+        "T-index entry counts are computed from the decomposition "
+        "and verified against a materialised index at the smallest "
+        "size."
+    )
     return result
 
 
 # ----------------------------------------------------------------------
 # Figure 13 -- I/O and response time vs query selectivity
 # ----------------------------------------------------------------------
-def fig13_selectivity(scale_name: Optional[str] = None,
-                      seed: int = 0) -> ExperimentResult:
+def fig13_selectivity(
+    scale_name: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
     """Disk accesses and response time for range queries on D1."""
     scale = get_scale(scale_name)
     n = scale["fig13_n"]
@@ -309,8 +440,9 @@ def fig13_selectivity(scale_name: Optional[str] = None,
         experiment_id="fig13",
         title=f"Range queries on D1({n},2k) by query selectivity",
         paper_reference="Figure 13, Section 6.3",
-        columns=["selectivity [%]", "method", "physical I/O", "time [ms]",
-                 "avg results"],
+        columns=[
+            "selectivity [%]", "method", "physical I/O", "time [ms]", "avg results"
+        ],
     )
     methods = {
         "T-index": build_method(tindex_factory(level), workload.records),
@@ -320,28 +452,36 @@ def fig13_selectivity(scale_name: Optional[str] = None,
     speedups = []
     for selectivity in scale["fig13_selectivities"]:
         query_batch = query_gen.range_queries(
-            workload, selectivity, scale["fig13_queries"], seed=seed + 7)
+            workload, selectivity, scale["fig13_queries"], seed=seed + 7
+        )
         per_method: dict[str, BatchResult] = {}
         for label, method in methods.items():
             batch = run_query_batch(method, query_batch)
             per_method[label] = batch
-            result.add_row(**{
-                "selectivity [%]": round(selectivity * 100, 2),
-                "method": label,
-                "physical I/O": round(batch.physical_io_per_query, 1),
-                "time [ms]": round(batch.response_time_per_query * 1000, 2),
-                "avg results": round(batch.results_per_query, 1),
-            })
+            result.add_row(
+                **{
+                    "selectivity [%]": round(selectivity * 100, 2),
+                    "method": label,
+                    "physical I/O": round(batch.physical_io_per_query, 1),
+                    "time [ms]": round(batch.response_time_per_query * 1000, 2),
+                    "avg results": round(batch.results_per_query, 1),
+                }
+            )
         ri = per_method["RI-tree"].physical_io_per_query
         if ri > 0:
-            speedups.append((
-                round(selectivity * 100, 2),
-                round(per_method["T-index"].physical_io_per_query / ri, 1),
-                round(per_method["IST"].physical_io_per_query / ri, 1)))
+            speedups.append(
+                (
+                    round(selectivity * 100, 2),
+                    round(per_method["T-index"].physical_io_per_query / ri, 1),
+                    round(per_method["IST"].physical_io_per_query / ri, 1),
+                )
+            )
     for sel, t_factor, ist_factor in speedups:
-        result.note(f"selectivity {sel}%: RI-tree I/O speedup factor "
-                    f"{t_factor} vs T-index, {ist_factor} vs IST "
-                    "(paper at 0.5%: 10.8 / 46.3; at 3.0%: 22.8 / 13.6).")
+        result.note(
+            f"selectivity {sel}%: RI-tree I/O speedup factor "
+            f"{t_factor} vs T-index, {ist_factor} vs IST "
+            "(paper at 0.5%: 10.8 / 46.3; at 3.0%: 22.8 / 13.6)."
+        )
     result.note(f"T-index fixed level tuned to {level}.")
     return result
 
@@ -349,57 +489,65 @@ def fig13_selectivity(scale_name: Optional[str] = None,
 # ----------------------------------------------------------------------
 # Figure 14 -- scaleup with database size
 # ----------------------------------------------------------------------
-def fig14_scaleup(scale_name: Optional[str] = None,
-                  seed: int = 0) -> ExperimentResult:
+def fig14_scaleup(scale_name: Optional[str] = None, seed: int = 0) -> ExperimentResult:
     """Disk accesses and response time vs database size on D4(*, 2k)."""
     scale = get_scale(scale_name)
     sizes = scale["fig14_sizes"]
-    tuning_workload = distributions.d4(min(sizes[-1], 10_000), 2000,
-                                       seed=seed)
+    tuning_workload = distributions.d4(min(sizes[-1], 10_000), 2000, seed=seed)
     level = tuned_level_for(tuning_workload, scale, selectivity=0.006)
     result = ExperimentResult(
         experiment_id="fig14",
         title="Range queries on D4(*,2k), selectivity 0.6%, by db size",
         paper_reference="Figure 14, Section 6.3",
-        columns=["db size", "method", "physical I/O", "time [ms]",
-                 "avg results"],
+        columns=["db size", "method", "physical I/O", "time [ms]", "avg results"],
     )
     first_speedup = None
     last_speedup = None
     for n in sizes:
         workload = distributions.d4(n, 2000, seed=seed)
         query_batch = query_gen.range_queries(
-            workload, 0.006, scale["fig14_queries"], seed=seed + 3)
+            workload, 0.006, scale["fig14_queries"], seed=seed + 3
+        )
         methods: dict[str, object] = {}
         tile_probe = TileIndex(paper_database(), fixed_level=level)
-        tindex_entries = sum(len(tile_probe.tiles_for(lower, upper))
-                             for lower, upper, _ in workload.records)
+        tindex_entries = sum(
+            len(tile_probe.tiles_for(lower, upper))
+            for lower, upper, _ in workload.records
+        )
         if tindex_entries <= TINDEX_ENTRY_LIMIT:
-            methods["T-index"] = build_method(tindex_factory(level),
-                                              workload.records)
+            methods["T-index"] = build_method(tindex_factory(level), workload.records)
         else:
-            result.note(f"T-index skipped at n={n}: estimated "
-                        f"{tindex_entries} entries exceed the "
-                        f"{TINDEX_ENTRY_LIMIT} build limit.")
+            result.note(
+                f"T-index skipped at n={n}: estimated "
+                f"{tindex_entries} entries exceed the "
+                f"{TINDEX_ENTRY_LIMIT} build limit."
+            )
         methods["IST"] = build_method(ist_factory, workload.records)
         methods["RI-tree"] = build_method(ritree_factory, workload.records)
         per_method: dict[str, BatchResult] = {}
         for label, method in methods.items():
             batch = run_query_batch(method, query_batch)
             per_method[label] = batch
-            result.add_row(**{
-                "db size": n, "method": label,
-                "physical I/O": round(batch.physical_io_per_query, 1),
-                "time [ms]": round(batch.response_time_per_query * 1000, 2),
-                "avg results": round(batch.results_per_query, 1),
-            })
+            result.add_row(
+                **{
+                    "db size": n,
+                    "method": label,
+                    "physical I/O": round(batch.physical_io_per_query, 1),
+                    "time [ms]": round(batch.response_time_per_query * 1000, 2),
+                    "avg results": round(batch.results_per_query, 1),
+                }
+            )
         if "T-index" in per_method:
             ri = per_method["RI-tree"]
             if ri.physical_io_per_query > 0:
-                io_factor = (per_method["T-index"].physical_io_per_query
-                             / ri.physical_io_per_query)
-                time_factor = (per_method["T-index"].response_time_per_query
-                               / max(ri.response_time_per_query, 1e-9))
+                io_factor = (
+                    per_method["T-index"].physical_io_per_query
+                    / ri.physical_io_per_query
+                )
+                time_factor = (
+                    per_method["T-index"].response_time_per_query
+                    / max(ri.response_time_per_query, 1e-9)
+                )
                 if first_speedup is None:
                     first_speedup = (n, io_factor, time_factor)
                 last_speedup = (n, io_factor, time_factor)
@@ -408,7 +556,8 @@ def fig14_scaleup(scale_name: Optional[str] = None,
             f"T-index/RI-tree speedup grows from {first_speedup[1]:.1f}x "
             f"I/O ({first_speedup[2]:.1f}x time) at n={first_speedup[0]} to "
             f"{last_speedup[1]:.1f}x I/O ({last_speedup[2]:.1f}x time) at "
-            f"n={last_speedup[0]} (paper: 2 -> 42 I/O, 2.0 -> 4.9 time).")
+            f"n={last_speedup[0]} (paper: 2 -> 42 I/O, 2.0 -> 4.9 time)."
+        )
     result.note(f"T-index fixed level tuned to {level}.")
     return result
 
@@ -416,8 +565,9 @@ def fig14_scaleup(scale_name: Optional[str] = None,
 # ----------------------------------------------------------------------
 # Figure 15 -- data-space granularity (minstep)
 # ----------------------------------------------------------------------
-def fig15_granularity(scale_name: Optional[str] = None,
-                      seed: int = 0) -> ExperimentResult:
+def fig15_granularity(
+    scale_name: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
     """RI-tree response time on restricted D3 databases."""
     scale = get_scale(scale_name)
     n = scale["fig15_n"]
@@ -426,53 +576,67 @@ def fig15_granularity(scale_name: Optional[str] = None,
         experiment_id="fig15",
         title=f"RI-tree on restricted D3({n}) databases by minimum length",
         paper_reference="Figure 15, Section 6.3",
-        columns=["min length", "selectivity [%]", "physical I/O",
-                 "time [ms]", "avg results", "minstep", "height"],
+        columns=[
+            "min length",
+            "selectivity [%]",
+            "physical I/O",
+            "time [ms]",
+            "avg results",
+            "minstep",
+            "height",
+        ],
     )
     for min_len, max_len in ranges:
-        workload = distributions.d3_restricted(n, min_len, max_len,
-                                               seed=seed)
+        workload = distributions.d3_restricted(n, min_len, max_len, seed=seed)
         tree = build_method(ritree_factory, workload.records)
         for selectivity in scale["fig15_selectivities"]:
             query_batch = query_gen.range_queries(
-                workload, selectivity, scale["fig15_queries"], seed=seed + 5)
+                workload, selectivity, scale["fig15_queries"], seed=seed + 5
+            )
             batch = run_query_batch(tree, query_batch)
-            result.add_row(**{
-                "min length": min_len,
-                "selectivity [%]": round(selectivity * 100, 2),
-                "physical I/O": round(batch.physical_io_per_query, 1),
-                "time [ms]": round(batch.response_time_per_query * 1000, 2),
-                "avg results": round(batch.results_per_query, 1),
-                "minstep": tree.backbone.minstep,
-                "height": tree.backbone.height(),
-            })
-    result.note("Larger minimum interval lengths raise minstep, so query "
-                "walks prune earlier; response time should stay nearly "
-                "flat across the x-axis and be dominated by the result "
-                "count (paper: 'almost independent of the minimum length').")
+            result.add_row(
+                **{
+                    "min length": min_len,
+                    "selectivity [%]": round(selectivity * 100, 2),
+                    "physical I/O": round(batch.physical_io_per_query, 1),
+                    "time [ms]": round(batch.response_time_per_query * 1000, 2),
+                    "avg results": round(batch.results_per_query, 1),
+                    "minstep": tree.backbone.minstep,
+                    "height": tree.backbone.height(),
+                }
+            )
+    result.note(
+        "Larger minimum interval lengths raise minstep, so query "
+        "walks prune earlier; response time should stay nearly "
+        "flat across the x-axis and be dominated by the result "
+        "count (paper: 'almost independent of the minimum length')."
+    )
     return result
 
 
 # ----------------------------------------------------------------------
 # Figure 16 -- mean interval duration
 # ----------------------------------------------------------------------
-def fig16_duration(scale_name: Optional[str] = None,
-                   seed: int = 0) -> ExperimentResult:
+def fig16_duration(scale_name: Optional[str] = None, seed: int = 0) -> ExperimentResult:
     """Response time vs mean interval duration on D4(n, *)."""
     scale = get_scale(scale_name)
     n = scale["fig16_n"]
     result = ExperimentResult(
         experiment_id="fig16",
-        title=f"Range queries on D4({n},*), selectivity 1.0%, by mean "
-              "duration",
+        title=f"Range queries on D4({n},*), selectivity 1.0%, by mean duration",
         paper_reference="Figure 16, Section 6.3",
-        columns=["mean duration", "method", "physical I/O", "time [ms]",
-                 "avg results", "T-index redundancy"],
+        columns=[
+            "mean duration",
+            "method",
+            "physical I/O",
+            "time [ms]",
+            "avg results",
+            "T-index redundancy",
+        ],
     )
     for mean in scale["fig16_means"]:
         workload = distributions.d4(n, mean, seed=seed)
-        level = tuned_level_for(workload, scale, selectivity=0.01,
-                                seed=seed + 13)
+        level = tuned_level_for(workload, scale, selectivity=0.01, seed=seed + 13)
         tindex = build_method(tindex_factory(level), workload.records)
         methods = {
             "IST": build_method(ist_factory, workload.records),
@@ -480,30 +644,36 @@ def fig16_duration(scale_name: Optional[str] = None,
             "RI-tree": build_method(ritree_factory, workload.records),
         }
         query_batch = query_gen.range_queries(
-            workload, 0.01, scale["fig16_queries"], seed=seed + 5)
+            workload, 0.01, scale["fig16_queries"], seed=seed + 5
+        )
         for label, method in methods.items():
             batch = run_query_batch(method, query_batch)
-            result.add_row(**{
-                "mean duration": mean, "method": label,
-                "physical I/O": round(batch.physical_io_per_query, 1),
-                "time [ms]": round(batch.response_time_per_query * 1000, 2),
-                "avg results": round(batch.results_per_query, 1),
-                "T-index redundancy": (round(tindex.redundancy, 2)
-                                       if label == "T-index" else ""),
-            })
-    result.note("The T-index is re-tuned per mean duration (its optimum "
-                "level shifts with interval length); its redundancy should "
-                "fall toward 1 as durations approach 0 while the RI-tree "
-                "stays at 2 entries/interval and remains at least as fast "
-                "even for pure point databases (paper: 'slightly better').")
+            result.add_row(
+                **{
+                    "mean duration": mean,
+                    "method": label,
+                    "physical I/O": round(batch.physical_io_per_query, 1),
+                    "time [ms]": round(batch.response_time_per_query * 1000, 2),
+                    "avg results": round(batch.results_per_query, 1),
+                    "T-index redundancy": (
+                        round(tindex.redundancy, 2) if label == "T-index" else ""
+                    ),
+                }
+            )
+    result.note(
+        "The T-index is re-tuned per mean duration (its optimum "
+        "level shifts with interval length); its redundancy should "
+        "fall toward 1 as durations approach 0 while the RI-tree "
+        "stays at 2 entries/interval and remains at least as fast "
+        "even for pure point databases (paper: 'slightly better')."
+    )
     return result
 
 
 # ----------------------------------------------------------------------
 # Figure 17 -- sweeping point query
 # ----------------------------------------------------------------------
-def fig17_sweep(scale_name: Optional[str] = None,
-                seed: int = 0) -> ExperimentResult:
+def fig17_sweep(scale_name: Optional[str] = None, seed: int = 0) -> ExperimentResult:
     """Point-query position sweep on D2: the IST degeneration."""
     scale = get_scale(scale_name)
     n = scale["fig17_n"]
@@ -512,9 +682,11 @@ def fig17_sweep(scale_name: Optional[str] = None,
     # swept region (the paper tunes per distribution and workload).
     sample_size = min(scale["tune_sample"], len(workload.records))
     tuning_points = query_gen.sweeping_point_queries(
-        [d + 331 for d in scale["fig17_distances"]])
-    level = tune_fixed_level(workload.records[:sample_size], tuning_points,
-                             levels=scale["tune_levels"])
+        [d + 331 for d in scale["fig17_distances"]]
+    )
+    level = tune_fixed_level(
+        workload.records[:sample_size], tuning_points, levels=scale["tune_levels"]
+    )
     methods = {
         "IST": build_method(ist_factory, workload.records),
         "T-index": build_method(tindex_factory(level), workload.records),
@@ -524,28 +696,39 @@ def fig17_sweep(scale_name: Optional[str] = None,
         experiment_id="fig17",
         title=f"Sweeping point query on D2({n},2k)",
         paper_reference="Figure 17, Section 6.3",
-        columns=["distance to upper bound", "method", "physical I/O",
-                 "time [ms]", "avg results"],
+        columns=[
+            "distance to upper bound",
+            "method",
+            "physical I/O",
+            "time [ms]",
+            "avg results",
+        ],
     )
     rng_offsets = list(range(scale["fig17_queries"]))
     for distance in scale["fig17_distances"]:
         base = distributions.DOMAIN_MAX - distance
         # A small cluster of nearby points per distance, averaged.
-        query_batch = [(max(0, base - 31 * k), max(0, base - 31 * k))
-                       for k in rng_offsets]
+        query_batch = [
+            (max(0, base - 31 * k), max(0, base - 31 * k)) for k in rng_offsets
+        ]
         for label, method in methods.items():
             batch = run_query_batch(method, query_batch)
-            result.add_row(**{
-                "distance to upper bound": distance, "method": label,
-                "physical I/O": round(batch.physical_io_per_query, 1),
-                "time [ms]": round(batch.response_time_per_query * 1000, 2),
-                "avg results": round(batch.results_per_query, 1),
-            })
-    result.note("The IST (D-order: index on (upper, lower)) must scan every "
-                "entry with upper >= query point, so its cost grows "
-                "linearly with the distance from the data space's upper "
-                "bound; RI-tree and T-index stay flat, with the RI-tree "
-                "slightly ahead (paper Figure 17).")
+            result.add_row(
+                **{
+                    "distance to upper bound": distance,
+                    "method": label,
+                    "physical I/O": round(batch.physical_io_per_query, 1),
+                    "time [ms]": round(batch.response_time_per_query * 1000, 2),
+                    "avg results": round(batch.results_per_query, 1),
+                }
+            )
+    result.note(
+        "The IST (D-order: index on (upper, lower)) must scan every "
+        "entry with upper >= query point, so its cost grows "
+        "linearly with the distance from the data space's upper "
+        "bound; RI-tree and T-index stay flat, with the RI-tree "
+        "slightly ahead (paper Figure 17)."
+    )
     result.note(f"T-index fixed level tuned to {level}.")
     return result
 
@@ -553,8 +736,9 @@ def fig17_sweep(scale_name: Optional[str] = None,
 # ----------------------------------------------------------------------
 # Ablations (design choices called out in DESIGN.md)
 # ----------------------------------------------------------------------
-def ablation_query_forms(scale_name: Optional[str] = None,
-                         seed: int = 0) -> ExperimentResult:
+def ablation_query_forms(
+    scale_name: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
     """A1: Figure 9 two-branch UNION ALL vs Figure 8 three-branch OR.
 
     Runs on sqlite3, where both literal statements execute unchanged.
@@ -564,9 +748,9 @@ def ablation_query_forms(scale_name: Optional[str] = None,
     workload = distributions.d1(n, 2000, seed=seed)
     tree = SQLRITree()
     tree.bulk_load(workload.records)
-    query_batch = query_gen.range_queries(workload, 0.01,
-                                          scale["ablation_queries"],
-                                          seed=seed + 1)
+    query_batch = query_gen.range_queries(
+        workload, 0.01, scale["ablation_queries"], seed=seed + 1
+    )
     result = ExperimentResult(
         experiment_id="ablation-A1",
         title=f"Query formulations on sqlite3, D1({n},2k), 1% selectivity",
@@ -574,26 +758,32 @@ def ablation_query_forms(scale_name: Optional[str] = None,
         columns=["query form", "time [ms]", "avg results"],
     )
     for label, runner in (
-            ("Figure 9 (UNION ALL, folded BETWEEN)", tree.intersection),
-            ("Figure 8 (3-branch OR)", tree.intersection_preliminary)):
+        ("Figure 9 (UNION ALL, folded BETWEEN)", tree.intersection),
+        ("Figure 8 (3-branch OR)", tree.intersection_preliminary),
+    ):
         started = time.perf_counter()
         total = 0
         for lower, upper in query_batch:
             total += len(runner(lower, upper))
         elapsed = time.perf_counter() - started
-        result.add_row(**{
-            "query form": label,
-            "time [ms]": round(elapsed / len(query_batch) * 1000, 3),
-            "avg results": round(total / len(query_batch), 1),
-        })
-    result.note("Both forms return identical results; the two-branch form "
-                "lets the optimizer drive each branch from the matching "
-                "composite index (paper Section 4.3).")
+        result.add_row(
+            **{
+                "query form": label,
+                "time [ms]": round(elapsed / len(query_batch) * 1000, 3),
+                "avg results": round(total / len(query_batch), 1),
+            }
+        )
+    result.note(
+        "Both forms return identical results; the two-branch form "
+        "lets the optimizer drive each branch from the matching "
+        "composite index (paper Section 4.3)."
+    )
     return result
 
 
-def ablation_expansion(scale_name: Optional[str] = None,
-                       seed: int = 0) -> ExperimentResult:
+def ablation_expansion(
+    scale_name: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
     """A2: dynamic root/offset adaptation vs fixed-height backbones.
 
     Data occupies a narrow band far from the origin, the situation the
@@ -603,12 +793,14 @@ def ablation_expansion(scale_name: Optional[str] = None,
     n = scale["ablation_n"]
     rng_workload = distributions.d1(n, 200, seed=seed)
     # Compress starts into [900000, 916384): 2^14 wide, far from 0.
-    records = [(900_000 + (lower % 16_384),
-                900_000 + (lower % 16_384) + (upper - lower), i)
-               for i, (lower, upper, _) in enumerate(rng_workload.records)]
-    query_batch = [(900_000 + (13 * k) % 16_384,
-                    900_000 + (13 * k) % 16_384 + 3000)
-                   for k in range(scale["ablation_queries"])]
+    records = [
+        (900_000 + (lower % 16_384), 900_000 + (lower % 16_384) + (upper - lower), i)
+        for i, (lower, upper, _) in enumerate(rng_workload.records)
+    ]
+    query_batch = [
+        (900_000 + (13 * k) % 16_384, 900_000 + (13 * k) % 16_384 + 3000)
+        for k in range(scale["ablation_queries"])
+    ]
     variants = [
         ("adaptive (Section 3.4)", VirtualBackbone()),
         ("fixed height 20", FixedHeightBackbone(20)),
@@ -616,73 +808,93 @@ def ablation_expansion(scale_name: Optional[str] = None,
     ]
     result = ExperimentResult(
         experiment_id="ablation-A2",
-        title=f"Backbone expansion strategies, {n} intervals in a narrow "
-              "band at 900k",
+        title=f"Backbone expansion strategies, {n} intervals in a narrow band at 900k",
         paper_reference="Sections 3.3-3.5",
-        columns=["backbone", "height", "avg transient entries",
-                 "physical I/O", "time [ms]"],
+        columns=[
+            "backbone", "height", "avg transient entries", "physical I/O", "time [ms]"
+        ],
     )
     for label, backbone in variants:
         db = paper_database()
         tree = RITree(db, backbone=backbone)
         tree.bulk_load(records)
         db.flush()
-        entries = sum(tree.query_nodes(lo, up).total_entries
-                      for lo, up in query_batch) / len(query_batch)
+        entries = (
+            sum(tree.query_nodes(lo, up).total_entries for lo, up in query_batch)
+            / len(query_batch)
+        )
         batch = run_query_batch(tree, query_batch)
-        result.add_row(**{
-            "backbone": label, "height": tree.backbone.height(),
-            "avg transient entries": round(entries, 1),
-            "physical I/O": round(batch.physical_io_per_query, 1),
-            "time [ms]": round(batch.response_time_per_query * 1000, 2),
-        })
-    result.note("The adaptive backbone shifts the band to the origin and "
-                "sizes the root to the occupied range; fixed backbones pay "
-                "one extra transient entry (and index probe) per wasted "
-                "level.")
+        result.add_row(
+            **{
+                "backbone": label,
+                "height": tree.backbone.height(),
+                "avg transient entries": round(entries, 1),
+                "physical I/O": round(batch.physical_io_per_query, 1),
+                "time [ms]": round(batch.response_time_per_query * 1000, 2),
+            }
+        )
+    result.note(
+        "The adaptive backbone shifts the band to the origin and "
+        "sizes the root to the occupied range; fixed backbones pay "
+        "one extra transient entry (and index probe) per wasted "
+        "level."
+    )
     return result
 
 
-def ablation_minstep(scale_name: Optional[str] = None,
-                     seed: int = 0) -> ExperimentResult:
+def ablation_minstep(
+    scale_name: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
     """A3: the minstep pruning lemma on vs off (Section 3.4)."""
     scale = get_scale(scale_name)
     n = scale["ablation_n"]
     workload = distributions.d3_restricted(n, 1500, 2500, seed=seed)
-    query_batch = query_gen.range_queries(workload, 0.005,
-                                          scale["ablation_queries"],
-                                          seed=seed + 1)
+    query_batch = query_gen.range_queries(
+        workload, 0.005, scale["ablation_queries"], seed=seed + 1
+    )
     result = ExperimentResult(
         experiment_id="ablation-A3",
         title=f"minstep pruning on D3({n},[1500,2500]) (min length 1500)",
         paper_reference="Section 3.4 (Lemma) and Figure 15",
-        columns=["minstep pruning", "minstep", "avg transient entries",
-                 "physical I/O", "time [ms]"],
+        columns=[
+            "minstep pruning",
+            "minstep",
+            "avg transient entries",
+            "physical I/O",
+            "time [ms]",
+        ],
     )
     for use_minstep in (True, False):
         db = paper_database()
         tree = RITree(db, backbone=VirtualBackbone(use_minstep=use_minstep))
         tree.bulk_load(workload.records)
         db.flush()
-        entries = sum(tree.query_nodes(lo, up).total_entries
-                      for lo, up in query_batch) / len(query_batch)
+        entries = (
+            sum(tree.query_nodes(lo, up).total_entries for lo, up in query_batch)
+            / len(query_batch)
+        )
         batch = run_query_batch(tree, query_batch)
-        result.add_row(**{
-            "minstep pruning": "on" if use_minstep else "off",
-            "minstep": tree.backbone.minstep,
-            "avg transient entries": round(entries, 1),
-            "physical I/O": round(batch.physical_io_per_query, 1),
-            "time [ms]": round(batch.response_time_per_query * 1000, 2),
-        })
-    result.note("With all intervals at least 1500 long, nothing registers "
-                "below level ~10, so pruned walks stop ~10 levels early; "
-                "disabling the lemma pays two index probes per skipped "
-                "level per query.")
+        result.add_row(
+            **{
+                "minstep pruning": "on" if use_minstep else "off",
+                "minstep": tree.backbone.minstep,
+                "avg transient entries": round(entries, 1),
+                "physical I/O": round(batch.physical_io_per_query, 1),
+                "time [ms]": round(batch.response_time_per_query * 1000, 2),
+            }
+        )
+    result.note(
+        "With all intervals at least 1500 long, nothing registers "
+        "below level ~10, so pruned walks stop ~10 levels early; "
+        "disabling the lemma pays two index probes per skipped "
+        "level per query."
+    )
     return result
 
 
-def ablation_temporal(scale_name: Optional[str] = None,
-                      seed: int = 0) -> ExperimentResult:
+def ablation_temporal(
+    scale_name: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
     """A4: reserved fork nodes for infinity vs the naive MAXINT tree.
 
     Section 4.6's first attempt "set the fork node of an infinite interval
@@ -692,17 +904,18 @@ def ablation_temporal(scale_name: Optional[str] = None,
     scale = get_scale(scale_name)
     n = scale["ablation_n"]
     workload = distributions.d2(n, 2000, seed=seed)
-    infinite_lowers = [lower for lower, _, __ in workload.records[:n // 10]]
-    query_batch = query_gen.range_queries(workload, 0.005,
-                                          scale["ablation_queries"],
-                                          seed=seed + 1)
+    infinite_lowers = [lower for lower, _, __ in workload.records[: n // 10]]
+    query_batch = query_gen.range_queries(
+        workload, 0.005, scale["ablation_queries"], seed=seed + 1
+    )
     result = ExperimentResult(
         experiment_id="ablation-A4",
         title=f"Infinite intervals: reserved fork node vs naive MAXINT "
-              f"({n} finite + {n // 10} infinite)",
+        f"({n} finite + {n // 10} infinite)",
         paper_reference="Section 4.6",
-        columns=["strategy", "height", "avg transient entries",
-                 "physical I/O", "time [ms]"],
+        columns=[
+            "strategy", "height", "avg transient entries", "physical I/O", "time [ms]"
+        ],
     )
     # Strategy 1: Section 4.6's reserved fork node.
     reserved = TemporalRITree(paper_database())
@@ -712,29 +925,40 @@ def ablation_temporal(scale_name: Optional[str] = None,
     reserved.db.flush()
     # Strategy 2: naive registration with a huge upper bound.
     naive = RITree(paper_database())
-    naive.bulk_load(workload.records
-                    + [(lower, 2 ** 40, n + k)
-                       for k, lower in enumerate(infinite_lowers)])
+    naive.bulk_load(
+        workload.records
+        + [(lower, 2**40, n + k) for k, lower in enumerate(infinite_lowers)]
+    )
     naive.db.flush()
-    for label, tree in (("reserved fork node (Section 4.6)", reserved),
-                        ("naive MAXINT-high tree", naive)):
-        entries = sum(tree.query_nodes(lo, up).total_entries
-                      for lo, up in query_batch) / len(query_batch)
+    for label, tree in (
+        ("reserved fork node (Section 4.6)", reserved),
+        ("naive MAXINT-high tree", naive),
+    ):
+        entries = (
+            sum(tree.query_nodes(lo, up).total_entries for lo, up in query_batch)
+            / len(query_batch)
+        )
         batch = run_query_batch(tree, query_batch)
-        result.add_row(**{
-            "strategy": label, "height": tree.backbone.height(),
-            "avg transient entries": round(entries, 1),
-            "physical I/O": round(batch.physical_io_per_query, 1),
-            "time [ms]": round(batch.response_time_per_query * 1000, 2),
-        })
-    result.note("Results agree between strategies; the naive tree's root "
-                "doubles out to 2^40, inflating every query walk, while "
-                "the reserved node adds exactly one rightNodes entry.")
+        result.add_row(
+            **{
+                "strategy": label,
+                "height": tree.backbone.height(),
+                "avg transient entries": round(entries, 1),
+                "physical I/O": round(batch.physical_io_per_query, 1),
+                "time [ms]": round(batch.response_time_per_query * 1000, 2),
+            }
+        )
+    result.note(
+        "Results agree between strategies; the naive tree's root "
+        "doubles out to 2^40, inflating every query walk, while "
+        "the reserved node adds exactly one rightNodes entry."
+    )
     return result
 
 
-def dynamic_environment(scale_name: Optional[str] = None,
-                        seed: int = 0) -> ExperimentResult:
+def dynamic_environment(
+    scale_name: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
     """Section 6.3's unplotted claim: bulk-load clustering vs dynamic builds.
 
     "The fast response times of T-index and IST ... are caused by the good
@@ -748,16 +972,14 @@ def dynamic_environment(scale_name: Optional[str] = None,
     workload = distributions.d1(n, 2000, seed=seed)
     shuffled = list(workload.records)
     random.Random(seed + 1).shuffle(shuffled)
-    query_batch = query_gen.range_queries(workload, 0.005,
-                                          scale["ablation_queries"],
-                                          seed=seed + 2)
+    query_batch = query_gen.range_queries(
+        workload, 0.005, scale["ablation_queries"], seed=seed + 2
+    )
     result = ExperimentResult(
         experiment_id="dynamic",
-        title=f"Bulk-loaded vs dynamically built indexes, D1({n},2k), "
-              "0.5% queries",
+        title=f"Bulk-loaded vs dynamically built indexes, D1({n},2k), 0.5% queries",
         paper_reference="Section 6.3 (clustering remark)",
-        columns=["method", "build", "physical I/O", "time [ms]",
-                 "avg results"],
+        columns=["method", "build", "physical I/O", "time [ms]", "avg results"],
     )
     factories = {
         "RI-tree": ritree_factory,
@@ -769,25 +991,32 @@ def dynamic_environment(scale_name: Optional[str] = None,
         for build, bulk in (("bulk", True), ("dynamic", False)):
             method = build_method(factory, shuffled, bulk=bulk)
             batch = run_query_batch(method, query_batch)
-            result.add_row(**{
-                "method": label, "build": build,
-                "physical I/O": round(batch.physical_io_per_query, 1),
-                "time [ms]": round(batch.response_time_per_query * 1000, 2),
-                "avg results": round(batch.results_per_query, 1),
-            })
+            result.add_row(
+                **{
+                    "method": label,
+                    "build": build,
+                    "physical I/O": round(batch.physical_io_per_query, 1),
+                    "time [ms]": round(batch.response_time_per_query * 1000, 2),
+                    "avg results": round(batch.results_per_query, 1),
+                }
+            )
             pair = deterioration.setdefault(label, [0.0, 0.0])
             pair[0 if bulk else 1] = batch.physical_io_per_query
     for label, (bulk_io, dynamic_io) in deterioration.items():
         if bulk_io > 0:
-            result.note(f"{label}: dynamic build costs "
-                        f"{dynamic_io / bulk_io:.2f}x the bulk-loaded I/O.")
-    result.note("Both competitors deteriorate more than the RI-tree, as "
-                "the paper predicts.  The IST suffers most here: its "
-                "tail scan touches a constant fraction of the index, so "
-                "the lower dynamic fill factor pushes it past the buffer "
-                "cache.  The T-index additionally loses heap/tile "
-                "correlation for its secondary-filter fetches.  The "
-                "RI-tree's short index-only probes barely notice.")
+            result.note(
+                f"{label}: dynamic build costs "
+                f"{dynamic_io / bulk_io:.2f}x the bulk-loaded I/O."
+            )
+    result.note(
+        "Both competitors deteriorate more than the RI-tree, as "
+        "the paper predicts.  The IST suffers most here: its "
+        "tail scan touches a constant fraction of the index, so "
+        "the lower dynamic fill factor pushes it past the buffer "
+        "cache.  The T-index additionally loses heap/tile "
+        "correlation for its secondary-filter fetches.  The "
+        "RI-tree's short index-only probes barely notice."
+    )
     return result
 
 

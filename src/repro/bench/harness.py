@@ -32,13 +32,14 @@ PAPER_CACHE_BLOCKS = 200
 
 def paper_database() -> Database:
     """A fresh engine instance with the paper's block/cache geometry."""
-    return Database(block_size=PAPER_BLOCK_SIZE,
-                    cache_blocks=PAPER_CACHE_BLOCKS)
+    return Database(block_size=PAPER_BLOCK_SIZE, cache_blocks=PAPER_CACHE_BLOCKS)
 
 
-def build_method(factory: Callable[[Database], AccessMethod],
-                 records: Sequence[IntervalRecord],
-                 bulk: bool = True) -> AccessMethod:
+def build_method(
+    factory: Callable[[Database], AccessMethod],
+    records: Sequence[IntervalRecord],
+    bulk: bool = True,
+) -> AccessMethod:
     """Create a method on a fresh paper-geometry database and load it."""
     method = factory(paper_database())
     if bulk:
@@ -74,9 +75,9 @@ class BatchResult:
         }
 
 
-def run_query_batch(method: AccessMethod,
-                    queries: Sequence[QueryInterval],
-                    cold_start: bool = True) -> BatchResult:
+def run_query_batch(
+    method: AccessMethod, queries: Sequence[QueryInterval], cold_start: bool = True
+) -> BatchResult:
     """Run ``queries`` against ``method`` and aggregate the measurements.
 
     Queries go through :meth:`~repro.core.access.AccessMethod.intersection_count`,
@@ -150,8 +151,8 @@ class JoinBatchResult:
             row["predicate"] = self.predicate
         if self.decision is not None:
             chosen = self.decision[
-                "index" if self.decision["choice"] == "index-nested-loop"
-                else "sweep"]
+                "index" if self.decision["choice"] == "index-nested-loop" else "sweep"
+            ]
             row["planner choice"] = self.decision["choice"]
             row["dispatched"] = self.dispatch
             row["predicted pairs"] = self.decision["result_count"]
@@ -159,14 +160,16 @@ class JoinBatchResult:
         return row
 
 
-def run_join_batch(method: IntervalStore | str,
-                   probes: Sequence[IntervalRecord],
-                   cold_start: bool = True,
-                   count_only: bool = True,
-                   plan: bool = False,
-                   predicate=None,
-                   inner: Optional[Sequence[IntervalRecord]] = None,
-                   store_opts: Optional[dict] = None) -> JoinBatchResult:
+def run_join_batch(
+    method: IntervalStore | str,
+    probes: Sequence[IntervalRecord],
+    cold_start: bool = True,
+    count_only: bool = True,
+    plan: bool = False,
+    predicate=None,
+    inner: Optional[Sequence[IntervalRecord]] = None,
+    store_opts: Optional[dict] = None,
+) -> JoinBatchResult:
     """Join ``probes`` against ``method``'s stored intervals, measured.
 
     The index join as the harness sees it: the store holds the inner
@@ -207,7 +210,8 @@ def run_join_batch(method: IntervalStore | str,
     elif inner is not None:
         raise ValueError(
             "inner= loads a backend constructed by name; this store is "
-            "already built")
+            "already built"
+        )
     pred = resolve_join_predicate(predicate)
     decision = None
     if plan:
@@ -268,8 +272,11 @@ class ExperimentResult:
 
     def to_markdown(self) -> str:
         """Render rows as a GitHub-style markdown table."""
-        lines = [f"### {self.experiment_id}: {self.title}",
-                 f"*Paper reference: {self.paper_reference}*", ""]
+        lines = [
+            f"### {self.experiment_id}: {self.title}",
+            f"*Paper reference: {self.paper_reference}*",
+            "",
+        ]
         header = " | ".join(str(c) for c in self.columns)
         separator = " | ".join("---" for _ in self.columns)
         lines.append(f"| {header} |")
@@ -286,11 +293,13 @@ class ExperimentResult:
         print(self.to_markdown())
         print()
 
-    def series(self, x_column: str, y_column: str,
-               label_column: str = "method") -> dict[str, list[tuple]]:
+    def series(
+        self, x_column: str, y_column: str, label_column: str = "method"
+    ) -> dict[str, list[tuple]]:
         """Group rows into figure series: label -> [(x, y), ...]."""
         out: dict[str, list[tuple]] = {}
         for row in self.rows:
             out.setdefault(str(row[label_column]), []).append(
-                (row[x_column], row[y_column]))
+                (row[x_column], row[y_column])
+            )
         return out

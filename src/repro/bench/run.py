@@ -24,17 +24,19 @@ from .experiments import ALL_EXPERIMENTS, SCALES
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.bench.run``."""
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's evaluation tables/figures.")
-    parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (default: all)")
-    parser.add_argument("--scale", choices=sorted(SCALES),
-                        default=None,
-                        help="size preset (default: REPRO_BENCH_SCALE or "
-                             "'small')")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="workload seed (default 0)")
-    parser.add_argument("--list", action="store_true",
-                        help="list experiment ids and exit")
+        description="Regenerate the paper's evaluation tables/figures."
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="size preset (default: REPRO_BENCH_SCALE or 'small')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
     args = parser.parse_args(argv)
 
     if args.list:

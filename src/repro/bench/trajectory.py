@@ -60,6 +60,7 @@ def metric_rule(name: str) -> str:
         return INFO
     return EXACT
 
+
 #: Tolerance for AT_LEAST comparisons (floating-point guard only).
 AT_LEAST_SLACK = 1e-9
 
@@ -70,8 +71,7 @@ def _scan_throughput_metrics(report: dict) -> dict:
         "results_total": sum(r["results_total"] for r in count_rows),
         "logical_reads": sum(r["logical_reads"] for r in count_rows),
         "physical_reads": sum(r["physical_reads"] for r in count_rows),
-        "worst_ops_ratio": round(
-            report["summary"]["ritree_worst_ops_ratio"], 3),
+        "worst_ops_ratio": round(report["summary"]["ritree_worst_ops_ratio"], 3),
     }
 
 
@@ -114,10 +114,11 @@ def _predicate_join_metrics(report: dict) -> dict:
 def _join_crossover_metrics(report: dict) -> dict:
     summary = report["summary"]
     measured_index = sum(
-        r["measured"]["index-nested-loop"]["physical_reads"]
-        for r in report["rows"])
+        r["measured"]["index-nested-loop"]["physical_reads"] for r in report["rows"]
+    )
     measured_sweep = sum(
-        r["measured"]["sweep"]["physical_reads"] for r in report["rows"])
+        r["measured"]["sweep"]["physical_reads"] for r in report["rows"]
+    )
     return {
         "grid_points": summary["grid_points"],
         "correct_choices": summary["correct_choices"],
@@ -134,8 +135,7 @@ def _hint_metrics(report: dict) -> dict:
         "parity_queries": summary["parity_queries"],
         "pairs": summary["pairs"],
         "worst_ops_ratio": round(summary["worst_ops_ratio"], 3),
-        "count_worst_ops_ratio": round(
-            summary["count_worst_ops_ratio"], 3),
+        "count_worst_ops_ratio": round(summary["count_worst_ops_ratio"], 3),
     }
 
 
@@ -174,6 +174,29 @@ def _service_metrics(report: dict) -> dict:
     return metrics
 
 
+def _ingest_metrics(report: dict) -> dict:
+    summary = report["summary"]
+    return {
+        # Deterministic: seeded streams, counted flushes/closes, crash
+        # points from the injector's write-point axis.
+        "parity_ok": int(summary["parity_ok"]),
+        "parity_checks": summary["parity_checks"],
+        "records": summary["records"],
+        "flushes": summary["flushes"],
+        "closes": summary["closes"],
+        "checkpoints": summary["checkpoints"],
+        "wal_force_batches": summary["wal_force_batches"],
+        "wal_force_per_batch_ok": int(summary["wal_force_per_batch_ok"]),
+        "crash_points": summary["crash_points"],
+        "recovered_clean": summary["recovered_clean"],
+        "all_recovered": int(summary["all_recovered"]),
+        "serving_parity_ok": int(summary["serving_parity_ok"]),
+        # Wall-clock observations (INFO rule: recorded, never diffed).
+        "ingest_ops_s": round(summary["ingest_ops_s"], 1),
+        "reader_ops_s": round(summary["reader_ops_s"], 1),
+    }
+
+
 #: Benchmark name -> metrics extractor over its JSON report.
 BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "scan-throughput": _scan_throughput_metrics,
@@ -184,6 +207,7 @@ BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "recovery": _recovery_metrics,
     "hint": _hint_metrics,
     "service": _service_metrics,
+    "ingest": _ingest_metrics,
 }
 
 
@@ -199,27 +223,29 @@ def extract_metrics(bench: str, report: dict) -> dict:
     return extractor(report)
 
 
-def merge_reports(named_reports: dict[str, dict],
-                  git_sha: str = "unknown") -> dict:
+def merge_reports(named_reports: dict[str, dict], git_sha: str = "unknown") -> dict:
     """Merge benchmark reports into the BENCH_PR row schema."""
     rows = []
     for bench, report in sorted(named_reports.items()):
-        rows.append({
-            "bench": bench,
-            "scale": report.get("scale", "unknown"),
-            "metrics": extract_metrics(bench, report),
-            "git_sha": git_sha,
-        })
-    return {"schema": "bench-trajectory/v1", "git_sha": git_sha,
-            "rows": rows}
+        rows.append(
+            {
+                "bench": bench,
+                "scale": report.get("scale", "unknown"),
+                "metrics": extract_metrics(bench, report),
+                "git_sha": git_sha,
+            }
+        )
+    return {"schema": "bench-trajectory/v1", "git_sha": git_sha, "rows": rows}
 
 
 def strip_baseline(merged: dict) -> dict:
     """The committable form of a merged report: rows minus the sha."""
     return {
         "schema": merged["schema"],
-        "rows": [{"bench": r["bench"], "scale": r["scale"],
-                  "metrics": r["metrics"]} for r in merged["rows"]],
+        "rows": [
+            {"bench": r["bench"], "scale": r["scale"], "metrics": r["metrics"]}
+            for r in merged["rows"]
+        ],
     }
 
 
@@ -235,28 +261,47 @@ def compare_to_baseline(merged: dict, baseline: dict) -> list[dict]:
     matching merged row means a benchmark vanished from the pipeline
     (dropped report, renamed bench), which must not pass silently.
     """
-    base_rows = {(r["bench"], r["scale"]): r["metrics"]
-                 for r in baseline.get("rows", [])}
+    base_rows = {
+        (r["bench"], r["scale"]): r["metrics"] for r in baseline.get("rows", [])
+    }
     merged_keys = {(r["bench"], r["scale"]) for r in merged["rows"]}
     deltas: list[dict] = []
     for (bench, scale), metrics in base_rows.items():
         if (bench, scale) not in merged_keys:
-            deltas.append({"bench": bench, "scale": scale, "metric": "*",
-                           "baseline": len(metrics), "current": None,
-                           "status": "missing"})
+            deltas.append(
+                {
+                    "bench": bench,
+                    "scale": scale,
+                    "metric": "*",
+                    "baseline": len(metrics),
+                    "current": None,
+                    "status": "missing",
+                }
+            )
     for row in merged["rows"]:
         key = (row["bench"], row["scale"])
         base_metrics = base_rows.get(key)
         if base_metrics is None:
-            deltas.append({"bench": row["bench"], "scale": row["scale"],
-                           "metric": "*", "baseline": None,
-                           "current": None, "status": "new"})
+            deltas.append(
+                {
+                    "bench": row["bench"],
+                    "scale": row["scale"],
+                    "metric": "*",
+                    "baseline": None,
+                    "current": None,
+                    "status": "new",
+                }
+            )
             continue
         for metric, current in sorted(row["metrics"].items()):
             recorded = base_metrics.get(metric)
-            entry = {"bench": row["bench"], "scale": row["scale"],
-                     "metric": metric, "baseline": recorded,
-                     "current": current}
+            entry = {
+                "bench": row["bench"],
+                "scale": row["scale"],
+                "metric": metric,
+                "baseline": recorded,
+                "current": current,
+            }
             rule = metric_rule(metric)
             if recorded is None:
                 entry["status"] = "new"
@@ -264,17 +309,22 @@ def compare_to_baseline(merged: dict, baseline: dict) -> list[dict]:
                 entry["status"] = "ok"
             elif rule == AT_LEAST:
                 entry["status"] = (
-                    "ok" if current >= recorded - AT_LEAST_SLACK
-                    else "regression")
+                    "ok" if current >= recorded - AT_LEAST_SLACK else "regression"
+                )
             else:
-                entry["status"] = "ok" if current == recorded \
-                    else "regression"
+                entry["status"] = "ok" if current == recorded else "regression"
             deltas.append(entry)
         for metric in sorted(set(base_metrics) - set(row["metrics"])):
-            deltas.append({"bench": row["bench"], "scale": row["scale"],
-                           "metric": metric,
-                           "baseline": base_metrics[metric],
-                           "current": None, "status": "missing"})
+            deltas.append(
+                {
+                    "bench": row["bench"],
+                    "scale": row["scale"],
+                    "metric": metric,
+                    "baseline": base_metrics[metric],
+                    "current": None,
+                    "status": "missing",
+                }
+            )
     return deltas
 
 
@@ -286,17 +336,26 @@ def regressions(deltas: Iterable[dict]) -> list[dict]:
 def render_delta_table(deltas: list[dict]) -> str:
     """Markdown-style delta table, readable straight from the CI log."""
     headers = ["bench", "scale", "metric", "baseline", "current", "status"]
-    body = [[str(d["bench"]), str(d["scale"]), str(d["metric"]),
-             _fmt(d["baseline"]), _fmt(d["current"]), d["status"]]
-            for d in deltas]
-    widths = [max(len(h), *(len(r[i]) for r in body)) if body else len(h)
-              for i, h in enumerate(headers)]
+    body = [
+        [
+            str(d["bench"]),
+            str(d["scale"]),
+            str(d["metric"]),
+            _fmt(d["baseline"]),
+            _fmt(d["current"]),
+            d["status"],
+        ]
+        for d in deltas
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+        for i, h in enumerate(headers)
+    ]
     lines = [
         " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
         " | ".join("-" * w for w in widths),
     ]
-    lines.extend(" | ".join(c.ljust(w) for c, w in zip(row, widths))
-                 for row in body)
+    lines.extend(" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in body)
     return "\n".join(lines)
 
 

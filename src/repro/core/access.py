@@ -107,6 +107,33 @@ class IntervalStore(ABC):
         for lower, upper, interval_id in intervals:
             self.insert(lower, upper, interval_id)
 
+    def append_batch(self, intervals: Sequence[IntervalRecord]) -> None:
+        """Ingest one streaming append batch (opt-in fast path).
+
+        The contract is :meth:`extend` with batch-level atomicity left
+        to the backend: after the call the store holds every record of
+        the batch, with the sentinel uppers
+        :data:`~repro.core.temporal.UPPER_INF` /
+        :data:`~repro.core.temporal.UPPER_NOW` routed through the
+        temporal entry points on backends that have them.  Backends with
+        a cheaper batched write path -- one group commit per batch on
+        the WAL engines, one deferred re-sort per touched partition on
+        the main-memory store, one transaction on sqlite -- override
+        this default insert loop without changing observable query
+        results.  Streaming callers go through
+        :class:`repro.ingest.ingestor.StreamIngestor`, which adds
+        buffering, backpressure and periodic checkpoints on top.
+        """
+        from .temporal import UPPER_INF, UPPER_NOW
+
+        for lower, upper, interval_id in intervals:
+            if upper == UPPER_INF and hasattr(self, "insert_infinite"):
+                self.insert_infinite(lower, interval_id)
+            elif upper == UPPER_NOW and hasattr(self, "insert_until_now"):
+                self.insert_until_now(lower, interval_id)
+            else:
+                self.insert(lower, upper, interval_id)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -156,6 +156,8 @@ class ShardedStore(IntervalStore):
         self._stat_queries = [0] * n
         self._stat_inserts = [0] * n
         self._stat_join_probes = [0] * n
+        self._stat_appends = [0] * n
+        self._stat_append_replicas = [0] * n
         # Optimizer statistics seam (finite bounds only, like HINT's).
         self._backbone = VirtualBackbone()
 
@@ -307,6 +309,70 @@ class ShardedStore(IntervalStore):
                 shard.bulk_load(batch)
         for lower, upper, interval_id in sentinels:
             self.insert(lower, upper, interval_id)
+
+    def append_batch(self, intervals: Sequence[IntervalRecord]) -> None:
+        """Streaming append: one backend ``append_batch`` per touched shard.
+
+        Routing and replica bookkeeping match :meth:`insert` /
+        :meth:`insert_infinite` / :meth:`insert_until_now` exactly; the
+        difference is dispatch shape -- records fan into per-shard
+        batches first, then each shard takes its whole slice of the
+        batch in ONE ``append_batch`` call (one group commit per shard
+        for WAL-backed backends).  Appends are tracked separately from
+        inserts in the routing stats (``appends`` / ``append_replicas``),
+        so the service's ingest traffic is distinguishable from the
+        point-insert path.
+        """
+        batches: list[list[IntervalRecord]] = [[] for _ in self.shards]
+        for lower, upper, interval_id in intervals:
+            if upper == UPPER_INF:
+                self._require_temporal("insert_infinite")
+                validate_interval(lower, lower)
+                home = self._shard_of(lower)
+                for t in range(home, len(self.shards)):
+                    batches[t].append((lower, UPPER_INF, interval_id))
+                    self._stat_appends[t] += 1
+                    if t > home:
+                        self._rep_inf[t][(lower, interval_id)] += 1
+                        self._rep_inf_ids[t][interval_id] += 1
+                        self._rep_inf_n[t] += 1
+                        self._stat_append_replicas[t] += 1
+                self._count += 1
+                self._backbone.register(lower, lower)
+            elif upper == UPPER_NOW:
+                self._require_temporal("insert_until_now")
+                validate_interval(lower, lower)
+                if lower > self._now:
+                    raise ValueError(
+                        f"now-relative interval starts after now={self._now}")
+                home = self._shard_of(lower)
+                for t in range(home, len(self.shards)):
+                    batches[t].append((lower, UPPER_NOW, interval_id))
+                    self._stat_appends[t] += 1
+                    if t > home:
+                        self._rep_now[t][(lower, interval_id)] += 1
+                        self._rep_now_ids[t][interval_id] += 1
+                        self._rep_now_n[t] += 1
+                        self._stat_append_replicas[t] += 1
+                self._count += 1
+                self._backbone.register(lower, lower)
+            else:
+                validate_interval(lower, upper)
+                first = self._shard_of(lower)
+                last = self._shard_of(upper)
+                for t in range(first, last + 1):
+                    batches[t].append((lower, upper, interval_id))
+                    self._stat_appends[t] += 1
+                    if t > first:
+                        self._rep_fin[t][(lower, upper, interval_id)] += 1
+                        self._rep_fin_ids[t][interval_id] += 1
+                        self._rep_fin_n[t] += 1
+                        self._stat_append_replicas[t] += 1
+                self._count += 1
+                self._backbone.register(lower, upper)
+        for shard, batch in zip(self.shards, batches):
+            if batch:
+                shard.append_batch(batch)
 
     # ------------------------------------------------------------------
     # temporal rows (shared clock, replicate-right placement)
@@ -649,6 +715,8 @@ class ShardedStore(IntervalStore):
                     "queries": self._stat_queries[t],
                     "inserts": self._stat_inserts[t],
                     "join_probes": self._stat_join_probes[t],
+                    "appends": self._stat_appends[t],
+                    "append_replicas": self._stat_append_replicas[t],
                 }
                 for t, shard in enumerate(self.shards)
             ],

@@ -208,6 +208,50 @@ class TemporalRITree(RITree):
             self.delete_until_now(lower, interval_id)
             self.insert(lower, upper, interval_id)
 
+    def append_batch(self, intervals) -> None:
+        """Streaming append with sentinel rows folded into the batch.
+
+        As :meth:`RITree.append_batch` -- one ``db.atomic()`` group
+        commit, one ``_log_meta()`` per batch -- with the sentinel
+        uppers :data:`UPPER_INF` / :data:`UPPER_NOW` stored as reserved
+        fork-node rows instead of going through the per-row temporal
+        entry points (which would each log their own meta record).
+        Validation runs before any row is staged, so a rejected record
+        leaves the store untouched.
+        """
+        rows = []
+        inf_delta = now_delta = 0
+        for lower, upper, interval_id in intervals:
+            if upper == UPPER_INF:
+                self._ensure_offset(lower)
+                rows.append((FORK_INF, lower, UPPER_INF, interval_id))
+                inf_delta += 1
+            elif upper == UPPER_NOW:
+                if lower > self._now:
+                    raise ValueError(
+                        f"now-relative interval starts at {lower}, after "
+                        f"now={self._now}")
+                self._ensure_offset(lower)
+                rows.append((FORK_NOW, lower, UPPER_NOW, interval_id))
+                now_delta += 1
+            else:
+                node = self.backbone.register(lower, upper)
+                rows.append((node, lower, upper, interval_id))
+        if not rows:
+            return
+        with self.db.atomic():
+            for node, lower, upper, interval_id in rows:
+                self.table.insert((node, lower, upper, interval_id))
+                if node == FORK_INF:
+                    self._note_bounds(lower, UPPER_INF)
+                elif node == FORK_NOW:
+                    self._note_bounds(lower, lower)
+                else:
+                    self._note_bounds(lower, upper)
+            self._infinite_count += inf_delta
+            self._now_count += now_delta
+            self._log_meta()
+
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------

@@ -218,6 +218,25 @@ class HeapFile:
                 if row is not None:
                     yield self._make_rowid(page_index, slot), row
 
+    def scan_batches(self) -> Iterator[list[tuple[int, tuple[int, ...]]]]:
+        """Batched full scan: one ``[(rowid, row), ...]`` list per page.
+
+        Same rows, same page requests and same order as :meth:`scan`,
+        but consumers get whole page slices instead of a per-row
+        generator hop -- the heap-side mirror of the B+-tree's
+        ``scan_batches`` leaf slices.
+        """
+        for page_index in range(len(self._page_ids)):
+            page = self._get_page(page_index)
+            base = page_index * self.slots_per_page
+            batch = [
+                (base + slot, row)
+                for slot, row in enumerate(page.slots)
+                if row is not None
+            ]
+            if batch:
+                yield batch
+
     def bulk_append(self, rows: list[tuple[int, ...]]) -> list[int]:
         """Append many rows with direct page writes; return their row ids."""
         rowids: list[int] = []

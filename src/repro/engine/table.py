@@ -163,6 +163,16 @@ class Table:
         """Full table scan: yield ``(rowid, row)``."""
         return self.heap.scan()
 
+    def scan_batches(self) -> Iterator[list[tuple[int, tuple[int, ...]]]]:
+        """Batched full table scan: one ``[(rowid, row), ...]`` per page.
+
+        The heap analogue of :meth:`index_scan_batches` -- identical
+        rows and page requests to :meth:`scan`, delivered as whole page
+        slices so bulk consumers (the sweep join's input scan) avoid the
+        per-row generator hop.
+        """
+        return self.heap.scan_batches()
+
     def fetch(self, rowid: int) -> tuple[int, ...]:
         """Fetch one row by id."""
         return self.heap.fetch(rowid)

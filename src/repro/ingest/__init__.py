@@ -1,0 +1,26 @@
+"""Streaming ingest: seeded arrival streams and the group-commit driver.
+
+See :mod:`repro.ingest.workload` for the arrival model and the
+searchsorted parity oracle, :mod:`repro.ingest.ingestor` for the
+buffered driver, and ``docs/ingest.md`` for the append contract the
+stores implement underneath.
+"""
+
+from .ingestor import IngestStats, StreamIngestor
+from .workload import (
+    MODES,
+    IngestOracle,
+    StreamBatch,
+    StreamWorkload,
+    replay_records,
+)
+
+__all__ = [
+    "MODES",
+    "IngestOracle",
+    "IngestStats",
+    "StreamBatch",
+    "StreamIngestor",
+    "StreamWorkload",
+    "replay_records",
+]

@@ -166,6 +166,18 @@ class RemoteStore(IntervalStore):
             self.call("bulk_load",
                       records=intervals[start:start + BULK_CHUNK])
 
+    def append_batch(self, intervals: Sequence[IntervalRecord]) -> None:
+        """Forward a streaming append batch as ``ingest_batch`` frames.
+
+        Each frame is one writer-lock acquisition (and one group commit
+        on WAL-backed backends) server-side; oversized batches chunk at
+        the same frame bound as :meth:`bulk_load`.
+        """
+        intervals = list(intervals)
+        for start in range(0, len(intervals), BULK_CHUNK):
+            self.call("ingest_batch",
+                      records=intervals[start:start + BULK_CHUNK])
+
     def extend(self, intervals: Iterable[IntervalRecord]) -> None:
         self.bulk_load(list(intervals))
 

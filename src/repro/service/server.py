@@ -258,6 +258,10 @@ def _op_bulk_load(store, p):
     store.bulk_load(_records(_need(p, "records")[0]))
 
 
+def _op_ingest_batch(store, p):
+    store.append_batch(_records(_need(p, "records")[0]))
+
+
 def _op_insert_infinite(store, p):
     lower, rid = _need(p, "lower", "interval_id")
     _temporal(store, "insert_infinite")(lower, rid)
@@ -346,6 +350,7 @@ OPS: dict[str, tuple[bool, Callable]] = {
     "insert": (True, _op_insert),
     "delete": (True, _op_delete),
     "bulk_load": (True, _op_bulk_load),
+    "ingest_batch": (True, _op_ingest_batch),
     "insert_infinite": (True, _op_insert_infinite),
     "insert_until_now": (True, _op_insert_until_now),
     "delete_infinite": (True, _op_delete_infinite),

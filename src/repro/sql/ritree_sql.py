@@ -253,6 +253,58 @@ class SQLRITree(IntervalStore):
 
         self._transact(body)
 
+    def append_batch(self, intervals: Iterable[IntervalRecord]) -> None:
+        """Streaming append: one ``executemany`` + dictionary write.
+
+        Unlike :meth:`bulk_load` this is valid on a non-empty relation,
+        and unlike :meth:`extend` it issues one multi-row statement and
+        at most one parameter-dictionary write per batch.  Sentinel
+        uppers fold into the same statement as reserved fork-node rows
+        (Section 4.6), so a mixed batch still commits atomically.
+        """
+        rows = []
+        has_infinite = self._has_infinite
+        has_now = self._has_now
+        for lower, upper, interval_id in intervals:
+            if upper == UPPER_INF:
+                validate_interval(lower, lower)
+                if self.backbone.offset is None:
+                    self.backbone.offset = lower
+                rows.append(
+                    {"node": FORK_INF, "lower": lower,
+                     "upper": UPPER_INF, "id": interval_id}
+                )
+                has_infinite = True
+            elif upper == UPPER_NOW:
+                validate_interval(lower, lower)
+                if lower > self._now:
+                    raise ValueError(
+                        f"now-relative interval starts after now={self._now}"
+                    )
+                if self.backbone.offset is None:
+                    self.backbone.offset = lower
+                rows.append(
+                    {"node": FORK_NOW, "lower": lower,
+                     "upper": UPPER_NOW, "id": interval_id}
+                )
+                has_now = True
+            else:
+                node = self.backbone.register(lower, upper)
+                rows.append(
+                    {"node": node, "lower": lower,
+                     "upper": upper, "id": interval_id}
+                )
+        if not rows:
+            return
+        self._has_infinite = has_infinite
+        self._has_now = has_now
+
+        def body() -> None:
+            self.conn.executemany(schema.INSERT_SQL.format(name=self.name), rows)
+            self._save_params()
+
+        self._transact(body)
+
     def _transact(self, body):
         """Run ``body`` in one transaction, retrying ``busy``/``locked``.
 

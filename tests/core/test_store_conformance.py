@@ -27,6 +27,7 @@ from repro.core import (
     create_store,
 )
 from repro.core.costmodel import JoinEstimate
+from repro.core.temporal import UPPER_INF, UPPER_NOW
 from repro.engine import Database, FaultInjector, SimulatedCrash
 from repro.methods.memory import BruteForceIntervals
 from repro.workloads import join_workload
@@ -94,6 +95,83 @@ def test_bulk_load_equals_inserts(store, store_factory, rng):
         assert sorted(loaded.intersection(lower, upper)) == sorted(
             store.intersection(lower, upper)
         )
+
+
+# ----------------------------------------------------------------------
+# append_batch: the streaming fast path
+# ----------------------------------------------------------------------
+def test_append_batch_equals_insert_loop(store, store_factory, rng):
+    records = make_intervals(rng, 240, domain=50_000, mean_length=400)
+    looped = store_factory()
+    for start in range(0, len(records), 40):
+        batch = records[start : start + 40]
+        store.append_batch(batch)
+        for row in batch:
+            looped.insert(*row)
+        report = store.verify()
+        assert report.ok, [i.as_dict() for i in report.issues]
+    assert store.interval_count == looped.interval_count
+    assert sorted(store.stored_records()) == sorted(records)
+    for lower, upper in queries_for(rng, count=30, domain=55_000):
+        assert sorted(store.intersection(lower, upper)) == sorted(
+            looped.intersection(lower, upper)
+        )
+
+
+def test_append_batch_empty_is_noop(store):
+    store.append_batch([])
+    assert store.interval_count == 0
+    assert store.verify().ok
+
+
+def test_append_batch_temporal_rows_and_closes(store):
+    if not hasattr(store, "insert_until_now"):
+        pytest.skip("backend has no temporal entry points")
+    store.advance_to(100)
+    store.append_batch([(5, 50, 1), (10, UPPER_NOW, 2), (20, UPPER_INF, 3)])
+    report = store.verify()
+    assert report.ok, [i.as_dict() for i in report.issues]
+    assert store.interval_count == 3
+    # The now-relative row reads as [10, 100], the infinite row never ends.
+    assert sorted(store.intersection(60, 200)) == [2, 3]
+    store.advance_to(300)
+    if not hasattr(store, "close_now_interval"):
+        # sqlite backend: now-relative appends, no closure op yet.
+        assert sorted(store.stab(240)) == [2, 3]
+        return
+    store.close_now_interval(10, 2, 250)
+    report = store.verify()
+    assert report.ok, [i.as_dict() for i in report.issues]
+    assert sorted(store.stab(240)) == [2, 3]
+    assert sorted(store.intersection(260, 400)) == [3]
+
+
+def test_append_batch_temporal_equals_explicit_inserts(store, store_factory):
+    if not hasattr(store, "insert_until_now"):
+        pytest.skip("backend has no temporal entry points")
+    explicit = store_factory()
+    for target in (store, explicit):
+        target.advance_to(200)
+    rows = [(i * 13 % 900, i * 13 % 900 + 40 + i, i) for i in range(40)]
+    open_rows = [(i * 7 % 200, 100 + i) for i in range(6)]
+    inf_rows = [(i * 11 % 900, 200 + i) for i in range(4)]
+    store.append_batch(
+        rows
+        + [(lower, UPPER_NOW, interval_id) for lower, interval_id in open_rows]
+        + [(lower, UPPER_INF, interval_id) for lower, interval_id in inf_rows]
+    )
+    explicit.bulk_load(rows)
+    for lower, interval_id in open_rows:
+        explicit.insert_until_now(lower, interval_id)
+    for lower, interval_id in inf_rows:
+        explicit.insert_infinite(lower, interval_id)
+    assert store.verify().ok
+    assert store.interval_count == explicit.interval_count
+    for lower in range(0, 1200, 150):
+        assert sorted(store.intersection(lower, lower + 120)) == sorted(
+            explicit.intersection(lower, lower + 120)
+        )
+    assert sorted(store.stored_records()) == sorted(explicit.stored_records())
 
 
 def test_delete_removes_and_raises(store):
