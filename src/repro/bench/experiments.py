@@ -72,6 +72,15 @@ SCALES: dict[str, dict] = {
         predicate_grid_outer_ns=[5, 80],
         predicate_grid_inner_n=8000,
         predicate_grid_relations=["before", "during", "met_by"],
+        range_duration_n=1500,
+        range_duration_temporal_rows=40,
+        range_duration_queries=6,
+        range_duration_bands=[(0.0, 0.5), (0.2, 0.8), (0.75, 1.0)],
+        range_duration_shard_counts=[1, 2, 4],
+        range_duration_probe_n=60,
+        range_duration_grid_outer_ns=[5, 80],
+        range_duration_grid_inner_n=8000,
+        range_duration_grid_bands=[(0.0, 0.35), (0.0, 1.0), (0.6, 1.0)],
         service_n=1500,
         service_ops=500,
         service_shards=2,
@@ -133,6 +142,17 @@ SCALES: dict[str, dict] = {
         predicate_grid_outer_ns=[5, 20, 80, 320],
         predicate_grid_inner_n=8000,
         predicate_grid_relations=["before", "during", "met_by", "overlaps"],
+        range_duration_n=8000,
+        range_duration_temporal_rows=200,
+        range_duration_queries=16,
+        range_duration_bands=[(0.0, 0.5), (0.2, 0.8), (0.75, 1.0)],
+        range_duration_shard_counts=[1, 2, 4],
+        range_duration_probe_n=300,
+        range_duration_grid_outer_ns=[5, 20, 80, 320],
+        range_duration_grid_inner_n=8000,
+        range_duration_grid_bands=[
+            (0.0, 0.25), (0.0, 0.6), (0.0, 1.0), (0.5, 1.0)
+        ],
         service_n=20_000,
         service_ops=4_000,
         service_shards=4,
@@ -194,6 +214,19 @@ SCALES: dict[str, dict] = {
         predicate_grid_outer_ns=[5, 20, 80, 320, 1280],
         predicate_grid_inner_n=15_000,
         predicate_grid_relations=["before", "during", "met_by", "overlaps", "equals"],
+        range_duration_n=40_000,
+        range_duration_temporal_rows=1000,
+        range_duration_queries=30,
+        range_duration_bands=[
+            (0.0, 0.35), (0.0, 0.5), (0.2, 0.8), (0.5, 1.0), (0.75, 1.0)
+        ],
+        range_duration_shard_counts=[1, 2, 4, 8],
+        range_duration_probe_n=1000,
+        range_duration_grid_outer_ns=[5, 20, 80, 320, 1280],
+        range_duration_grid_inner_n=15_000,
+        range_duration_grid_bands=[
+            (0.0, 0.25), (0.0, 0.6), (0.0, 1.0), (0.5, 1.0)
+        ],
         service_n=100_000,
         service_ops=20_000,
         service_shards=4,

@@ -111,6 +111,26 @@ def _predicate_join_metrics(report: dict) -> dict:
     }
 
 
+def _range_duration_metrics(report: dict) -> dict:
+    summary = report["summary"]
+    return {
+        "bands": summary["bands"],
+        "backends": len(summary["backends"]),
+        "parity_queries": summary["parity_queries"],
+        "results_total": summary["results_total"],
+        "pairs_total": summary["pairs_total"],
+        "temporal_rows": summary["temporal_rows"],
+        "temporal_results": summary["temporal_results"],
+        "grid_points": summary["grid_points"],
+        "correct_choices": summary["correct_choices"],
+        "auto_accuracy": round(summary["auto_accuracy"], 3),
+        "index_physical_reads": summary["index_physical_reads"],
+        "sweep_physical_reads": summary["sweep_physical_reads"],
+        "sql_one_statement": int(summary["sql_one_statement"]),
+        "sql_plans_clean": int(summary["sql_plans_clean"]),
+    }
+
+
 def _join_crossover_metrics(report: dict) -> dict:
     summary = report["summary"]
     measured_index = sum(
@@ -204,6 +224,7 @@ BENCH_EXTRACTORS: dict[str, Callable[[dict], dict]] = {
     "join-crossover": _join_crossover_metrics,
     "sql-join": _sql_join_metrics,
     "predicate-join": _predicate_join_metrics,
+    "range-duration": _range_duration_metrics,
     "recovery": _recovery_metrics,
     "hint": _hint_metrics,
     "service": _service_metrics,

@@ -7,7 +7,8 @@ Public surface:
   support (Section 4.6);
 * :mod:`~repro.core.topology` -- Allen's 13 relation queries (Section 4.5);
 * :mod:`~repro.core.predicates` -- ``intersects``/``stab``/Allen predicates
-  as first-class objects, compiled per backend through
+  as first-class objects plus parameterized query families
+  (``range_duration``), compiled per backend through
   :meth:`~repro.core.access.IntervalStore.query`;
 * :mod:`~repro.core.join` -- interval equi-overlap joins: index-nested-loop
   over the batched scan plan, a Piatov-style plane sweep, and the
@@ -45,10 +46,17 @@ from .costmodel import (
 from .hint import HintCostModel, HintStore
 from .interval import Interval, validate_interval
 from .predicates import (
+    FAMILIES,
     JOIN_PREDICATES,
     PREDICATES,
+    CompiledQuery,
     IntervalPredicate,
+    QueryFamily,
+    compile_query,
+    get_family,
     get_predicate,
+    range_duration,
+    register_family,
 )
 from .join import (
     JOIN_STRATEGIES,
@@ -93,6 +101,13 @@ __all__ = [
     "IntervalRecord",
     "IntervalStore",
     "get_predicate",
+    "get_family",
+    "compile_query",
+    "range_duration",
+    "register_family",
+    "CompiledQuery",
+    "QueryFamily",
+    "FAMILIES",
     "JOIN_PREDICATES",
     "JOIN_STRATEGIES",
     "PREDICATES",

@@ -186,13 +186,15 @@ class IntervalStore(ABC):
 
         ``predicate`` is a name or :class:`~repro.core.predicates.
         IntervalPredicate` -- ``"intersects"`` (the default),
-        ``"stab"``, or one of Allen's thirteen relations -- evaluated
-        with the stored interval as the subject: ``query(l, u,
-        predicate="before")`` returns intervals that lie *before* ``[l,
-        u]``; omitting ``upper`` makes it a point query.  ``intersects``
-        and ``stab`` run every backend's native intersection machinery
-        directly; the relational predicates go through
-        :meth:`_query_relation`, the per-backend compilation hook.
+        ``"stab"``, one of Allen's thirteen relations, or a compiled
+        query family such as :func:`~repro.core.predicates.
+        range_duration` -- evaluated with the stored interval as the
+        subject: ``query(l, u, predicate="before")`` returns intervals
+        that lie *before* ``[l, u]``; omitting ``upper`` makes it a
+        point query.  ``intersects`` and ``stab`` run every backend's
+        native intersection machinery directly; relational predicates
+        and parameterized families go through :meth:`_query_relation`,
+        the per-backend compilation hook.
 
         The pre-v8 predicate-first form ``query(predicate, lower[,
         upper])`` still works behind a :class:`DeprecationWarning` shim
@@ -201,7 +203,7 @@ class IntervalStore(ABC):
         generically -- should spell the bounds first and the predicate
         as ``predicate=``.
         """
-        from .predicates import IntervalPredicate, get_predicate
+        from .predicates import IntervalPredicate, compile_query
 
         if isinstance(lower, (str, IntervalPredicate)):
             # Legacy query(predicate, lower[, upper]): shift arguments.
@@ -229,7 +231,7 @@ class IntervalStore(ABC):
                 f"query() takes two positional bounds, got "
                 f"{2 + len(legacy)} positional arguments; pass the "
                 f"predicate as predicate=")
-        pred = get_predicate(predicate)
+        pred = compile_query(predicate)
         if upper is None:
             upper = lower
         if pred.name == "intersects":

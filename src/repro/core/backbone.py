@@ -31,7 +31,7 @@ from .interval import validate_interval
 
 #: Guard on interval bounds so that reserved fork values for ``now`` and
 #: ``infinity`` (Section 4.6) can never collide with a real backbone node.
-MAX_ABS_BOUND = 2 ** 48
+MAX_ABS_BOUND = 2**48
 
 
 @dataclass
@@ -82,7 +82,8 @@ class VirtualBackbone:
             if not self.adaptive:
                 raise ValueError(
                     "non-adaptive backbone must be initialised with a "
-                    "fixed offset and roots")
+                    "fixed offset and roots"
+                )
             self.offset = lower
         l = lower - self.offset
         u = upper - self.offset
@@ -96,7 +97,8 @@ class VirtualBackbone:
             raise ValueError(
                 f"interval ({lower}, {upper}) outside the fixed data space "
                 f"({2 * self.left_root}, {2 * self.right_root}) "
-                "of a non-adaptive backbone")
+                "of a non-adaptive backbone"
+            )
         node, step = self._descend(l, u)
         if node != 0 and (self.minstep is None or step < self.minstep):
             self.minstep = step
@@ -193,8 +195,9 @@ class VirtualBackbone:
 
     def params(self) -> BackboneParams:
         """Snapshot of the persistent parameters."""
-        return BackboneParams(self.offset, self.left_root, self.right_root,
-                              self.minstep)
+        return BackboneParams(
+            self.offset, self.left_root, self.right_root, self.minstep
+        )
 
     def height(self) -> int:
         """Tree height ``log2(m) + 1`` per Section 3.5.
@@ -234,7 +237,8 @@ class VirtualBackbone:
         if abs(lower - anchor) > MAX_ABS_BOUND or abs(upper - anchor) > MAX_ABS_BOUND:
             raise ValueError(
                 f"interval ({lower}, {upper}) exceeds the supported data "
-                f"space of +/-2^48 around offset {anchor}")
+                f"space of +/-2^48 around offset {anchor}"
+            )
 
 
 class FixedHeightBackbone(VirtualBackbone):

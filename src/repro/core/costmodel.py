@@ -61,8 +61,9 @@ from ..engine.storage import DEFAULT_BLOCK_SIZE
 from .access import IntervalRecord
 from .backbone import VirtualBackbone
 from .interval import validate_interval
-from .predicates import get_predicate, resolve_join_predicate
+from .predicates import compile_query, resolve_join_predicate
 from .ritree import RITree
+from .temporal import UPPER_NOW
 from .transient import collect_query_nodes
 
 #: Default number of histogram buckets (equi-depth boundaries kept).
@@ -172,13 +173,15 @@ class BoundSummary:
     over either bound distribution.
     """
 
-    __slots__ = ("count", "buckets", "lower_bounds", "upper_bounds")
+    __slots__ = ("count", "buckets", "lower_bounds", "upper_bounds",
+                 "duration_bounds")
 
     def __init__(
         self,
         sorted_lowers: Sequence[int],
         sorted_uppers: Sequence[int],
         buckets: int = DEFAULT_BUCKETS,
+        sorted_durations: Optional[Sequence[int]] = None,
     ) -> None:
         if buckets < 2:
             raise ValueError(f"need at least 2 buckets, got {buckets}")
@@ -188,6 +191,15 @@ class BoundSummary:
         self.buckets = buckets
         self.lower_bounds = self._equi_depth(sorted_lowers)
         self.upper_bounds = self._equi_depth(sorted_uppers)
+        # The derived-column histogram behind range-duration pricing:
+        # equi-depth over ``upper - lower``.  Durations need *paired*
+        # bounds, which the two sorted marginals cannot recover, so
+        # sources hand them in explicitly; ``None`` (a boundary-only
+        # source) degrades duration_fraction() to 1.0.
+        if sorted_durations is None:
+            self.duration_bounds = None
+        else:
+            self.duration_bounds = self._equi_depth(sorted_durations)
 
     @classmethod
     def from_records(
@@ -197,7 +209,8 @@ class BoundSummary:
         """Summarise ``(lower, upper, id)`` records (one sorting pass)."""
         lowers = sorted(r[0] for r in records)
         uppers = sorted(r[1] for r in records)
-        return cls(lowers, uppers, buckets)
+        durations = sorted(r[1] - r[0] for r in records)
+        return cls(lowers, uppers, buckets, sorted_durations=durations)
 
     @classmethod
     def from_boundaries(
@@ -206,6 +219,7 @@ class BoundSummary:
         lower_bounds: Sequence[int],
         upper_bounds: Sequence[int],
         buckets: int = DEFAULT_BUCKETS,
+        duration_bounds: Optional[Sequence[int]] = None,
     ) -> "BoundSummary":
         """Build a summary from precomputed quantile boundaries.
 
@@ -220,6 +234,10 @@ class BoundSummary:
         summary.buckets = buckets
         summary.lower_bounds = list(lower_bounds)
         summary.upper_bounds = list(upper_bounds)
+        if duration_bounds is None:
+            summary.duration_bounds = None
+        else:
+            summary.duration_bounds = list(duration_bounds)
         return summary
 
     def _equi_depth(self, values: Sequence[int]) -> list[int]:
@@ -270,6 +288,19 @@ class BoundSummary:
         lower_gt_u = self.count * (1.0 - self.cdf_lower(upper))
         upper_lt_l = self.count * self.cdf_upper(lower - 1)
         return max(0.0, self.count - lower_gt_u - upper_lt_l)
+
+    def duration_fraction(self, dmin: int, dmax: int) -> float:
+        """P(dmin <= upper - lower <= dmax) from the duration histogram.
+
+        The selectivity factor behind range-duration pricing.  A summary
+        built without durations (boundary-only sources that predate the
+        histogram) returns 1.0 -- the band is priced as non-selective,
+        never under-estimated to zero.
+        """
+        if not self.duration_bounds:
+            return 1.0
+        return max(0.0, self._cdf(self.duration_bounds, dmax)
+                   - self._cdf(self.duration_bounds, dmin - 1))
 
     def point_lower(self, value: int) -> float:
         """Estimated mass of ``lower == value`` (one quantile-width step)."""
@@ -403,11 +434,19 @@ def expected_predicate_pairs(
     """
     if not outer or inner.count == 0:
         return 0.0
-    inverse = pred.inverse.name
+    inverse = pred.inverse
+    estimator = getattr(inverse, "estimator", None)
     step = max(1, len(outer) // sample)
     chosen = outer[::step]
-    total = sum(inner.relation_count(inverse, lower, upper)
-                for lower, upper, _ in chosen)
+    if estimator is not None:
+        # Compiled families price each sampled probe through their own
+        # hook (range_duration: a probe outside the duration band
+        # contributes exactly zero pairs).
+        total = sum(max(0.0, estimator(inner, lower, upper))
+                    for lower, upper, _ in chosen)
+    else:
+        total = sum(inner.relation_count(inverse.name, lower, upper)
+                    for lower, upper, _ in chosen)
     return total / len(chosen) * len(outer)
 
 
@@ -756,22 +795,42 @@ class _EngineTreeStatistics:
         columns (entries are ``(node, bound, id)``, so the bound sits at
         position 1).
         """
+        now = getattr(self.tree, "_now", None)
+
+        def effective(upper: int) -> int:
+            # Now-relative sentinel rows contribute their *effective*
+            # duration; infinite rows keep the sentinel (open-ended).
+            if now is not None and upper == UPPER_NOW:
+                return now
+            return upper
+
         if source == "indexes" and self.tree.table.indexes:
-            # Index entries arrive in (node, bound) order; only the bound
-            # column matters here, re-sorted into one global distribution.
-            lowers = [entry[1] for entry in
-                      self.tree.table.index("lowerIndex").tree.scan_all()]
-            uppers = [entry[1] for entry in
-                      self.tree.table.index("upperIndex").tree.scan_all()]
+            # Index entries arrive in (node, bound, id) order; the bound
+            # columns re-sort into the two global distributions, and the
+            # id column pairs them back up for the duration histogram.
+            lower_entries = list(
+                self.tree.table.index("lowerIndex").tree.scan_all())
+            upper_entries = list(
+                self.tree.table.index("upperIndex").tree.scan_all())
+            lowers = [entry[1] for entry in lower_entries]
+            uppers = [entry[1] for entry in upper_entries]
+            lower_of = {entry[2]: entry[1] for entry in lower_entries}
+            durations = sorted(
+                effective(entry[1]) - lower_of[entry[2]]
+                for entry in upper_entries if entry[2] in lower_of)
         else:
             lowers = []
             uppers = []
+            durations = []
             for _rowid, row in self.tree.table.scan():
                 lowers.append(row[1])
                 uppers.append(row[2])
+                durations.append(effective(row[2]) - row[1])
+            durations.sort()
         lowers.sort()
         uppers.sort()
-        return BoundSummary(lowers, uppers, buckets)
+        return BoundSummary(lowers, uppers, buckets,
+                            sorted_durations=durations)
 
     def geometry(self, count: int) -> StoreGeometry:
         """Read the realised index shape off the live B+-trees."""
@@ -834,24 +893,35 @@ class _SQLStoreStatistics:
             uppers = [row[0] for row in conn.execute(
                 f'SELECT "upper" FROM {name} WHERE {self._where} '
                 f'ORDER BY "upper"')]
-            return BoundSummary(lowers, uppers, buckets)
+            durations = [row[0] for row in conn.execute(
+                f'SELECT "upper" - "lower" FROM {name} WHERE {self._where} '
+                f'ORDER BY "upper" - "lower"')]
+            return BoundSummary(lowers, uppers, buckets,
+                                sorted_durations=durations)
         return BoundSummary.from_boundaries(
             count,
-            self._quantiles(conn, name, "lower", buckets),
-            self._quantiles(conn, name, "upper", buckets),
+            self._quantiles(conn, name, '"lower"', buckets),
+            self._quantiles(conn, name, '"upper"', buckets),
             buckets,
+            duration_bounds=self._quantiles(
+                conn, name, '"upper" - "lower"', buckets),
         )
 
     def _quantiles(
-        self, conn, name: str, column: str, buckets: int
+        self, conn, name: str, expr: str, buckets: int
     ) -> list[int]:
-        """Equi-depth boundaries q_0..q_B of one bound column, in SQL."""
+        """Equi-depth boundaries q_0..q_B of one bound expression, in SQL.
+
+        ``expr`` is a quoted column or an arithmetic expression over the
+        bound columns (the duration histogram passes
+        ``'"upper" - "lower"'``); one NTILE window pass either way.
+        """
         floor = conn.execute(
-            f'SELECT MIN("{column}") FROM {name} WHERE {self._where}'
+            f'SELECT MIN({expr}) FROM {name} WHERE {self._where}'
         ).fetchone()[0]
         tiles = conn.execute(
-            f'SELECT MAX("b") FROM (SELECT "{column}" AS "b", '
-            f'NTILE(?) OVER (ORDER BY "{column}") AS "t" '
+            f'SELECT MAX("b") FROM (SELECT {expr} AS "b", '
+            f'NTILE(?) OVER (ORDER BY {expr}) AS "t" '
             f'FROM {name} WHERE {self._where}) GROUP BY "t" ORDER BY "t"',
             (buckets,))
         return [floor] + [row[0] for row in tiles]
@@ -1040,7 +1110,7 @@ class RITreeCostModel:
         per-relation selectivity from the bound marginals
         (:meth:`BoundSummary.relation_count`).
         """
-        pred = get_predicate(predicate)
+        pred = compile_query(predicate)
         if upper is None:
             upper = lower
         validate_interval(lower, upper)
@@ -1048,7 +1118,15 @@ class RITreeCostModel:
             return self.estimate(lower, upper)
         if pred.name == "stab":
             return self.estimate(lower, lower)
-        result_count = self.summary.relation_count(pred.name, lower, upper)
+        estimator = getattr(pred, "estimator", None)
+        if estimator is not None:
+            # A compiled family prices its own parameter selectivity
+            # (range_duration: intersection mass times the duration
+            # histogram's band fraction).
+            result_count = max(0.0, estimator(self.summary, lower, upper))
+        else:
+            result_count = self.summary.relation_count(
+                pred.name, lower, upper)
         count = self.summary.count
         floor, ceiling = self.summary.extent()
         candidate = pred.candidates(lower, upper, floor, ceiling)

@@ -694,7 +694,8 @@ class HintStore(IntervalStore):
 
     def _candidate_window(self, pred, lower: int, upper: int):
         floor = ceiling = None
-        if pred.name in ("before", "after"):
+        if (pred.name in ("before", "after")
+                or getattr(pred, "needs_extent", False)):
             floor, ceiling = self._candidate_extent()
             if floor is None:
                 return None
@@ -963,7 +964,13 @@ class _HintStatistics:
 
     def summarize(self, source: str, buckets: int) -> BoundSummary:
         lowers, uppers = self.store._bound_histograms()
-        return BoundSummary(lowers, uppers, buckets)
+        # Durations need paired bounds, which the per-bound partition
+        # arrays cannot recover; one enumeration pass pairs them on
+        # *effective* bounds (now materialised, infinity kept symbolic).
+        durations = sorted(upper - lower for lower, upper, _
+                           in self.store.stored_records())
+        return BoundSummary(lowers, uppers, buckets,
+                            sorted_durations=durations)
 
     def geometry(self, count: int):
         return memory_resident_geometry(

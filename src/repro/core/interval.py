@@ -47,7 +47,7 @@ def validate_interval(lower: int, upper: int) -> None:
     """Reject malformed bounds early with a clear message."""
     if not isinstance(lower, int) or not isinstance(upper, int):
         raise TypeError(
-            f"interval bounds must be integers, got ({lower!r}, {upper!r})")
+            f"interval bounds must be integers, got ({lower!r}, {upper!r})"
+        )
     if lower > upper:
-        raise ValueError(
-            f"interval lower bound {lower} exceeds upper bound {upper}")
+        raise ValueError(f"interval lower bound {lower} exceeds upper bound {upper}")

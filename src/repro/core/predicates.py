@@ -39,6 +39,27 @@ inverse identity ``p.holds(a, b, c, d) == p.inverse.holds(c, d, a, b)``
 is exact (Allen's algebra); degenerate (point) intervals may break the
 symmetry at shared endpoints, which is why the compiled join plans scan
 the inverse's *candidate range* but refine with the direct formula.
+
+Query families
+--------------
+The fifteen relations above take exactly one reference interval ``[l,
+u]``.  Predicates with *extra* parameters -- the range-duration queries
+of Ceccarello & Gamper ("overlaps the window AND duration within a
+band") being the canonical example -- are modelled as
+:class:`QueryFamily` objects: a named, open-ended family whose
+:meth:`~QueryFamily.compile` binds a typed parameter bundle and returns
+a :class:`CompiledQuery`.  A compiled query IS an
+:class:`IntervalPredicate` (same ``holds`` / ``candidates`` /
+``sql_refine`` surface, so every backend's existing compilation hook
+runs it unchanged) plus the bundle itself: ``family_name`` and
+``param_dict`` travel over the service wire, ``sql_binds`` merges the
+extra bind parameters into the rewritten Figure 9 statements, and the
+optional ``estimator`` hook lets the cost model price the family's
+selectivity beyond the two-bound histograms.  The fifteen classic
+relations are re-expressed as zero-parameter families in
+:data:`FAMILIES`, so ``compile_query(name, params)`` is the single
+resolution entry point for names, predicate objects, and parameterized
+families alike.
 """
 
 from __future__ import annotations
@@ -110,6 +131,65 @@ class IntervalPredicate:
         holds = self.holds
         return [interval_id for s, e, interval_id in records
                 if holds(s, e, lower, upper)]
+
+
+@dataclass(frozen=True)
+class CompiledQuery(IntervalPredicate):
+    """An :class:`IntervalPredicate` with a bound parameter bundle.
+
+    Produced by :meth:`QueryFamily.compile`.  Because it *is* a
+    predicate, every backend's compilation hook (`_query_relation`,
+    the Figure 9 rewrite, the HINT partition filter, the router
+    fan-out) runs it without modification; the extra fields carry what
+    the classic fifteen relations never needed:
+
+    ``family_name``/``params``
+        the wire-format identity -- ``compile_query(family_name,
+        param_dict)`` on the far side of the service protocol rebuilds
+        an equivalent compiled query (``params`` is a tuple of
+        ``(name, value)`` pairs so the object stays hashable).
+    ``binds``
+        extra named SQL bind parameters (e.g. ``:dmin``/``:dmax``)
+        merged into the rewritten one-statement plans; exposed as a
+        dict via :attr:`sql_binds`.
+    ``inverse_factory``
+        builds the subject-swapped compiled query (the classic
+        relations resolve inverses by name, which a parameterized
+        predicate cannot).
+    ``estimator``
+        optional cost-model hook ``estimator(summary, lower, upper)``
+        returning the expected number of matching stored records for
+        reference ``[lower, upper]``; lets
+        :meth:`~repro.core.costmodel.RITreeCostModel.estimate_query`
+        price parameter selectivity (duration bands) that the
+        name-keyed histogram formulas cannot see.
+    """
+
+    family_name: str = ""
+    params: tuple[tuple[str, int], ...] = ()
+    binds: tuple[tuple[str, int], ...] = ()
+    inverse_factory: Optional[Callable[[], "CompiledQuery"]] = None
+    estimator: Optional[Callable[..., float]] = None
+    #: Set when ``candidates`` consults the store's ``floor``/``ceiling``
+    #: data-space extent (like before/after do); backends then resolve
+    #: the extent before calling the transform.
+    needs_extent: bool = False
+
+    @property
+    def param_dict(self) -> dict[str, int]:
+        """The parameter bundle as a dict (service wire format)."""
+        return dict(self.params)
+
+    @property
+    def sql_binds(self) -> dict[str, int]:
+        """Extra named bind parameters for the rewritten SQL plans."""
+        return dict(self.binds)
+
+    @property
+    def inverse(self) -> IntervalPredicate:
+        if self.inverse_factory is not None:
+            return self.inverse_factory()
+        return IntervalPredicate.inverse.fget(self)
 
 
 def _whole_query(l, u, floor, ceiling):
@@ -228,6 +308,190 @@ PREDICATES: dict[str, IntervalPredicate] = {
 JOIN_PREDICATES = tuple(name for name in PREDICATES if name != "stab")
 
 
+@dataclass(frozen=True)
+class QueryFamily:
+    """A named, parameterized family of interval predicates.
+
+    ``compile(**params)`` binds a typed parameter bundle and returns
+    the concrete :class:`IntervalPredicate` (usually a
+    :class:`CompiledQuery`) every backend then compiles natively.  The
+    fifteen classic relations are zero-parameter families, so the
+    family registry is the one open extension seam: a new query class
+    registers a factory here and rides through every backend, the
+    service wire, and the cost model without further per-layer work.
+    """
+
+    name: str
+    parameters: tuple[str, ...]
+    factory: Callable[..., IntervalPredicate]
+    description: str = ""
+
+    def compile(self, **params) -> IntervalPredicate:
+        """Bind ``params`` and return the compiled predicate."""
+        unknown = sorted(set(params) - set(self.parameters))
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) {unknown} for query family "
+                f"{self.name!r}; accepted parameters: "
+                f"{list(self.parameters)}")
+        return self.factory(**params)
+
+
+#: Durations are at most ``UPPER_INF - lower`` (< 2**61); this stands
+#: in for "no upper duration bound" while keeping the bundle integral
+#: for the SQL binds and the service wire.
+DURATION_UNBOUNDED = 1 << 62
+
+
+def range_duration(dmin: int = 0,
+                   dmax: Optional[int] = None) -> CompiledQuery:
+    """Compile a range-duration query: intersection plus duration band.
+
+    The subject ``[s, e]`` matches reference ``[l, u]`` iff it
+    intersects the window *and* ``dmin <= e - s <= dmax`` (Ceccarello &
+    Gamper's range-duration predicate).  Durations are evaluated on
+    *effective* bounds everywhere: now-relative rows materialize the
+    store clock, while still-open ``UPPER_INF`` rows keep the sentinel
+    and therefore only match unbounded (``dmax=None``) bands.
+
+    The candidate range is the whole query window -- duration is a
+    derived column the RI-tree does not index, so every backend fetches
+    the Figure 9/10 intersection candidates and refines with the band:
+    the engine trees filter fetched leaf slices, sqlite appends the
+    ``(upper - lower) BETWEEN :dmin AND :dmax`` fragment to both
+    branches of the one-statement plan, HINT filters its partition
+    slices.  The inverse (reference-subject) compiled query is exact at
+    candidate time: a probe whose own duration misses the band is
+    provably empty before touching the store.
+    """
+    if dmax is None:
+        dmax = DURATION_UNBOUNDED
+    dmin, dmax = int(dmin), int(dmax)
+    if dmin > dmax:
+        raise ValueError(
+            f"empty duration band: dmin={dmin} exceeds dmax={dmax}")
+    params = (("dmin", dmin), ("dmax", dmax))
+
+    def _direct_estimate(summary, lower, upper):
+        return (summary.relation_count("intersects", lower, upper)
+                * summary.duration_fraction(dmin, dmax))
+
+    def _inverse_estimate(summary, lower, upper):
+        if dmin <= upper - lower <= dmax:
+            return summary.relation_count("intersects", lower, upper)
+        return 0.0
+
+    def _inverse() -> CompiledQuery:
+        return CompiledQuery(
+            name=f"range_duration_by[{dmin},{dmax}]",
+            holds=lambda s, e, l, u:
+                s <= u and e >= l and dmin <= u - l <= dmax,
+            candidates=lambda l, u, floor, ceiling:
+                (l, u) if dmin <= u - l <= dmax else None,
+            sql_refine=None,
+            inverse_name=None,
+            family_name="range_duration_by",
+            params=params,
+            binds=(),
+            inverse_factory=lambda: range_duration(dmin, dmax),
+            estimator=_inverse_estimate,
+        )
+
+    return CompiledQuery(
+        name=f"range_duration[{dmin},{dmax}]",
+        holds=lambda s, e, l, u:
+            s <= u and e >= l and dmin <= e - s <= dmax,
+        candidates=_whole_query,
+        sql_refine='(i."upper" - i."lower") BETWEEN :dmin AND :dmax',
+        inverse_name=None,
+        family_name="range_duration",
+        params=params,
+        binds=params,
+        inverse_factory=_inverse,
+        estimator=_direct_estimate,
+    )
+
+
+def _range_duration_by(dmin: int = 0,
+                       dmax: Optional[int] = None) -> CompiledQuery:
+    return range_duration(dmin, dmax).inverse
+
+
+def _constant_family(predicate: IntervalPredicate) -> QueryFamily:
+    return QueryFamily(
+        name=predicate.name,
+        parameters=(),
+        factory=lambda predicate=predicate: predicate,
+        description=f"the classic {predicate.name!r} relation",
+    )
+
+
+#: Every registered query family: the fifteen classic relations as
+#: zero-parameter families plus the parameterized families.  Keyed by
+#: family name; values resolve through :func:`compile_query`.
+FAMILIES: dict[str, QueryFamily] = {
+    name: _constant_family(predicate)
+    for name, predicate in PREDICATES.items()
+}
+FAMILIES["range_duration"] = QueryFamily(
+    name="range_duration",
+    parameters=("dmin", "dmax"),
+    factory=range_duration,
+    description="intersects the window AND duration within [dmin, dmax]",
+)
+FAMILIES["range_duration_by"] = QueryFamily(
+    name="range_duration_by",
+    parameters=("dmin", "dmax"),
+    factory=_range_duration_by,
+    description="intersects a reference whose duration is within "
+                "[dmin, dmax] (the range-duration inverse)",
+)
+
+
+def register_family(family: QueryFamily) -> QueryFamily:
+    """Register a new query family; returns it for decorator-ish use."""
+    if family.name in FAMILIES:
+        raise ValueError(
+            f"query family {family.name!r} is already registered")
+    FAMILIES[family.name] = family
+    return family
+
+
+def get_family(family) -> QueryFamily:
+    """Resolve a query family given by name or already as an object."""
+    if isinstance(family, QueryFamily):
+        return family
+    try:
+        return FAMILIES[family]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown query family {family!r}; registered families: "
+            f"{sorted(FAMILIES)}") from None
+
+
+def compile_query(predicate, params=None) -> IntervalPredicate:
+    """The single resolution entry point for every predicate spelling.
+
+    ``predicate`` may be an :class:`IntervalPredicate` (returned as
+    is), a classic relation name, or a family name; ``params`` is the
+    optional parameter bundle (any mapping or pair iterable) bound via
+    the family's factory.  This is what the service ops use to rebuild
+    a compiled query from its wire form (``family_name`` +
+    ``param_dict``).
+    """
+    if isinstance(predicate, IntervalPredicate):
+        if params:
+            raise ValueError(
+                "compile_query() got both a predicate object and a "
+                "parameter bundle; pass the family name with params=")
+        return predicate
+    if params:
+        return get_family(predicate).compile(**dict(params))
+    if isinstance(predicate, str) and predicate in PREDICATES:
+        return PREDICATES[predicate]
+    return get_family(predicate).compile()
+
+
 def get_predicate(predicate) -> IntervalPredicate:
     """Resolve a predicate given by name or already as an object."""
     if isinstance(predicate, IntervalPredicate):
@@ -237,7 +501,8 @@ def get_predicate(predicate) -> IntervalPredicate:
     except (KeyError, TypeError):
         raise ValueError(
             f"unknown interval predicate {predicate!r}; expected one of "
-            f"{sorted(PREDICATES)}") from None
+            f"{sorted(PREDICATES)}, or a query family compiled from "
+            f"{sorted(FAMILIES)}") from None
 
 
 def resolve_join_predicate(predicate) -> Optional[IntervalPredicate]:
@@ -252,7 +517,14 @@ def resolve_join_predicate(predicate) -> Optional[IntervalPredicate]:
     """
     if predicate is None:
         return None
-    pred = get_predicate(predicate)
+    try:
+        pred = compile_query(predicate)
+    except ValueError:
+        raise ValueError(
+            f"unknown join predicate {predicate!r}; expected one of "
+            f"{sorted(JOIN_PREDICATES)}, a registered query family from "
+            f"{sorted(FAMILIES)}, or a compiled predicate object"
+        ) from None
     if pred.name == "stab":
         raise ValueError(
             "'stab' relates an interval to a point and cannot serve as a "

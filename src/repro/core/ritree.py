@@ -487,7 +487,8 @@ class RITree(AccessMethod):
         formula.
         """
         floor = ceiling = None
-        if inverse.name in ("before", "after"):
+        if (inverse.name in ("before", "after")
+                or getattr(inverse, "needs_extent", False)):
             floor, ceiling = self._candidate_extent()
         candidate = inverse.candidates(lower, upper, floor, ceiling)
         if candidate is None:
@@ -561,16 +562,32 @@ class RITree(AccessMethod):
                 for _rowid, row in batch]
 
     def _query_relation(self, pred, lower: int, upper: int) -> list[int]:
-        """Allen-relation predicates compiled to this engine's scan plans.
+        """Predicates and query families compiled to engine scan plans.
 
-        Dispatches to the scan-plan transforms of
-        :mod:`repro.core.topology` (O(h) path scans for the
-        bound-equality relations, candidate-range refinement for the
-        rest) -- the simulated-engine compilation of the shared
-        predicate layer of :mod:`repro.core.predicates`.
+        The fifteen classic relations dispatch to the scan-plan
+        transforms of :mod:`repro.core.topology` (O(h) path scans for
+        the bound-equality relations, candidate-range refinement for
+        the rest).  Any other compiled query -- a parameterized family
+        such as ``range_duration`` -- runs its candidate intersection
+        range through the batched Figure 10 scan plan
+        (:meth:`_record_batches`, which on the temporal subclass
+        materializes effective bounds first) and refines each fetched
+        leaf slice with the family's ``holds`` formula.
         """
         from . import topology
-        return topology.query_relation(self, pred.name, lower, upper)
+        if pred.name in topology.RELATION_QUERIES:
+            return topology.query_relation(self, pred.name, lower, upper)
+        floor = ceiling = None
+        if getattr(pred, "needs_extent", False):
+            floor, ceiling = self._candidate_extent()
+        candidate = pred.candidates(lower, upper, floor, ceiling)
+        if candidate is None:
+            return []
+        holds = pred.holds
+        return [interval_id
+                for batch in self._record_batches(candidate[0], candidate[1])
+                for s, e, interval_id in batch
+                if holds(s, e, lower, upper)]
 
     # ------------------------------------------------------------------
     # verification

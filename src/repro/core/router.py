@@ -154,6 +154,7 @@ class ShardedStore(IntervalStore):
         self._rep_now_n = [0] * n
         # Routing observability (served through the service /stats op).
         self._stat_queries = [0] * n
+        self._stat_predicate_queries = [0] * n
         self._stat_inserts = [0] * n
         self._stat_join_probes = [0] * n
         self._stat_appends = [0] * n
@@ -552,6 +553,7 @@ class ShardedStore(IntervalStore):
         holds = pred.holds
         for t, shard in enumerate(self.shards):
             self._stat_queries[t] += 1
+            self._stat_predicate_queries[t] += 1
             ids = shard.query(lower, upper, predicate=pred)
             remove: Counter = Counter()
             for (s, e, interval_id), n in self._rep_fin[t].items():
@@ -713,6 +715,7 @@ class ShardedStore(IntervalStore):
                     "replicas": (self._rep_fin_n[t] + self._rep_inf_n[t]
                                  + self._rep_now_n[t]),
                     "queries": self._stat_queries[t],
+                    "predicate_queries": self._stat_predicate_queries[t],
                     "inserts": self._stat_inserts[t],
                     "join_probes": self._stat_join_probes[t],
                     "appends": self._stat_appends[t],

@@ -52,13 +52,17 @@ class StringIntervalTree:
     [1, 2]
     """
 
-    def __init__(self, db: Optional[Database] = None,
-                 prefix_bytes: int = DEFAULT_PREFIX_BYTES,
-                 name: str = "StringIntervals") -> None:
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        prefix_bytes: int = DEFAULT_PREFIX_BYTES,
+        name: str = "StringIntervals",
+    ) -> None:
         if not 1 <= prefix_bytes <= 5:
             raise ValueError(
                 f"prefix_bytes {prefix_bytes} outside [1, 5] (backbone "
-                "coordinates are capped at 2^48)")
+                "coordinates are capped at 2^48)"
+            )
         self.prefix_bytes = prefix_bytes
         self._tree = RITree(db, name=name)
         self._bounds: dict[int, tuple[str, str]] = {}
@@ -84,8 +88,11 @@ class StringIntervalTree:
         stored = self._bounds.get(interval_id)
         if stored != (lower, upper):
             raise KeyError((lower, upper, interval_id))
-        self._tree.delete(string_code(lower, self.prefix_bytes),
-                          string_code(upper, self.prefix_bytes), interval_id)
+        self._tree.delete(
+            string_code(lower, self.prefix_bytes),
+            string_code(upper, self.prefix_bytes),
+            interval_id,
+        )
         del self._bounds[interval_id]
 
     # ------------------------------------------------------------------
@@ -139,5 +146,4 @@ class StringIntervalTree:
         if not isinstance(lower, str) or not isinstance(upper, str):
             raise TypeError("string intervals need str bounds")
         if lower > upper:
-            raise ValueError(
-                f"interval lower bound {lower!r} exceeds {upper!r}")
+            raise ValueError(f"interval lower bound {lower!r} exceeds {upper!r}")

@@ -31,15 +31,15 @@ from .ritree import RITree
 from .verify import VerificationReport
 
 #: Reserved fork node for intervals ending at infinity ("MAXINT").
-FORK_INF = 2 ** 50
+FORK_INF = 2**50
 #: Reserved fork node for now-relative intervals ("MAXINT - 1").
-FORK_NOW = 2 ** 50 - 1
+FORK_NOW = 2**50 - 1
 #: Raw ``upper`` column value stored for infinite intervals.
-UPPER_INF = 2 ** 60
+UPPER_INF = 2**60
 #: Raw ``upper`` column value stored for now-relative intervals.  The true
 #: upper bound is the query-time clock; this sentinel never participates in
 #: comparisons because the reserved-node scans only constrain ``lower``.
-UPPER_NOW = 2 ** 60 - 1
+UPPER_NOW = 2**60 - 1
 
 
 def resolve_clock_argument(now, timestamp):
@@ -53,7 +53,8 @@ def resolve_clock_argument(now, timestamp):
         if now is not None:
             raise TypeError(
                 "advance_to() got the clock both as now= and as the "
-                "deprecated timestamp=")
+                "deprecated timestamp="
+            )
         import warnings
 
         warnings.warn(
@@ -94,8 +95,9 @@ class TemporalRITree(RITree):
 
     method_name = "RI-tree(temporal)"
 
-    def __init__(self, db: Optional[Database] = None,
-                 name: str = "Intervals", now: int = 0) -> None:
+    def __init__(
+        self, db: Optional[Database] = None, name: str = "Intervals", now: int = 0
+    ) -> None:
         super().__init__(db, name)
         self._now = now
         self._infinite_count = 0
@@ -138,8 +140,9 @@ class TemporalRITree(RITree):
         """Current clock value used for now-relative semantics."""
         return self._now
 
-    def advance_to(self, now: Optional[int] = None, *,
-                   timestamp: Optional[int] = None) -> None:
+    def advance_to(
+        self, now: Optional[int] = None, *, timestamp: Optional[int] = None
+    ) -> None:
         """Move the clock forward; time never runs backwards.
 
         The tick mutates no relation, but it *is* durable state: the
@@ -148,8 +151,7 @@ class TemporalRITree(RITree):
         """
         now = resolve_clock_argument(now, timestamp)
         if now < self._now:
-            raise ValueError(
-                f"clock moves forward only: {now} < now={self._now}")
+            raise ValueError(f"clock moves forward only: {now} < now={self._now}")
         with self.db.atomic():
             self._now = now
             self._log_meta()
@@ -174,8 +176,8 @@ class TemporalRITree(RITree):
         """
         if lower > self._now:
             raise ValueError(
-                f"now-relative interval starts at {lower}, after now="
-                f"{self._now}")
+                f"now-relative interval starts at {lower}, after now={self._now}"
+            )
         self._ensure_offset(lower)
         with self.db.atomic():
             self._store_at_node(FORK_NOW, lower, UPPER_NOW, interval_id)
@@ -197,8 +199,7 @@ class TemporalRITree(RITree):
             self._now_count -= 1
             self._log_meta()
 
-    def close_now_interval(self, lower: int, interval_id: int,
-                           upper: int) -> None:
+    def close_now_interval(self, lower: int, interval_id: int, upper: int) -> None:
         """Terminate ``[lower, now]`` at a fixed ``upper`` (e.g. logical
         deletion in a valid-time table): the record is re-registered as an
         ordinary finite interval.  Delete and re-insert commit as one
@@ -230,7 +231,8 @@ class TemporalRITree(RITree):
                 if lower > self._now:
                     raise ValueError(
                         f"now-relative interval starts at {lower}, after "
-                        f"now={self._now}")
+                        f"now={self._now}"
+                    )
                 self._ensure_offset(lower)
                 rows.append((FORK_NOW, lower, UPPER_NOW, interval_id))
                 now_delta += 1
@@ -342,8 +344,10 @@ class TemporalRITree(RITree):
         """
         now = self._now
         for batch in super()._record_batches(lower, upper):
-            yield [(s, now if e == UPPER_NOW else e, interval_id)
-                   for s, e, interval_id in batch]
+            yield [
+                (s, now if e == UPPER_NOW else e, interval_id)
+                for s, e, interval_id in batch
+            ]
 
     def stored_records(self):
         """As in :class:`RITree`, with sentinel uppers materialised.

@@ -40,9 +40,19 @@ from .ritree import RITree
 
 #: The thirteen relation names in Allen's canonical order.
 ALLEN_RELATIONS = (
-    "before", "meets", "overlaps", "finished_by", "contains", "starts",
-    "equals", "started_by", "during", "finishes", "overlapped_by",
-    "met_by", "after",
+    "before",
+    "meets",
+    "overlaps",
+    "finished_by",
+    "contains",
+    "starts",
+    "equals",
+    "started_by",
+    "during",
+    "finishes",
+    "overlapped_by",
+    "met_by",
+    "after",
 )
 
 
@@ -72,8 +82,9 @@ def relate(s: int, e: int, l: int, u: int) -> str:
     return "during" if e < u else "overlapped_by"
 
 
-def _fetch_records_on_path_lower(tree: RITree, coordinate: int
-                                 ) -> Iterator[tuple[int, int, int]]:
+def _fetch_records_on_path_lower(
+    tree: RITree, coordinate: int
+) -> Iterator[tuple[int, int, int]]:
     """Records whose *lower* bound equals ``coordinate``.
 
     Any interval with ``lower == coordinate`` has its fork node on the
@@ -85,26 +96,30 @@ def _fetch_records_on_path_lower(tree: RITree, coordinate: int
     shifted = tree.backbone.shift(coordinate)
     for node in tree.backbone.walk_toward(shifted):
         for entry in tree.table.index_scan(
-                "lowerIndex", (node, coordinate), (node, coordinate)):
+            "lowerIndex", (node, coordinate), (node, coordinate)
+        ):
             row = tree.table.fetch(entry[3])
             yield row[1], row[2], row[3]
 
 
-def _fetch_records_on_path_upper(tree: RITree, coordinate: int
-                                 ) -> Iterator[tuple[int, int, int]]:
+def _fetch_records_on_path_upper(
+    tree: RITree, coordinate: int
+) -> Iterator[tuple[int, int, int]]:
     """Records whose *upper* bound equals ``coordinate`` (O(h) exact scans)."""
     if tree.backbone.is_empty:
         return
     shifted = tree.backbone.shift(coordinate)
     for node in tree.backbone.walk_toward(shifted):
         for entry in tree.table.index_scan(
-                "upperIndex", (node, coordinate), (node, coordinate)):
+            "upperIndex", (node, coordinate), (node, coordinate)
+        ):
             row = tree.table.fetch(entry[3])
             yield row[1], row[2], row[3]
 
 
-def _refined(records: Iterator[tuple[int, int, int]],
-             predicate: Callable[[int, int], bool]) -> list[int]:
+def _refined(
+    records: Iterator[tuple[int, int, int]], predicate: Callable[[int, int], bool]
+) -> list[int]:
     return [interval_id for s, e, interval_id in records if predicate(s, e)]
 
 
@@ -117,8 +132,7 @@ def before(tree: RITree, l: int, u: int) -> list[int]:
     floor, _ceiling = tree._candidate_extent()
     if floor is None or floor > l - 1:
         return []
-    return _refined(tree.intersection_records(floor, l - 1),
-                    lambda s, e: e < l)
+    return _refined(tree.intersection_records(floor, l - 1), lambda s, e: e < l)
 
 
 def after(tree: RITree, l: int, u: int) -> list[int]:
@@ -134,85 +148,73 @@ def after(tree: RITree, l: int, u: int) -> list[int]:
     _floor, ceiling = tree._candidate_extent()
     if ceiling is None or u + 1 > ceiling:
         return []
-    return _refined(tree.intersection_records(u + 1, ceiling),
-                    lambda s, e: s > u)
+    return _refined(tree.intersection_records(u + 1, ceiling), lambda s, e: s > u)
 
 
 def meets(tree: RITree, l: int, u: int) -> list[int]:
     """``e == l and s < l``: intervals ending exactly where the query starts."""
     validate_interval(l, u)
-    return _refined(_fetch_records_on_path_upper(tree, l),
-                    lambda s, e: s < l)
+    return _refined(_fetch_records_on_path_upper(tree, l), lambda s, e: s < l)
 
 
 def met_by(tree: RITree, l: int, u: int) -> list[int]:
     """``s == u and e > u``: intervals starting exactly where the query ends."""
     validate_interval(l, u)
-    return _refined(_fetch_records_on_path_lower(tree, u),
-                    lambda s, e: e > u)
+    return _refined(_fetch_records_on_path_lower(tree, u), lambda s, e: e > u)
 
 
 def overlaps(tree: RITree, l: int, u: int) -> list[int]:
     """``s < l < e < u``: proper left-overlap with the query."""
     validate_interval(l, u)
-    return _refined(tree.intersection_records(l, l),
-                    lambda s, e: s < l < e < u)
+    return _refined(tree.intersection_records(l, l), lambda s, e: s < l < e < u)
 
 
 def overlapped_by(tree: RITree, l: int, u: int) -> list[int]:
     """``l < s < u < e``: proper right-overlap with the query."""
     validate_interval(l, u)
-    return _refined(tree.intersection_records(u, u),
-                    lambda s, e: l < s < u < e)
+    return _refined(tree.intersection_records(u, u), lambda s, e: l < s < u < e)
 
 
 def during(tree: RITree, l: int, u: int) -> list[int]:
     """``l < s and e < u``: intervals strictly inside the query."""
     validate_interval(l, u)
-    return _refined(tree.intersection_records(l, u),
-                    lambda s, e: l < s and e < u)
+    return _refined(tree.intersection_records(l, u), lambda s, e: l < s and e < u)
 
 
 def contains(tree: RITree, l: int, u: int) -> list[int]:
     """``s < l and u < e``: intervals strictly containing the query."""
     validate_interval(l, u)
-    return _refined(tree.intersection_records(l, l),
-                    lambda s, e: s < l and u < e)
+    return _refined(tree.intersection_records(l, l), lambda s, e: s < l and u < e)
 
 
 def starts(tree: RITree, l: int, u: int) -> list[int]:
     """``s == l and e < u``: intervals sharing the start, ending earlier."""
     validate_interval(l, u)
-    return _refined(_fetch_records_on_path_lower(tree, l),
-                    lambda s, e: e < u)
+    return _refined(_fetch_records_on_path_lower(tree, l), lambda s, e: e < u)
 
 
 def started_by(tree: RITree, l: int, u: int) -> list[int]:
     """``s == l and e > u``: intervals sharing the start, ending later."""
     validate_interval(l, u)
-    return _refined(_fetch_records_on_path_lower(tree, l),
-                    lambda s, e: e > u)
+    return _refined(_fetch_records_on_path_lower(tree, l), lambda s, e: e > u)
 
 
 def finishes(tree: RITree, l: int, u: int) -> list[int]:
     """``e == u and s > l``: intervals sharing the end, starting later."""
     validate_interval(l, u)
-    return _refined(_fetch_records_on_path_upper(tree, u),
-                    lambda s, e: s > l)
+    return _refined(_fetch_records_on_path_upper(tree, u), lambda s, e: s > l)
 
 
 def finished_by(tree: RITree, l: int, u: int) -> list[int]:
     """``e == u and s < l``: intervals sharing the end, starting earlier."""
     validate_interval(l, u)
-    return _refined(_fetch_records_on_path_upper(tree, u),
-                    lambda s, e: s < l)
+    return _refined(_fetch_records_on_path_upper(tree, u), lambda s, e: s < l)
 
 
 def equals(tree: RITree, l: int, u: int) -> list[int]:
     """``s == l and e == u``: exact-match query."""
     validate_interval(l, u)
-    return _refined(_fetch_records_on_path_lower(tree, l),
-                    lambda s, e: e == u)
+    return _refined(_fetch_records_on_path_lower(tree, l), lambda s, e: e == u)
 
 
 #: Dispatch table: relation name -> query function.
@@ -239,6 +241,6 @@ def query_relation(tree: RITree, relation: str, l: int, u: int) -> list[int]:
         query = RELATION_QUERIES[relation]
     except KeyError:
         raise ValueError(
-            f"unknown relation {relation!r}; expected one of "
-            f"{ALLEN_RELATIONS}") from None
+            f"unknown relation {relation!r}; expected one of {ALLEN_RELATIONS}"
+        ) from None
     return query(tree, l, u)

@@ -40,8 +40,9 @@ class QueryNodes:
         return len(self.left) + len(self.right)
 
 
-def collect_query_nodes(backbone: VirtualBackbone, lower: int,
-                        upper: int) -> QueryNodes:
+def collect_query_nodes(
+    backbone: VirtualBackbone, lower: int, upper: int
+) -> QueryNodes:
     """Descend the virtual backbone for query ``[lower, upper]``.
 
     Two bisection walks -- one toward each query bound -- cover the three

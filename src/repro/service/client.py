@@ -37,6 +37,22 @@ from .protocol import (
 BULK_CHUNK = 20_000
 
 
+def _wire_predicate(predicate) -> dict:
+    """A predicate's wire form: ``predicate`` name plus family params.
+
+    Classic relations travel by name; a compiled query family
+    (:class:`~repro.core.predicates.CompiledQuery`) travels as its
+    ``family_name`` with the parameter bundle in a ``params`` field, so
+    the server can rebuild the compiled predicate with
+    :func:`~repro.core.predicates.compile_query`.
+    """
+    family = getattr(predicate, "family_name", "")
+    if family:
+        return {"predicate": family,
+                "params": dict(getattr(predicate, "param_dict", {}))}
+    return {"predicate": getattr(predicate, "name", predicate)}
+
+
 class ServiceClient:
     """One connection to an interval service; thread-safe call()."""
 
@@ -199,22 +215,22 @@ class RemoteStore(IntervalStore):
         return self.call("stab", value=point)
 
     def query(self, lower, upper=None, *, predicate="intersects"):
-        name = getattr(predicate, "name", predicate)
-        return self.call("query", lower=lower, upper=upper, predicate=name)
+        return self.call("query", lower=lower, upper=upper,
+                         **_wire_predicate(predicate))
 
     # ------------------------------------------------------------------
     # joins
     # ------------------------------------------------------------------
     def join_pairs(self, probes: Sequence[IntervalRecord], *,
                    predicate=None) -> list[tuple[int, int]]:
-        name = getattr(predicate, "name", predicate)
-        pairs = self.call("join_pairs", probes=list(probes), predicate=name)
+        pairs = self.call("join_pairs", probes=list(probes),
+                          **_wire_predicate(predicate))
         return [(probe_id, interval_id) for probe_id, interval_id in pairs]
 
     def join_count(self, probes: Sequence[IntervalRecord], *,
                    predicate=None) -> int:
-        name = getattr(predicate, "name", predicate)
-        return self.call("join_count", probes=list(probes), predicate=name)
+        return self.call("join_count", probes=list(probes),
+                         **_wire_predicate(predicate))
 
     # ------------------------------------------------------------------
     # enumeration / verification / accounting

@@ -56,6 +56,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from ..core.access import IntervalStore
+from ..core.predicates import compile_query
 from .protocol import (
     HEADER,
     ProtocolError,
@@ -310,20 +311,29 @@ def _op_intersection_many(store, p):
     return store.intersection_many(queries)
 
 
+def _wire_predicate(p, default):
+    """Rebuild the request's predicate: a name, or family + params."""
+    predicate = p.get("predicate", default)
+    params = p.get("params")
+    if predicate is None or not params:
+        return predicate
+    return compile_query(predicate, params)
+
+
 def _op_query(store, p):
     lower = _need(p, "lower")[0]
     return store.query(lower, p.get("upper"),
-                       predicate=p.get("predicate", "intersects"))
+                       predicate=_wire_predicate(p, "intersects"))
 
 
 def _op_join_pairs(store, p):
     return store.join_pairs(_records(_need(p, "probes")[0]),
-                            predicate=p.get("predicate"))
+                            predicate=_wire_predicate(p, None))
 
 
 def _op_join_count(store, p):
     return store.join_count(_records(_need(p, "probes")[0]),
-                            predicate=p.get("predicate"))
+                            predicate=_wire_predicate(p, None))
 
 
 def _op_stored_records(store, p):

@@ -670,9 +670,10 @@ class SQLRITree(IntervalStore):
             statement = schema.predicate_batch_intersection_sql(
                 self.name, pred.sql_refine
             )
+            binds = {"now": self._now, **getattr(pred, "sql_binds", {})}
             rows = self._batch_cycle(
                 lambda: self._fill_predicate_batch_tables(probes, pred.inverse),
-                lambda: list(self.conn.execute(statement, {"now": self._now})),
+                lambda: list(self.conn.execute(statement, binds)),
                 empty=[],
             )
         return [(ids[qid], interval_id) for qid, interval_id in rows]
@@ -698,9 +699,10 @@ class SQLRITree(IntervalStore):
                 empty=0,
             )
         statement = schema.predicate_batch_count_sql(self.name, pred.sql_refine)
+        binds = {"now": self._now, **getattr(pred, "sql_binds", {})}
         return self._batch_cycle(
             lambda: self._fill_predicate_batch_tables(probes, pred.inverse),
-            lambda: self.conn.execute(statement, {"now": self._now}).fetchone()[0],
+            lambda: self.conn.execute(statement, binds).fetchone()[0],
             empty=0,
         )
 
@@ -719,7 +721,7 @@ class SQLRITree(IntervalStore):
                 statement = schema.predicate_batch_intersection_sql(
                     self.name, pred.sql_refine
                 )
-                params = {"now": self._now}
+                params = {"now": self._now, **getattr(pred, "sql_binds", {})}
             cursor = self.conn.execute("EXPLAIN QUERY PLAN " + statement, params)
             return [row[-1] for row in cursor]
         finally:
@@ -729,12 +731,17 @@ class SQLRITree(IntervalStore):
     # predicate queries (WHERE-clause rewrite of Figure 9)
     # ------------------------------------------------------------------
     def _query_relation(self, pred, lower: int, upper: int) -> list[int]:
-        """Allen-relation predicates as a rewritten Figure 9 statement.
+        """Predicates and families as ONE rewritten Figure 9 statement.
 
         The transient tables are filled for the predicate's *candidate
         range* and the predicate's defining endpoint formula is appended
         to the WHERE clause of both branches -- the sqlite compilation of
         the shared predicate layer of :mod:`repro.core.predicates`.
+        Parameterized query families ride the same statement: their
+        extra named binds (``CompiledQuery.sql_binds``, e.g. the
+        ``:dmin``/``:dmax`` duration band of ``range_duration``) merge
+        into the bind set, so the duration fragment in both branches
+        stays one statement with the same two-index plan.
         Reserved Section 4.6 fork rows participate with their
         *effective* bounds: the refinement reads the stored upper
         through :data:`repro.sql.schema.EFFECTIVE_UPPER` (now-relative
@@ -743,7 +750,8 @@ class SQLRITree(IntervalStore):
         """
         validate_interval(lower, upper)
         floor = ceiling = None
-        if pred.name in ("before", "after"):
+        if (pred.name in ("before", "after")
+                or getattr(pred, "needs_extent", False)):
             floor, ceiling = self._candidate_extent()
         candidate = pred.candidates(lower, upper, floor, ceiling)
         if candidate is None:
@@ -761,6 +769,7 @@ class SQLRITree(IntervalStore):
                 "clower": clower,
                 "cupper": cupper,
                 "now": self._now,
+                **getattr(pred, "sql_binds", {}),
             },
         )
         return [row[0] for row in cursor]
@@ -1019,5 +1028,46 @@ class SQLRITree(IntervalStore):
         cursor = self.conn.execute(
             "EXPLAIN QUERY PLAN " + schema.INTERSECTION_SQL.format(name=self.name),
             {"lower": lower, "upper": upper},
+        )
+        return [row[-1] for row in cursor]
+
+    def explain_query(self, lower: int, upper: int,
+                      predicate="intersects") -> list[str]:
+        """The engine's plan for one predicate/family query statement.
+
+        The EXPLAIN twin of :meth:`_query_relation`: the same transient
+        fill, the same rewritten Figure 9 statement, the same bind set
+        (family binds such as ``range_duration``'s ``:dmin``/``:dmax``
+        included), so the reported plan is exactly what the query path
+        executes.  An empty candidate range explains nothing and
+        returns ``[]``.
+        """
+        from ..core.predicates import compile_query
+
+        pred = compile_query(predicate)
+        if pred.name in ("intersects", "stab"):
+            return self.explain_intersection(lower, upper)
+        validate_interval(lower, upper)
+        floor = ceiling = None
+        if (pred.name in ("before", "after")
+                or getattr(pred, "needs_extent", False)):
+            floor, ceiling = self._candidate_extent()
+        candidate = pred.candidates(lower, upper, floor, ceiling)
+        if candidate is None:
+            return []
+        clower, cupper = candidate
+        left, right = self._transient_rows(clower, cupper)
+        self._write_transient(left, right)
+        cursor = self.conn.execute(
+            "EXPLAIN QUERY PLAN "
+            + schema.predicate_intersection_sql(self.name, pred.sql_refine),
+            {
+                "lower": lower,
+                "upper": upper,
+                "clower": clower,
+                "cupper": cupper,
+                "now": self._now,
+                **getattr(pred, "sql_binds", {}),
+            },
         )
         return [row[-1] for row in cursor]

@@ -1,5 +1,6 @@
-"""Workload generators: Table 1 interval databases, query batches and
-join workloads (two relations with independent parameters)."""
+"""Workload generators: Table 1 interval databases, query batches, join
+workloads (two relations with independent parameters), and the genomic
+chromosome-partitioned scenario for range-duration queries."""
 
 from .distributions import (
     DISTRIBUTIONS,
@@ -13,6 +14,14 @@ from .distributions import (
     d4,
     make,
     table1_catalogue,
+)
+from .genomic import (
+    CHROMOSOME_DENSITY,
+    CHROMOSOME_SIZES,
+    chromosome_cuts,
+    chromosome_slices,
+    duration_band,
+    genomic,
 )
 from .joins import (
     OUTER_ID_OFFSET,
@@ -32,9 +41,15 @@ from .queries import (
 )
 
 __all__ = [
+    "CHROMOSOME_DENSITY",
+    "CHROMOSOME_SIZES",
     "DISTRIBUTIONS",
     "DOMAIN_BITS",
     "DOMAIN_MAX",
+    "chromosome_cuts",
+    "chromosome_slices",
+    "duration_band",
+    "genomic",
     "JoinWorkload",
     "OUTER_ID_OFFSET",
     "Workload",

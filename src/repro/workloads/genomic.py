@@ -1,0 +1,190 @@
+"""Genomic-style interval workloads: chromosome partitions, skewed shapes.
+
+The scenario-diversity axis of the range-duration work ("Efficient
+Genomic Interval Queries Using Augmented Range Trees", PAPERS.md):
+genomic features are *chromosome-partitioned* -- the coordinate space is
+a concatenation of disjoint chromosome slices, queries never cross a
+slice boundary -- and their lengths are *heavily right-skewed* (a dense
+mass of short exon-like features under a long tail of gene-scale
+spans).  Both properties matter to this repo's machinery:
+
+* the slice boundaries are natural shard cuts for
+  :class:`~repro.core.router.ShardedStore` (no cut-crossers at all when
+  the cuts sit on chromosome edges), and
+* the duration skew is exactly what the cost model's duration histogram
+  (:meth:`~repro.core.costmodel.BoundSummary.duration_fraction`) has to
+  price for ``range_duration`` queries -- a uniform-duration workload
+  would make every duration band look alike.
+
+The generator maps the 24 human chromosomes (GRCh38 megabase lengths,
+rounded) proportionally onto the paper's ``[0, 2^20 - 1]`` domain,
+draws feature positions per-chromosome with a gene-density skew, and
+draws lengths from a two-component log-normal mixture (exon-like vs
+gene-like).  Deterministic under ``seed``, like every other generator
+in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .distributions import DOMAIN_MAX, IntervalRecord, Workload
+
+#: GRCh38 chromosome lengths in megabases (rounded), the proportional
+#: layout of the concatenated coordinate space.
+CHROMOSOME_SIZES: tuple[tuple[str, int], ...] = (
+    ("chr1", 248), ("chr2", 242), ("chr3", 198), ("chr4", 190),
+    ("chr5", 181), ("chr6", 171), ("chr7", 159), ("chr8", 145),
+    ("chr9", 138), ("chr10", 134), ("chr11", 135), ("chr12", 133),
+    ("chr13", 114), ("chr14", 107), ("chr15", 102), ("chr16", 90),
+    ("chr17", 83), ("chr18", 80), ("chr19", 59), ("chr20", 64),
+    ("chr21", 47), ("chr22", 51), ("chrX", 156), ("chrY", 57),
+)
+
+#: Relative feature density per chromosome: approximate protein-coding
+#: gene counts per megabase (gene-dense chr19 carries ~4x the density of
+#: gene-poor chr13/chrY), the skew that makes per-shard load uneven.
+CHROMOSOME_DENSITY: dict[str, float] = {
+    "chr1": 1.00, "chr2": 0.62, "chr3": 0.63, "chr4": 0.50,
+    "chr5": 0.58, "chr6": 0.71, "chr7": 0.69, "chr8": 0.58,
+    "chr9": 0.67, "chr10": 0.66, "chr11": 1.09, "chr12": 0.91,
+    "chr13": 0.38, "chr14": 0.68, "chr15": 0.69, "chr16": 1.06,
+    "chr17": 1.63, "chr18": 0.42, "chr19": 2.45, "chr20": 0.89,
+    "chr21": 0.56, "chr22": 0.95, "chrX": 0.58, "chrY": 0.21,
+}
+
+
+def chromosome_slices(
+    domain_max: int = DOMAIN_MAX,
+) -> list[tuple[str, int, int]]:
+    """``(name, lo, hi)`` slices tiling ``[0, domain_max]`` proportionally.
+
+    Slice widths follow :data:`CHROMOSOME_SIZES`; consecutive slices
+    are adjacent and disjoint, so the interior boundaries double as
+    shard cuts that no well-formed genomic feature ever crosses.
+    """
+    total = sum(size for _, size in CHROMOSOME_SIZES)
+    slices: list[tuple[str, int, int]] = []
+    edge = 0
+    acc = 0
+    for name, size in CHROMOSOME_SIZES:
+        acc += size
+        hi = (domain_max + 1) * acc // total - 1
+        slices.append((name, edge, max(edge, hi)))
+        edge = hi + 1
+    return slices
+
+
+def chromosome_cuts(
+    shard_count: int, domain_max: int = DOMAIN_MAX
+) -> list[int]:
+    """``shard_count - 1`` chromosome-edge cuts for the sharding router.
+
+    Picks interior slice boundaries that split the genome into
+    ``shard_count`` groups of consecutive chromosomes with roughly equal
+    coordinate mass -- cuts a chromosome-partitioned workload's records
+    never straddle, so the router replicates nothing.
+    """
+    if shard_count < 1:
+        raise ValueError(f"need at least one shard, got {shard_count}")
+    slices = chromosome_slices(domain_max)
+    if shard_count > len(slices):
+        raise ValueError(
+            f"at most {len(slices)} chromosome-aligned shards, "
+            f"got {shard_count}")
+    cuts = []
+    for k in range(1, shard_count):
+        index = len(slices) * k // shard_count
+        # The router treats a cut as the *last* coordinate of a shard,
+        # so the cut is the hi edge of the slice left of the boundary.
+        cuts.append(slices[index][1] - 1)
+    return cuts
+
+
+def _mixture_lengths(
+    rng: np.random.Generator,
+    n: int,
+    exon_fraction: float,
+    exon_scale: float,
+    gene_scale: float,
+) -> np.ndarray:
+    """Two-component log-normal length mixture, heavily right-skewed."""
+    is_exon = rng.random(n) < exon_fraction
+    exon = rng.lognormal(mean=np.log(exon_scale), sigma=0.8, size=n)
+    gene = rng.lognormal(mean=np.log(gene_scale), sigma=1.1, size=n)
+    return np.where(is_exon, exon, gene).astype(np.int64)
+
+
+def genomic(
+    n: int,
+    seed: int = 0,
+    exon_fraction: float = 0.75,
+    exon_scale: float = 8.0,
+    gene_scale: float = 600.0,
+    domain_max: int = DOMAIN_MAX,
+) -> Workload:
+    """A chromosome-partitioned database of ``n`` skewed features.
+
+    Each record picks a chromosome with probability proportional to
+    slice width times gene density, a start uniform inside the slice,
+    and a length from the exon/gene log-normal mixture clipped at the
+    slice end -- features never cross chromosome boundaries, matching
+    the genomic invariant the shard cuts rely on.
+    """
+    if n < 0:
+        raise ValueError(f"negative cardinality {n}")
+    rng = np.random.default_rng(seed)
+    slices = chromosome_slices(domain_max)
+    weights = np.array(
+        [(hi - lo + 1) * CHROMOSOME_DENSITY[name]
+         for name, lo, hi in slices],
+        dtype=np.float64)
+    weights /= weights.sum()
+    chosen = rng.choice(len(slices), size=n, p=weights)
+    lengths = _mixture_lengths(
+        rng, n, exon_fraction, exon_scale, gene_scale)
+    records: list[IntervalRecord] = []
+    for i in range(n):
+        _name, lo, hi = slices[chosen[i]]
+        start = int(rng.integers(lo, hi + 1))
+        upper = min(start + int(lengths[i]), hi)
+        records.append((start, upper, i))
+    mean_duration = int(np.mean(lengths)) if n else 0
+    return Workload(
+        name=f"genomic({n})",
+        n=n,
+        duration_param=mean_duration,
+        seed=seed,
+        records=records,
+    )
+
+
+def duration_band(
+    records: Sequence[IntervalRecord],
+    lo_fraction: float,
+    hi_fraction: float,
+) -> tuple[int, Optional[int]]:
+    """An empirical duration band ``(dmin, dmax)`` from length quantiles.
+
+    ``lo_fraction``/``hi_fraction`` are CDF positions in ``[0, 1]``;
+    the returned band covers roughly ``hi_fraction - lo_fraction`` of
+    the records' durations, which is how the benches build their
+    duration-selectivity grid without hard-coding shape parameters.
+    ``hi_fraction >= 1`` returns an open band (``dmax=None``).
+    """
+    if not 0.0 <= lo_fraction <= hi_fraction:
+        raise ValueError(
+            f"invalid band fractions [{lo_fraction}, {hi_fraction}]")
+    durations = sorted(upper - lower for lower, upper, _ in records)
+    if not durations:
+        return (0, None)
+    last = len(durations) - 1
+
+    def quantile(fraction: float) -> int:
+        return durations[min(last, int(round(fraction * last)))]
+
+    dmin = 0 if lo_fraction <= 0.0 else quantile(lo_fraction)
+    dmax = None if hi_fraction >= 1.0 else quantile(hi_fraction)
+    return (dmin, dmax)

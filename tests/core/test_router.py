@@ -13,7 +13,7 @@ import pytest
 
 from repro.core import ShardedStore, create_store
 from repro.core.costmodel import BoundSummary
-from repro.core.predicates import JOIN_PREDICATES
+from repro.core.predicates import JOIN_PREDICATES, range_duration
 from repro.core.router import derive_cuts
 from repro.core.temporal import UPPER_INF, UPPER_NOW
 
@@ -255,3 +255,28 @@ def test_cost_model_covers_the_logical_population(straddle):
     model = sharded.cost_model()
     estimate = model.estimate(0, 5_000)
     assert estimate.result_count >= 0
+
+
+def test_routing_stats_count_family_queries(straddle):
+    _, sharded, _ = straddle
+    before = [
+        s["predicate_queries"] for s in sharded.routing_stats()["shards"]
+    ]
+    # Relation and family queries fan out to every shard (relations such
+    # as before/after reach outside the window), so each query bumps
+    # every shard's counter exactly once.
+    sharded.query(0, 500, predicate=range_duration(0, 10_000))
+    sharded.query(0, 5_000, predicate="during")
+    after = [
+        s["predicate_queries"] for s in sharded.routing_stats()["shards"]
+    ]
+    assert after == [n + 2 for n in before]
+    # Plain intersections stay in the dedicated queries counter.
+    sharded.intersection(0, 5_000)
+    stats = sharded.routing_stats()
+    assert [
+        s["predicate_queries"] for s in stats["shards"]
+    ] == after
+    assert all(
+        s["queries"] > s["predicate_queries"] for s in stats["shards"]
+    )

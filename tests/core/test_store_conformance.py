@@ -27,10 +27,16 @@ from repro.core import (
     create_store,
 )
 from repro.core.costmodel import JoinEstimate
+from repro.core.predicates import (
+    DURATION_UNBOUNDED,
+    compile_query,
+    range_duration,
+)
 from repro.core.temporal import UPPER_INF, UPPER_NOW
 from repro.engine import Database, FaultInjector, SimulatedCrash
 from repro.methods.memory import BruteForceIntervals
 from repro.workloads import join_workload
+from repro.workloads.genomic import chromosome_cuts, duration_band, genomic
 
 from ..conftest import make_intervals
 
@@ -463,3 +469,117 @@ def test_property_join_matches_oracle(store_name, inner, outer):
     )
     assert sorted(store.join_pairs(outer)) == expected
     assert store.join_count(outer) == len(expected)
+
+
+# ----------------------------------------------------------------------
+# parameterized query families: the range-duration leg
+# ----------------------------------------------------------------------
+DURATION_BANDS = [(0, 150), (100, 800), (400, None), (0, None)]
+
+
+def _duration_oracle(records, lower, upper, dmin, dmax):
+    top = DURATION_UNBOUNDED if dmax is None else dmax
+    return sorted(
+        interval_id
+        for s, e, interval_id in records
+        if s <= upper and e >= lower and dmin <= e - s <= top
+    )
+
+
+def test_range_duration_matches_oracle(store, rng):
+    records = make_intervals(rng, 400, domain=60_000, mean_length=500)
+    store.bulk_load(records)
+    for dmin, dmax in DURATION_BANDS:
+        pred = range_duration(dmin, dmax)
+        for lower, upper in queries_for(rng, count=12):
+            expected = _duration_oracle(records, lower, upper, dmin, dmax)
+            assert sorted(store.query(lower, upper, predicate=pred)) == expected
+
+
+def test_range_duration_by_name_with_params(store, rng):
+    records = make_intervals(rng, 200, domain=30_000, mean_length=400)
+    store.bulk_load(records)
+    pred = compile_query("range_duration", {"dmin": 50, "dmax": 600})
+    for lower, upper in queries_for(rng, count=10, domain=33_000):
+        assert sorted(store.query(lower, upper, predicate=pred)) == (
+            _duration_oracle(records, lower, upper, 50, 600)
+        )
+
+
+def test_range_duration_temporal_sentinel_rows(store):
+    if not hasattr(store, "insert_until_now"):
+        pytest.skip("backend has no temporal entry points")
+    store.advance_to(1000)
+    store.bulk_load([(10, 110, 1), (50, 900, 2)])
+    store.insert_until_now(400, 3)  # effective [400, 1000], duration 600
+    store.insert_infinite(700, 4)  # duration stays the UPPER_INF sentinel
+    # Effective durations: 100, 850, 600, "infinite".
+    assert sorted(store.query(0, 2000, predicate=range_duration(0, 200))) == [1]
+    assert sorted(store.query(0, 2000, predicate=range_duration(500, 900))) == [
+        2,
+        3,
+    ]
+    # Only the unbounded band admits the still-open row.
+    assert sorted(store.query(0, 2000, predicate=range_duration(500))) == [2, 3, 4]
+    # The clock moves: the now-relative duration grows with it.
+    store.advance_to(1600)
+    assert sorted(store.query(0, 2000, predicate=range_duration(900, 2000))) == [3]
+
+
+def test_range_duration_verify_after_mutation(store, rng):
+    records = make_intervals(rng, 80, domain=10_000, mean_length=300)
+    store.bulk_load(records)
+    pred = range_duration(100, 900)
+    before = sorted(store.query(0, 11_000, predicate=pred))
+    assert before == _duration_oracle(records, 0, 11_000, 100, 900)
+    store.insert(2_000, 2_500, 999)
+    report = store.verify()
+    assert report.ok, [i.as_dict() for i in report.issues]
+    after = sorted(store.query(0, 11_000, predicate=pred))
+    assert after == sorted(before + [999])
+    store.delete(2_000, 2_500, 999)
+    report = store.verify()
+    assert report.ok, [i.as_dict() for i in report.issues]
+    assert sorted(store.query(0, 11_000, predicate=pred)) == before
+
+
+@pytest.mark.parametrize("shard_count", [1, 2, 4])
+def test_range_duration_sharded_matches_unsharded(shard_count):
+    workload = genomic(500, seed=7)
+    records = workload.records
+    flat = create_store("hint")
+    flat.bulk_load(records)
+    sharded = create_store(
+        "sharded", backend="hint", cuts=chromosome_cuts(shard_count)
+    )
+    sharded.bulk_load(records)
+    dmin, dmax = duration_band(records, 0.2, 0.8)
+    pred = range_duration(dmin, dmax)
+    for lower, upper in [(0, 2**20 - 1), (100_000, 400_000), (900_000, 950_000)]:
+        assert sorted(sharded.query(lower, upper, predicate=pred)) == sorted(
+            flat.query(lower, upper, predicate=pred)
+        )
+
+
+@pytest.mark.parametrize("store_name", STORE_NAMES)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.lists(record, max_size=50),
+    st.lists(query, max_size=4),
+    st.integers(0, 4000),
+    st.integers(0, 4000),
+)
+def test_property_range_duration_matches_oracle(
+    store_name, records, queries, dmin, extent
+):
+    records = unique_ids(records)
+    store = STORE_FACTORIES[store_name]()
+    store.bulk_load(records)
+    pred = range_duration(dmin, dmin + extent)
+    for lower, upper in queries:
+        expected = _duration_oracle(records, lower, upper, dmin, dmin + extent)
+        assert sorted(store.query(lower, upper, predicate=pred)) == expected

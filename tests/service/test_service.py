@@ -12,6 +12,7 @@ from contextlib import contextmanager
 
 import pytest
 
+from repro.core.predicates import range_duration
 from repro.core.stores import create_store
 from repro.core.temporal import UPPER_INF, UPPER_NOW
 from repro.service.client import RemoteStore, ServiceClient
@@ -367,3 +368,38 @@ def test_router_cli_serves_writes_and_temporal_rows(tmp_path):
         except subprocess.TimeoutExpired:  # pragma: no cover
             proc.kill()
             raise
+
+
+def test_query_families_travel_the_wire():
+    records = [(i * 40, i * 40 + (15 if i % 3 else 700), i) for i in range(120)]
+    local = seeded_store(records)
+    with remote(seeded_store(records)) as proxy:
+        for dmin, dmax in [(0, 30), (100, 900), (400, None)]:
+            pred = range_duration(dmin, dmax)
+            assert sorted(proxy.query(0, 5_000, predicate=pred)) == sorted(
+                local.query(0, 5_000, predicate=pred)
+            )
+        # The parameter bundle rides the join ops too.
+        probes = [(q * 350, q * 350 + 200, q) for q in range(6)]
+        pred = range_duration(0, 100)
+        assert sorted(proxy.join_pairs(probes, predicate=pred)) == sorted(
+            local.join_pairs(probes, predicate=pred)
+        )
+        assert proxy.join_count(probes, predicate=pred) == local.join_count(
+            probes, predicate=pred
+        )
+
+
+def test_sharded_service_routes_family_queries():
+    records = [(i * 25, i * 25 + 60 + i % 5, i) for i in range(200)]
+    local = create_store("sharded", backend="hint", cuts=[2_000, 4_000])
+    local.bulk_load(records)
+    mirror = create_store("sharded", backend="hint", cuts=[2_000, 4_000])
+    mirror.bulk_load(records)
+    with remote(mirror) as proxy:
+        pred = range_duration(50, 70)
+        assert sorted(proxy.query(0, 6_000, predicate=pred)) == sorted(
+            local.query(0, 6_000, predicate=pred)
+        )
+        routing = proxy.stats()["routing"]
+        assert sum(s["predicate_queries"] for s in routing["shards"]) >= 1

@@ -4,6 +4,7 @@ import sqlite3
 
 import pytest
 
+from repro.core.predicates import range_duration
 from repro.sql import SQLRITree
 
 from ..conftest import make_intervals
@@ -149,3 +150,30 @@ def test_multiple_trees_share_connection():
     b.insert(100, 110, 2)
     assert a.intersection(0, 200) == [1]
     assert b.intersection(0, 200) == [2]
+
+
+def test_explain_query_families_use_both_indexes():
+    tree = SQLRITree()
+    tree.bulk_load([(i * 30, i * 30 + 20 + i % 40, i) for i in range(300)])
+    plan = "\n".join(
+        tree.explain_query(100, 4_000,
+                           predicate=range_duration(0, 35)))
+    assert "lowerIndex" in plan
+    assert "upperIndex" in plan
+    assert "AUTOMATIC" not in plan
+    # Results match the refinement run for real.
+    expected = sorted(
+        i for s, e, i in tree.stored_records()
+        if s <= 4_000 and e >= 100 and e - s <= 35)
+    assert sorted(tree.query(100, 4_000,
+                             predicate=range_duration(0, 35))) == expected
+
+
+def test_explain_query_delegates_and_gates():
+    tree = SQLRITree()
+    tree.bulk_load([(10, 50, 1), (40, 90, 2)])
+    assert (tree.explain_query(20, 60)
+            == tree.explain_intersection(20, 60))
+    # An empty candidate range (before with nothing on the left) makes
+    # the plan trivially empty.
+    assert tree.explain_query(0, 5, predicate="before") == []

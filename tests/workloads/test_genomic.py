@@ -1,0 +1,87 @@
+"""The genomic-style workload: chromosome tiling, skew, duration bands."""
+
+import pytest
+
+from repro.workloads.genomic import (
+    CHROMOSOME_SIZES,
+    DOMAIN_MAX,
+    chromosome_cuts,
+    chromosome_slices,
+    duration_band,
+    genomic,
+)
+
+
+def test_slices_tile_the_domain_exactly():
+    slices = chromosome_slices()
+    assert slices[0][1] == 0
+    assert slices[-1][2] == DOMAIN_MAX
+    for (_, _, hi), (_, lo, _) in zip(slices, slices[1:]):
+        assert lo == hi + 1
+    assert [name for name, _, _ in slices] == [n for n, _ in CHROMOSOME_SIZES]
+
+
+def test_features_never_cross_slice_boundaries():
+    workload = genomic(2000, seed=3)
+    slices = chromosome_slices()
+    for lower, upper, _ in workload.records:
+        home = next((lo, hi) for _, lo, hi in slices if lo <= lower <= hi)
+        assert home[0] <= lower <= upper <= home[1]
+
+
+def test_generator_is_deterministic_per_seed():
+    assert genomic(300, seed=5).records == genomic(300, seed=5).records
+    assert genomic(300, seed=5).records != genomic(300, seed=6).records
+
+
+def test_generator_rejects_negative_cardinality():
+    with pytest.raises(ValueError):
+        genomic(-1)
+
+
+def test_lengths_are_skewed_two_component():
+    records = genomic(3000, seed=1).records
+    durations = sorted(upper - lower for lower, upper, _ in records)
+    median = durations[len(durations) // 2]
+    p95 = durations[int(0.95 * (len(durations) - 1))]
+    # Exons dominate the median; the gene component stretches the tail.
+    assert p95 > 10 * max(median, 1)
+
+
+@pytest.mark.parametrize("shard_count", [1, 2, 4, 8, 24])
+def test_chromosome_cuts_are_interior_slice_edges(shard_count):
+    cuts = chromosome_cuts(shard_count)
+    assert len(cuts) == shard_count - 1
+    assert cuts == sorted(set(cuts))
+    edges = {hi for _, _, hi in chromosome_slices()[:-1]}
+    assert set(cuts) <= edges
+
+
+def test_chromosome_cuts_validates_range():
+    with pytest.raises(ValueError):
+        chromosome_cuts(0)
+    with pytest.raises(ValueError):
+        chromosome_cuts(25)
+
+
+def test_cuts_never_split_a_feature():
+    records = genomic(1500, seed=9).records
+    for cut in chromosome_cuts(4):
+        assert not any(lower <= cut < upper for lower, upper, _ in records)
+
+
+def test_duration_band_covers_the_requested_mass():
+    records = genomic(4000, seed=11).records
+    dmin, dmax = duration_band(records, 0.25, 0.75)
+    assert dmax is not None
+    durations = [upper - lower for lower, upper, _ in records]
+    inside = sum(1 for d in durations if dmin <= d <= dmax)
+    assert 0.35 <= inside / len(durations) <= 0.65
+
+
+def test_duration_band_edges():
+    records = [(0, d, i) for i, d in enumerate(range(10))]
+    assert duration_band(records, 0.0, 1.0) == (0, None)
+    assert duration_band([], 0.3, 0.6) == (0, None)
+    with pytest.raises(ValueError):
+        duration_band(records, 0.8, 0.2)
